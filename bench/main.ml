@@ -1,0 +1,68 @@
+(* Benchmark driver: regenerates every table/figure of the paper's
+   evaluation (see DESIGN.md for the index). Run with no arguments for
+   the full suite, or name experiments:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe table1 latency  # a subset
+*)
+
+let experiments =
+  [ ("table1", Experiments.table1, "Table I: ABD vs CASGC vs SODA at f = fmax");
+    ( "table1-concurrent",
+      Experiments.table1_concurrent,
+      "Table I workloads with overlapping clients" );
+    ("storage", Experiments.storage, "Thm 5.3: SODA storage vs f");
+    ("write-cost", Experiments.write_cost, "Thm 5.4: write cost vs f");
+    ("read-cost", Experiments.read_cost, "Thm 5.6: read cost vs delta_w");
+    ("latency", Experiments.latency, "Thm 5.7: latency vs Delta");
+    ("err-storage", Experiments.err_storage, "Thm 6.3(i): SODAerr storage vs e");
+    ("err-read", Experiments.err_read, "Thm 6.3(ii,iii): SODAerr costs vs e");
+    ("crossover", Experiments.crossover, "CASGC/SODA trade-off vs delta");
+    ("repair", Experiments.repair, "repair extension: restore a crashed server");
+    ( "replication",
+      Experiments.replication_baselines,
+      "ABD vs LDR vs SODA cost profile" );
+    ("throughput", Experiments.throughput, "closed-loop throughput vs n");
+    ("latency-dist", Experiments.latency_dist, "latency percentiles under random delays");
+    ("overhead", Experiments.overhead, "metadata message overhead per op");
+    ("ablation-md", Experiments.ablation_md, "chained vs direct dispersal");
+    ( "ablation-gossip",
+      Experiments.ablation_gossip,
+      "READ-DISPERSE gossip vs none" );
+    ("micro", Micro.run, "Bechamel microbenchmarks")
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--csv DIR] [experiment...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, _, doc) -> Printf.printf "  %-16s %s\n" name doc)
+    experiments
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  (* --csv DIR: additionally write every table as CSV into DIR *)
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+      Harness.Report.set_csv_dir (Some dir);
+      extract_csv acc rest
+    | x :: rest -> extract_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_csv [] args in
+  let requested =
+    match args with
+    | [] -> List.map (fun (name, _, _) -> name) experiments
+    | _ -> args
+  in
+  if List.mem "--help" requested || List.mem "-h" requested then usage ()
+  else
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, run, _) -> run ()
+        | None ->
+          Printf.printf "unknown experiment %S\n" name;
+          usage ();
+          exit 1)
+      requested

@@ -1,0 +1,111 @@
+(* Bechamel microbenchmarks of the infrastructure: GF(2^8) arithmetic
+   and Reed-Solomon encode/decode throughput, including the
+   errors-and-erasures decoder SODAerr relies on. *)
+
+open Bechamel
+open Toolkit
+
+let value_of_size len =
+  Bytes.init len (fun i -> Char.chr ((i * 31) land 0xff))
+
+let gf_tests =
+  let a = ref 37 and b = ref 181 in
+  Test.make_grouped ~name:"gf256"
+    [ Test.make ~name:"mul" (Staged.stage (fun () -> Galois.Gf.mul !a !b));
+      Test.make ~name:"inv" (Staged.stage (fun () -> Galois.Gf.inv !a));
+      Test.make ~name:"mul_slow"
+        (Staged.stage (fun () -> Galois.Gf.mul_slow !a !b))
+    ]
+
+let codec_tests =
+  let n = 12 and k = 8 in
+  let vand = Erasure.Mds.rs_vandermonde ~n ~k in
+  let sys = Erasure.Mds.rs_systematic ~n ~k in
+  let bch = Erasure.Mds.rs_bch ~n ~k in
+  let make_encode name code len =
+    let value = value_of_size len in
+    Test.make ~name (Staged.stage (fun () -> Erasure.Mds.encode code value))
+  in
+  let make_decode name code len ~corrupt ~drop =
+    let value = value_of_size len in
+    let fragments = Array.to_list (Erasure.Mds.encode code value) in
+    let fragments =
+      List.filteri (fun i _ -> i >= drop) fragments
+      |> List.mapi (fun i f ->
+             if i < corrupt then Erasure.Fragment.corrupt f ~seed:7 else f)
+    in
+    Test.make ~name
+      (Staged.stage (fun () -> Erasure.Mds.decode code fragments))
+  in
+  let sys_fastpath_decode =
+    (* all k systematic fragments present: the copy-only path *)
+    let value = value_of_size 65536 in
+    let fragments =
+      Array.to_list (Erasure.Mds.encode sys value)
+      |> List.filteri (fun i _ -> i < k)
+    in
+    Test.make ~name:"decode-sys-64KiB-fastpath"
+      (Staged.stage (fun () -> Erasure.Mds.decode sys fragments))
+  in
+  Test.make_grouped ~name:"rs[12,8]"
+    [ make_encode "encode-vand-64KiB" vand 65536;
+      make_encode "encode-sys-64KiB" sys 65536;
+      make_encode "encode-bch-64KiB" bch 65536;
+      make_decode "decode-vand-64KiB-4erasures" vand 65536 ~corrupt:0 ~drop:4;
+      make_decode "decode-sys-64KiB-4erasures" sys 65536 ~corrupt:0 ~drop:4;
+      sys_fastpath_decode;
+      make_decode "decode-bch-64KiB-4erasures" bch 65536 ~corrupt:0 ~drop:4;
+      make_decode "decode-bch-64KiB-2errors" bch 65536 ~corrupt:2 ~drop:0
+    ]
+
+let simulation_tests =
+  (* a whole SODA round-trip (write + read on a 7-server cluster) as one
+     macro-ish sample, to put protocol overhead in perspective *)
+  let run () =
+    let params = Protocol.Params.make ~n:7 ~f:2 () in
+    let engine =
+      Simnet.Engine.create ~seed:3 ~delay:(Simnet.Delay.constant 1.0) ()
+    in
+    let d =
+      Soda.Deployment.deploy ~engine ~params
+        ~initial_value:(value_of_size 4096) ~num_writers:1 ~num_readers:1 ()
+    in
+    Soda.Deployment.write d ~writer:0 ~at:0.0 (value_of_size 4096);
+    Soda.Deployment.read d ~reader:0 ~at:100.0 ();
+    Simnet.Engine.run engine
+  in
+  Test.make_grouped ~name:"simulation"
+    [ Test.make ~name:"soda-write+read-n7-4KiB" (Staged.stage run) ]
+
+let all_tests =
+  Test.make_grouped ~name:"micro" [ gf_tests; codec_tests; simulation_tests ]
+
+let run () =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] all_tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  print_newline ();
+  print_endline "== Microbenchmarks (ns per run, OLS estimate) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.1f" e
+        | Some _ | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; estimate; r2 ] :: !rows)
+    results;
+  Harness.Report.table ~title:"micro" ~header:[ "benchmark"; "ns/run"; "r^2" ]
+    (List.sort compare !rows)

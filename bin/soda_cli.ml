@@ -1,0 +1,223 @@
+(* Command-line driver for the SODA reproduction.
+
+     soda_cli run    — execute a workload on an algorithm, print metrics
+     soda_cli check  — run + verify liveness and atomicity (exit code)
+     soda_cli trace  — run a small scenario and dump the message trace
+
+   Examples:
+     dune exec bin/soda_cli.exe -- run --algo soda -n 10 -f 3 --ops 4
+     dune exec bin/soda_cli.exe -- run --algo soda-err -n 10 -f 2 -e 1 --seed 7
+     dune exec bin/soda_cli.exe -- check --algo casgc --delta 2 --runs 20
+     dune exec bin/soda_cli.exe -- trace -n 5 -f 1
+*)
+
+open Cmdliner
+module Params = Protocol.Params
+module Workload = Harness.Workload
+module Runner = Harness.Runner
+module Metrics = Harness.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* shared options *)
+
+let n_arg =
+  Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of servers.")
+
+let f_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "f" ] ~docv:"F" ~doc:"Server crashes to tolerate (f <= (n-1)/2).")
+
+let e_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "e" ] ~docv:"E"
+        ~doc:"Error-prone servers to tolerate (SODAerr when > 0).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let writers_arg =
+  Arg.(value & opt int 2 & info [ "writers" ] ~doc:"Concurrent writers.")
+
+let readers_arg =
+  Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Concurrent readers.")
+
+let ops_arg =
+  Arg.(value & opt int 3 & info [ "ops" ] ~doc:"Operations per client.")
+
+let value_len_arg =
+  Arg.(value & opt int 4096 & info [ "value-len" ] ~doc:"Value size in bytes.")
+
+let crashes_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "crashes" ]
+        ~doc:"Crash this many servers at random times (at most f).")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "delta" ] ~doc:"CASGC garbage-collection depth (delta).")
+
+let algo_arg =
+  let algo_conv =
+    Arg.enum
+      [ ("soda", `Soda); ("soda-err", `Soda); ("abd", `Abd); ("cas", `Cas);
+        ("casgc", `Casgc)
+      ]
+  in
+  Arg.(
+    value
+    & opt algo_conv `Soda
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: $(b,soda), $(b,soda-err), $(b,abd), $(b,cas) or \
+              $(b,casgc).")
+
+let to_runner algo delta =
+  match algo with
+  | `Soda -> Runner.Soda
+  | `Abd -> Runner.Abd
+  | `Cas -> Runner.Cas { gc_depth = None }
+  | `Casgc -> Runner.Cas { gc_depth = Some delta }
+
+let build_workload ~n ~f ~e ~seed ~writers ~readers ~ops ~value_len ~crashes =
+  let params = Params.make ~n ~f ~e () in
+  let w =
+    Workload.concurrent ~params ~value_len ~seed ~num_writers:writers
+      ~num_readers:readers ~ops_per_client:ops ()
+  in
+  let rng = Simnet.Rng.create (seed + 17) in
+  let w =
+    if crashes > 0 then begin
+      let coords = Array.init n (fun i -> i) in
+      Simnet.Rng.shuffle_in_place rng coords;
+      Workload.with_crashes w
+        (List.init (min crashes f) (fun i ->
+             (coords.(i), Simnet.Rng.float rng 500.0)))
+    end
+    else w
+  in
+  if e > 0 then
+    Workload.with_errors w (List.init e (fun i -> i))
+  else w
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let action algo delta n f e seed writers readers ops value_len crashes =
+    let w =
+      build_workload ~n ~f ~e ~seed ~writers ~readers ~ops ~value_len ~crashes
+    in
+    let result = Runner.run (to_runner algo delta) w in
+    let s = Metrics.summarize result in
+    Format.printf "%a@." Metrics.pp_summary s;
+    if Option.is_some result.Runner.probe then begin
+      List.iter
+        (fun (rid, dw, cost) ->
+          Format.printf "read op%d: delta_w=%d cost=%.2f@." rid dw cost)
+        (Metrics.reads_with_delta_w result)
+    end;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ algo_arg $ delta_arg $ n_arg $ f_arg $ e_arg
+       $ seed_arg $ writers_arg $ readers_arg $ ops_arg $ value_len_arg
+       $ crashes_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload and print measured metrics.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Number of seeded runs.")
+
+let check_cmd =
+  let action algo delta n f e writers readers ops value_len crashes runs =
+    (* runs are independent: sweep them across domains *)
+    let outcomes =
+      Harness.Parallel.map
+        (fun seed ->
+          let w =
+            build_workload ~n ~f ~e ~seed ~writers ~readers ~ops ~value_len
+              ~crashes
+          in
+          (seed, Metrics.summarize (Runner.run (to_runner algo delta) w)))
+        (List.init runs (fun i -> i + 1))
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (seed, s) ->
+        let ok = s.Metrics.liveness && s.Metrics.atomic in
+        Printf.printf "seed %-4d  liveness=%-5b atomic=%-5b %s\n" seed
+          s.Metrics.liveness s.Metrics.atomic
+          (if ok then "" else "<-- FAILURE");
+        if not ok then incr failures)
+      outcomes;
+    if !failures = 0 then begin
+      Printf.printf "all %d runs passed\n" runs;
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "%d/%d runs failed" !failures runs)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ algo_arg $ delta_arg $ n_arg $ f_arg $ e_arg
+       $ writers_arg $ readers_arg $ ops_arg $ value_len_arg $ crashes_arg
+       $ runs_arg))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run many seeded workloads and verify liveness + atomicity of every \
+          one; non-zero exit on any failure.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let action n f seed =
+    let params = Params.make ~n ~f () in
+    let engine =
+      Simnet.Engine.create ~seed ~trace:true
+        ~delay:(Simnet.Delay.uniform ~lo:0.5 ~hi:2.0) ()
+    in
+    let d =
+      Soda.Deployment.deploy ~engine ~params
+        ~initial_value:(Bytes.make 64 '0') ~num_writers:1 ~num_readers:1 ()
+    in
+    Soda.Deployment.write d ~writer:0 ~at:0.0 (Bytes.make 64 'x');
+    Soda.Deployment.read d ~reader:0 ~at:50.0 ();
+    Simnet.Engine.run engine;
+    let name pid = Simnet.Engine.name_of engine pid in
+    List.iter
+      (fun ev -> Format.printf "%a@." (Simnet.Engine.pp_event ~name) ev)
+      (Simnet.Engine.trace_events engine);
+    `Ok ()
+  in
+  let term = Term.(ret (const action $ n_arg $ f_arg $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a one-write-one-read scenario and dump the network trace.")
+    term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "soda_cli" ~version:"1.0.0"
+      ~doc:
+        "Storage-optimized data-atomic registers (SODA) — simulation driver."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; check_cmd; trace_cmd ]))

@@ -1,0 +1,27 @@
+(** Coded fragments.
+
+    A fragment is one server's share of an encoded value: the fragment
+    [index] identifies which of the [n] code coordinates it carries, and
+    [data] holds one code symbol (byte) per stripe. *)
+
+type t = { index : int; data : bytes }
+
+val make : index:int -> data:bytes -> t
+(** @raise Invalid_argument on a negative index. *)
+
+val index : t -> int
+val data : t -> bytes
+
+val size : t -> int
+(** Length of the payload in bytes. *)
+
+val equal : t -> t -> bool
+
+val corrupt : t -> seed:int -> t
+(** [corrupt f ~seed] returns a fragment at the same index whose payload
+    is deterministically garbled (every byte XORed with a non-zero
+    pseudo-random mask derived from [seed]), guaranteed to differ from
+    the original in every byte. Used by fault injection to model silent
+    disk read errors. *)
+
+val pp : Format.formatter -> t -> unit

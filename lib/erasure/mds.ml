@@ -1,0 +1,107 @@
+type impl =
+  | Vandermonde of Rs_vandermonde.t
+  | Systematic of Rs_systematic.t
+  | Bch of Rs_bch.t
+  | Rs16 of Rs16.t
+  | Bch16 of Rs_bch16.t
+  | Replication of Replication.t
+
+type t = { impl : impl; n : int; k : int; name : string }
+
+exception Insufficient_fragments of { needed : int; got : int }
+exception Decode_failure of string
+
+let rs_vandermonde ~n ~k =
+  { impl = Vandermonde (Rs_vandermonde.make ~n ~k);
+    n;
+    k;
+    name = Printf.sprintf "rs-vand[%d,%d]" n k
+  }
+
+let rs_systematic ~n ~k =
+  { impl = Systematic (Rs_systematic.make ~n ~k);
+    n;
+    k;
+    name = Printf.sprintf "rs-sys[%d,%d]" n k
+  }
+
+let rs_bch ~n ~k =
+  { impl = Bch (Rs_bch.make ~n ~k);
+    n;
+    k;
+    name = Printf.sprintf "rs-bch[%d,%d]" n k
+  }
+
+let rs16 ~n ~k =
+  { impl = Rs16 (Rs16.make ~n ~k); n; k; name = Printf.sprintf "rs16[%d,%d]" n k }
+
+let rs_bch16 ~n ~k =
+  { impl = Bch16 (Rs_bch16.make ~n ~k);
+    n;
+    k;
+    name = Printf.sprintf "rs-bch16[%d,%d]" n k
+  }
+
+let replication ~n =
+  { impl = Replication (Replication.make ~n);
+    n;
+    k = 1;
+    name = Printf.sprintf "replication[%d]" n
+  }
+
+let n t = t.n
+let k t = t.k
+let name t = t.name
+
+let encode t value =
+  match t.impl with
+  | Vandermonde c -> Rs_vandermonde.encode c value
+  | Systematic c -> Rs_systematic.encode c value
+  | Bch c -> Rs_bch.encode c value
+  | Rs16 c -> Rs16.encode c value
+  | Bch16 c -> Rs_bch16.encode c value
+  | Replication c -> Replication.encode c value
+
+let decode t frags =
+  match t.impl with
+  | Vandermonde c -> begin
+    try Rs_vandermonde.decode c frags with
+    | Rs_vandermonde.Insufficient_fragments { needed; got } ->
+      raise (Insufficient_fragments { needed; got })
+  end
+  | Systematic c -> begin
+    try Rs_systematic.decode c frags with
+    | Rs_systematic.Insufficient_fragments { needed; got } ->
+      raise (Insufficient_fragments { needed; got })
+  end
+  | Bch c -> begin
+    try Rs_bch.decode c frags with
+    | Rs_bch.Insufficient_fragments { needed; got } ->
+      raise (Insufficient_fragments { needed; got })
+    | Rs_bch.Decode_failure msg -> raise (Decode_failure msg)
+  end
+  | Rs16 c -> begin
+    try Rs16.decode c frags with
+    | Rs16.Insufficient_fragments { needed; got } ->
+      raise (Insufficient_fragments { needed; got })
+  end
+  | Bch16 c -> begin
+    try Rs_bch16.decode c frags with
+    | Rs_bch16.Insufficient_fragments { needed; got } ->
+      raise (Insufficient_fragments { needed; got })
+    | Rs_bch16.Decode_failure msg -> raise (Decode_failure msg)
+  end
+  | Replication c -> begin
+    try Replication.decode c frags with
+    | Replication.Insufficient_fragments ->
+      raise (Insufficient_fragments { needed = 1; got = 0 })
+  end
+
+let fragment_size t ~value_len =
+  match t.impl with
+  | Rs16 _ | Bch16 _ ->
+    (* 2-byte symbols: stripes = framed/(2k), fragment = 2 bytes/stripe *)
+    2 * Splitter.fragment_size ~k:(2 * t.k) ~value_len
+  | Vandermonde _ | Systematic _ | Bch _ | Replication _ ->
+    Splitter.fragment_size ~k:t.k ~value_len
+let storage_overhead t = float_of_int t.n /. float_of_int t.k

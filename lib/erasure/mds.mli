@@ -1,0 +1,66 @@
+(** Unified interface over the concrete codecs.
+
+    The protocol layers (SODA, SODA{_err}, CAS/CASGC, ABD) are written
+    against this type so that the choice of codec is a configuration
+    datum, not a compile-time commitment. An [(n, k)] code splits a value
+    into [n] fragments of [1/k] the (framed) size; any [k] fragments
+    reconstruct the value; codecs built with {!rs_bch} additionally
+    tolerate silent fragment corruption during decode. *)
+
+type t
+
+exception Insufficient_fragments of { needed : int; got : int }
+(** Raised by {!decode} when fewer than [k] distinct fragments are
+    supplied. *)
+
+exception Decode_failure of string
+(** Raised by {!decode} when corruption is detected beyond the codec's
+    correction radius. *)
+
+val rs_vandermonde : n:int -> k:int -> t
+(** Evaluation-form Reed-Solomon; erasures only. *)
+
+val rs_systematic : n:int -> k:int -> t
+(** Systematic Vandermonde Reed-Solomon: the first [k] fragments carry
+    the (framed) value verbatim; erasures only, with copy-only fast
+    paths for encoding the data fragments and decoding from them. *)
+
+val rs_bch : n:int -> k:int -> t
+(** Systematic BCH-form Reed-Solomon with errors-and-erasures decoding:
+    tolerates any [errors], [erasures] with
+    [2*errors + erasures <= n - k]. *)
+
+val rs16 : n:int -> k:int -> t
+(** Evaluation-form Reed-Solomon over GF(2{^16}): code lengths up to
+    65535 for systems beyond 255 servers; erasures only. *)
+
+val rs_bch16 : n:int -> k:int -> t
+(** Errors-and-erasures Reed-Solomon over GF(2{^16}): SODA{_err} beyond
+    255 servers. *)
+
+val replication : n:int -> t
+(** The [n, 1] repetition code. *)
+
+val n : t -> int
+(** Number of fragments produced. *)
+
+val k : t -> int
+(** Number of fragments needed to reconstruct. *)
+
+val name : t -> string
+(** Short human-readable codec name, e.g. ["rs-bch[12,7]"]. *)
+
+val encode : t -> bytes -> Fragment.t array
+(** Encode a value into [n] fragments, indices [0 .. n-1]. *)
+
+val decode : t -> Fragment.t list -> bytes
+(** Reconstruct the value from fragments.
+    @raise Insufficient_fragments
+    @raise Decode_failure *)
+
+val fragment_size : t -> value_len:int -> int
+(** Size in bytes of each fragment for a value of [value_len] bytes. *)
+
+val storage_overhead : t -> float
+(** Total storage across all [n] fragments relative to the value size:
+    [n / k]. This is the paper's normalized "total storage cost". *)

@@ -1,0 +1,85 @@
+module Gf16 = Galois.Gf16
+module Matrix16 = Galois.Matrix16
+
+type t = { n : int; k : int; generator : Matrix16.t }
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+let make ~n ~k =
+  if k < 1 || k > n || n > 65535 then
+    invalid_arg (Printf.sprintf "Rs16.make: invalid parameters n=%d k=%d" n k);
+  { n; k; generator = Matrix16.vandermonde ~rows:n ~cols:k }
+
+let n t = t.n
+let k t = t.k
+
+(* one stripe = k 16-bit symbols = 2k bytes; Splitter's framing at
+   "dimension 2k" gives exactly the padding we need *)
+let symbol_get buf i = Bytes.get_uint16_be buf (2 * i)
+let symbol_set buf i v = Bytes.set_uint16_be buf (2 * i) v
+
+let encode t value =
+  let framed = Splitter.frame ~k:(2 * t.k) value in
+  let stripes = Bytes.length framed / (2 * t.k) in
+  let outputs = Array.init t.n (fun _ -> Bytes.create (2 * stripes)) in
+  let rows = Array.init t.n (Matrix16.row t.generator) in
+  for s = 0 to stripes - 1 do
+    let base = s * t.k in
+    for i = 0 to t.n - 1 do
+      let row = rows.(i) in
+      let acc = ref Gf16.zero in
+      for j = 0 to t.k - 1 do
+        acc := Gf16.add !acc (Gf16.mul row.(j) (symbol_get framed (base + j)))
+      done;
+      symbol_set outputs.(i) s !acc
+    done
+  done;
+  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+
+let select_distinct t frags =
+  let seen = Hashtbl.create 64 in
+  let selected = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      let i = Fragment.index f in
+      if i >= t.n then
+        invalid_arg (Printf.sprintf "Rs16.decode: index %d out of range" i);
+      if !count < t.k && not (Hashtbl.mem seen i) then begin
+        Hashtbl.add seen i ();
+        selected := f :: !selected;
+        incr count
+      end)
+    frags;
+  if !count < t.k then
+    raise (Insufficient_fragments { needed = t.k; got = !count });
+  let selected = Array.of_list (List.rev !selected) in
+  let size = Fragment.size selected.(0) in
+  if size mod 2 <> 0 then invalid_arg "Rs16.decode: odd fragment size";
+  Array.iter
+    (fun f ->
+      if Fragment.size f <> size then
+        invalid_arg "Rs16.decode: fragment sizes differ")
+    selected;
+  selected
+
+let decode t frags =
+  let selected = select_distinct t frags in
+  let stripes = Fragment.size selected.(0) / 2 in
+  let indices = Array.map Fragment.index selected in
+  let sub = Matrix16.select_rows t.generator indices in
+  let inverse = Matrix16.invert sub in
+  let inv_rows = Array.init t.k (Matrix16.row inverse) in
+  let datas = Array.map Fragment.data selected in
+  let framed = Bytes.create (stripes * 2 * t.k) in
+  for s = 0 to stripes - 1 do
+    for j = 0 to t.k - 1 do
+      let row = inv_rows.(j) in
+      let acc = ref Gf16.zero in
+      for l = 0 to t.k - 1 do
+        acc := Gf16.add !acc (Gf16.mul row.(l) (symbol_get datas.(l) s))
+      done;
+      symbol_set framed ((s * t.k) + j) !acc
+    done
+  done;
+  Splitter.unframe framed

@@ -1,0 +1,25 @@
+(** Reed-Solomon codes over GF(2{^16}) — for systems beyond 255 servers.
+
+    Same evaluation-form construction as {!Rs_vandermonde}, but symbols
+    are 16-bit, so the code length can reach [n <= 65535]: the scale the
+    paper's introduction motivates ("several hundreds of servers") is no
+    longer capped by the byte-oriented codecs. Values are framed to a
+    multiple of [2k] bytes and each stripe of [k] 16-bit symbols encodes
+    independently; fragments carry two bytes per stripe (big-endian).
+    Erasures only. *)
+
+type t
+
+val make : n:int -> k:int -> t
+(** @raise Invalid_argument unless [1 <= k <= n <= 65535]. *)
+
+val n : t -> int
+val k : t -> int
+
+val encode : t -> bytes -> Fragment.t array
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+val decode : t -> Fragment.t list -> bytes
+(** Reconstructs from any [k] distinct-index fragments.
+    @raise Insufficient_fragments with fewer than [k]. *)

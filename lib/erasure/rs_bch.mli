@@ -1,0 +1,45 @@
+(** Systematic Reed-Solomon codes with errors-and-erasures decoding.
+
+    This is the codec SODA{_err} needs: with [k = n - f - 2e] it corrects
+    any pattern of up to [f] erasures (missing fragments) {e and} up to
+    [e] silent corruptions among the fragments that are present, per
+    stripe, as long as [2*errors + erasures <= n - k].
+
+    Construction is the classical BCH view of RS codes: the generator
+    polynomial is [g(x) = (x - alpha)(x - alpha^2)...(x - alpha^(n-k))]
+    and a codeword is [c(x) = x^(n-k) M(x) + (x^(n-k) M(x) mod g)], so
+    the message occupies coordinates [n-k .. n-1] (systematic part).
+    Decoding computes syndromes, forms the erasure locator, finds the
+    error locator with the Sugiyama (extended-Euclid) algorithm on the
+    modified syndrome polynomial, locates errors by Chien search and
+    recovers magnitudes with Forney's formula. *)
+
+type t
+
+val make : n:int -> k:int -> t
+(** @raise Invalid_argument unless [1 <= k <= n <= 255]. *)
+
+val n : t -> int
+val k : t -> int
+
+val encode : t -> bytes -> Fragment.t array
+(** Encode into [n] fragments at indices [0 .. n-1]; fragment [n-k+j]
+    carries the systematic message byte [j] of every stripe. *)
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+exception Decode_failure of string
+(** Raised when the received word is not within the guaranteed correction
+    radius (e.g. too many corrupt fragments): the locator has the wrong
+    number of roots in range, or correction does not yield a codeword. *)
+
+val decode : t -> Fragment.t list -> bytes
+(** [decode code frags] reconstructs the value. Fragments whose indices
+    are absent are treated as erasures; present fragments may be
+    corrupted. Reconstruction is guaranteed whenever
+    [2*corruptions + erasures <= n - k].
+    @raise Insufficient_fragments when fewer than [k] distinct indices
+    are present.
+    @raise Decode_failure when the error pattern is detectably beyond the
+    correction radius.
+    @raise Invalid_argument on out-of-range indices or ragged sizes. *)

@@ -1,0 +1,181 @@
+(* Field-generic systematic Reed-Solomon with errors-and-erasures
+   decoding; documented in rs_bch.mli. [Rs_bch] instantiates this at
+   GF(2^8) (one-byte symbols), [Rs_bch16] at GF(2^16) (two-byte
+   symbols, for code lengths beyond 255). *)
+
+module Make (Sym : Symbol.S) = struct
+  module F = Sym.F
+  module Poly = Galois.Poly_gen.Make (F)
+
+  type t = { n : int; k : int; generator : Poly.t }
+
+  exception Insufficient_fragments of { needed : int; got : int }
+  exception Decode_failure of string
+
+  (* g(x) = prod_{j=1}^{n-k} (x - alpha^j); narrow-sense BCH roots. *)
+  let generator_poly ~n ~k =
+    let g = ref Poly.one in
+    for j = 1 to n - k do
+      g := Poly.mul !g (Poly.of_list [ F.alpha_pow j; F.one ])
+    done;
+    !g
+
+  let make ~n ~k =
+    if k < 1 || k > n || n > Sym.max_n then
+      invalid_arg
+        (Printf.sprintf "Rs_bch.make: invalid parameters n=%d k=%d" n k);
+    { n; k; generator = generator_poly ~n ~k }
+
+  let n t = t.n
+  let k t = t.k
+
+  (* Systematic encoding of one stripe: message symbol j becomes the
+     coefficient of x^(n-k+j); parity fills coefficients 0 .. n-k-1. *)
+  let encode_stripe t (msg : int array) (out : int array) =
+    let parity_len = t.n - t.k in
+    if parity_len = 0 then Array.blit msg 0 out 0 t.k
+    else begin
+      let shifted =
+        Poly.of_coeffs
+          (Array.init t.n (fun i ->
+               if i < parity_len then F.zero else msg.(i - parity_len)))
+      in
+      let parity = Poly.rem shifted t.generator in
+      for i = 0 to parity_len - 1 do
+        out.(i) <- Poly.coeff parity i
+      done;
+      Array.blit msg 0 out parity_len t.k
+    end
+
+  let bps = Sym.bytes_per_symbol
+
+  let encode t value =
+    let framed = Splitter.frame ~k:(bps * t.k) value in
+    let stripes = Bytes.length framed / (bps * t.k) in
+    let outputs = Array.init t.n (fun _ -> Bytes.create (bps * stripes)) in
+    let msg = Array.make t.k 0 in
+    let cw = Array.make t.n 0 in
+    for s = 0 to stripes - 1 do
+      for j = 0 to t.k - 1 do
+        msg.(j) <- Sym.get framed ((s * t.k) + j)
+      done;
+      encode_stripe t msg cw;
+      for i = 0 to t.n - 1 do
+        Sym.set outputs.(i) s cw.(i)
+      done
+    done;
+    Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+
+  let syndromes t (received : int array) =
+    let parity_len = t.n - t.k in
+    Array.init parity_len (fun j ->
+        (* S_{j+1} = r(alpha^{j+1}) *)
+        let x = F.alpha_pow (j + 1) in
+        let acc = ref F.zero in
+        for i = t.n - 1 downto 0 do
+          acc := F.add (F.mul !acc x) received.(i)
+        done;
+        !acc)
+
+  (* Sugiyama's extended-Euclid algorithm on (x^{2t}, modified syndrome),
+     stopping when 2*deg(remainder) < 2t + num_erasures. Returns
+     (error locator Lambda, evaluator Omega). *)
+  let sugiyama ~two_t ~num_erasures tpoly =
+    let r_prev = ref (Poly.monomial two_t F.one) in
+    let r_cur = ref tpoly in
+    let v_prev = ref Poly.zero in
+    let v_cur = ref Poly.one in
+    while 2 * Poly.degree !r_cur >= two_t + num_erasures do
+      let q, rem = Poly.div_mod !r_prev !r_cur in
+      let v_next = Poly.sub !v_prev (Poly.mul q !v_cur) in
+      r_prev := !r_cur;
+      r_cur := rem;
+      v_prev := !v_cur;
+      v_cur := v_next
+    done;
+    (!v_cur, !r_cur)
+
+  (* Correct one stripe in place. [received] has n symbols with erased
+     positions set to 0; [erased] flags them. *)
+  let correct_stripe t (received : int array) (erased : bool array) =
+    let two_t = t.n - t.k in
+    let num_erasures = ref 0 in
+    let gamma = ref Poly.one in
+    for i = 0 to t.n - 1 do
+      if erased.(i) then begin
+        incr num_erasures;
+        (* (1 - alpha^i x); subtraction = addition in characteristic 2. *)
+        gamma := Poly.mul !gamma (Poly.of_list [ F.one; F.alpha_pow i ])
+      end
+    done;
+    if !num_erasures > two_t then
+      raise (Decode_failure "more erasures than parity symbols");
+    let synd = syndromes t received in
+    let s_poly = Poly.of_coeffs synd in
+    if not (Poly.is_zero s_poly) || !num_erasures > 0 then begin
+      let t_poly = Poly.truncate two_t (Poly.mul s_poly !gamma) in
+      let lambda, omega = sugiyama ~two_t ~num_erasures:!num_erasures t_poly in
+      if Poly.is_zero lambda || F.is_zero (Poly.coeff lambda 0) then
+        raise (Decode_failure "degenerate error locator");
+      let xi = Poly.mul lambda !gamma in
+      let xi' = Poly.derivative xi in
+      (* Chien search over the code's positions; every root of Xi must
+         land on a valid position, exactly deg(Xi) of them. *)
+      let found = ref 0 in
+      for i = 0 to t.n - 1 do
+        let x_inv = F.alpha_pow (-i) in
+        if F.is_zero (Poly.eval xi x_inv) then begin
+          incr found;
+          let denom = Poly.eval xi' x_inv in
+          if F.is_zero denom then
+            raise (Decode_failure "Forney denominator vanished");
+          let magnitude = F.div (Poly.eval omega x_inv) denom in
+          received.(i) <- F.add received.(i) magnitude
+        end
+      done;
+      if !found <> Poly.degree xi then
+        raise (Decode_failure "error locator has roots outside the code");
+      (* Defensive re-check: the corrected word must be a codeword. *)
+      let check = syndromes t received in
+      if Array.exists (fun s -> not (F.is_zero s)) check then
+        raise (Decode_failure "correction did not produce a codeword")
+    end
+
+  let decode t frags =
+    let present = Array.make t.n false in
+    let datas = Array.make t.n Bytes.empty in
+    let count = ref 0 in
+    let size = ref (-1) in
+    List.iter
+      (fun f ->
+        let i = Fragment.index f in
+        if i >= t.n then
+          invalid_arg (Printf.sprintf "Rs_bch.decode: index %d out of range" i);
+        if not present.(i) then begin
+          present.(i) <- true;
+          datas.(i) <- Fragment.data f;
+          incr count;
+          if !size < 0 then size := Bytes.length datas.(i)
+          else if Bytes.length datas.(i) <> !size then
+            invalid_arg "Rs_bch.decode: fragment sizes differ"
+        end)
+      frags;
+    if !count < t.k then
+      raise (Insufficient_fragments { needed = t.k; got = !count });
+    if !size mod bps <> 0 then
+      invalid_arg "Rs_bch.decode: fragment size not a whole symbol count";
+    let stripes = !size / bps in
+    let erased = Array.init t.n (fun i -> not present.(i)) in
+    let framed = Bytes.create (stripes * bps * t.k) in
+    let received = Array.make t.n 0 in
+    for s = 0 to stripes - 1 do
+      for i = 0 to t.n - 1 do
+        received.(i) <- (if present.(i) then Sym.get datas.(i) s else 0)
+      done;
+      correct_stripe t received erased;
+      for j = 0 to t.k - 1 do
+        Sym.set framed ((s * t.k) + j) received.(t.n - t.k + j)
+      done
+    done;
+    Splitter.unframe framed
+end

@@ -1,0 +1,109 @@
+module Gf = Galois.Gf
+module Matrix = Galois.Matrix
+
+type t = { n : int; k : int; generator : Matrix.t }
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+let make ~n ~k =
+  if k < 1 || k > n || n > 255 then
+    invalid_arg
+      (Printf.sprintf "Rs_systematic.make: invalid parameters n=%d k=%d" n k);
+  let vandermonde = Matrix.vandermonde ~rows:n ~cols:k in
+  let top = Matrix.select_rows vandermonde (Array.init k (fun i -> i)) in
+  (* top is square Vandermonde with distinct points: always invertible *)
+  let generator = Matrix.mul vandermonde (Matrix.invert top) in
+  { n; k; generator }
+
+let n t = t.n
+let k t = t.k
+
+let encode t value =
+  let framed = Splitter.frame ~k:t.k value in
+  let stripes = Bytes.length framed / t.k in
+  let outputs = Array.init t.n (fun _ -> Bytes.create stripes) in
+  (* systematic fragments: pure byte shuffling *)
+  for j = 0 to t.k - 1 do
+    for s = 0 to stripes - 1 do
+      Bytes.set outputs.(j) s (Bytes.get framed ((s * t.k) + j))
+    done
+  done;
+  (* parity fragments: one generator row each *)
+  for i = t.k to t.n - 1 do
+    let row = Matrix.row t.generator i in
+    for s = 0 to stripes - 1 do
+      let base = s * t.k in
+      let acc = ref Gf.zero in
+      for j = 0 to t.k - 1 do
+        acc :=
+          Gf.add !acc (Gf.mul row.(j) (Char.code (Bytes.get framed (base + j))))
+      done;
+      Bytes.set outputs.(i) s (Char.chr !acc)
+    done
+  done;
+  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+
+let select_distinct t frags =
+  let seen = Array.make t.n false in
+  let selected = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      let i = Fragment.index f in
+      if i >= t.n then
+        invalid_arg
+          (Printf.sprintf "Rs_systematic.decode: index %d out of range" i);
+      if !count < t.k && not seen.(i) then begin
+        seen.(i) <- true;
+        selected := f :: !selected;
+        incr count
+      end)
+    frags;
+  if !count < t.k then
+    raise (Insufficient_fragments { needed = t.k; got = !count });
+  let selected = Array.of_list (List.rev !selected) in
+  let size = Fragment.size selected.(0) in
+  Array.iter
+    (fun f ->
+      if Fragment.size f <> size then
+        invalid_arg "Rs_systematic.decode: fragment sizes differ")
+    selected;
+  selected
+
+let decode t frags =
+  let selected = select_distinct t frags in
+  let stripes = Fragment.size selected.(0) in
+  let all_systematic =
+    Array.for_all (fun f -> Fragment.index f < t.k) selected
+  in
+  let framed = Bytes.create (stripes * t.k) in
+  if all_systematic then
+    (* fast path: place each systematic fragment back into its column *)
+    Array.iter
+      (fun f ->
+        let j = Fragment.index f in
+        let data = Fragment.data f in
+        for s = 0 to stripes - 1 do
+          Bytes.set framed ((s * t.k) + j) (Bytes.get data s)
+        done)
+      selected
+  else begin
+    let indices = Array.map Fragment.index selected in
+    let sub = Matrix.select_rows t.generator indices in
+    let inverse = Matrix.invert sub in
+    let inv_rows = Array.init t.k (Matrix.row inverse) in
+    let datas = Array.map Fragment.data selected in
+    for s = 0 to stripes - 1 do
+      for j = 0 to t.k - 1 do
+        let row = inv_rows.(j) in
+        let acc = ref Gf.zero in
+        for l = 0 to t.k - 1 do
+          acc :=
+            Gf.add !acc
+              (Gf.mul row.(l) (Char.code (Bytes.get datas.(l) s)))
+        done;
+        Bytes.set framed ((s * t.k) + j) (Char.chr !acc)
+      done
+    done
+  end;
+  Splitter.unframe framed

@@ -1,0 +1,34 @@
+(** Systematic Reed-Solomon codes in Vandermonde form.
+
+    The generator matrix is [G = V · (V_k)^{-1}], where [V] is the
+    [n x k] Vandermonde matrix and [V_k] its top [k x k] block: the first
+    [k] rows of [G] form the identity, so fragments [0 .. k-1] carry the
+    framed value verbatim and only the [n - k] parity fragments require
+    field arithmetic. Multiplying on the right by an invertible matrix
+    preserves the rank of every row subset, so the code remains MDS.
+
+    Compared to {!Rs_vandermonde} this trades nothing for two fast
+    paths: encoding touches only the parity rows, and decoding from the
+    [k] systematic fragments is a plain reassembly. Storage systems
+    overwhelmingly prefer systematic codes for exactly this reason; the
+    [micro] benchmark quantifies the difference. Erasures only — for
+    silent corruption use {!Rs_bch}. *)
+
+type t
+
+val make : n:int -> k:int -> t
+(** @raise Invalid_argument unless [1 <= k <= n <= 255]. *)
+
+val n : t -> int
+val k : t -> int
+
+val encode : t -> bytes -> Fragment.t array
+(** Fragments [0 .. k-1] are the framed value's stripes verbatim;
+    [k .. n-1] are parity. *)
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+val decode : t -> Fragment.t list -> bytes
+(** Reconstructs from any [k] distinct-index fragments; all-systematic
+    inputs take the copy-only fast path.
+    @raise Insufficient_fragments with fewer than [k] distinct indices. *)

@@ -1,0 +1,85 @@
+type t = { n : int; k : int; generator : Galois.Matrix.t }
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+let make ~n ~k =
+  if k < 1 || k > n || n > 255 then
+    invalid_arg
+      (Printf.sprintf "Rs_vandermonde.make: invalid parameters n=%d k=%d" n k);
+  { n; k; generator = Galois.Matrix.vandermonde ~rows:n ~cols:k }
+
+let n t = t.n
+let k t = t.k
+
+let encode t value =
+  let framed = Splitter.frame ~k:t.k value in
+  let stripes = Bytes.length framed / t.k in
+  let outputs = Array.init t.n (fun _ -> Bytes.create stripes) in
+  (* Row i of the generator, hoisted out of the per-stripe loop. *)
+  let rows = Array.init t.n (Galois.Matrix.row t.generator) in
+  for s = 0 to stripes - 1 do
+    let base = s * t.k in
+    for i = 0 to t.n - 1 do
+      let row = rows.(i) in
+      let acc = ref Galois.Gf.zero in
+      for j = 0 to t.k - 1 do
+        acc :=
+          Galois.Gf.add !acc
+            (Galois.Gf.mul row.(j) (Char.code (Bytes.get framed (base + j))))
+      done;
+      Bytes.set outputs.(i) s (Char.chr !acc)
+    done
+  done;
+  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+
+(* Pick the first [k] fragments with distinct, in-range indices and a
+   common size. *)
+let select_distinct t frags =
+  let seen = Array.make t.n false in
+  let selected = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      let i = Fragment.index f in
+      if i >= t.n then
+        invalid_arg
+          (Printf.sprintf "Rs_vandermonde.decode: index %d out of range" i);
+      if !count < t.k && not seen.(i) then begin
+        seen.(i) <- true;
+        selected := f :: !selected;
+        incr count
+      end)
+    frags;
+  if !count < t.k then
+    raise (Insufficient_fragments { needed = t.k; got = !count });
+  let selected = Array.of_list (List.rev !selected) in
+  let size = Fragment.size selected.(0) in
+  Array.iter
+    (fun f ->
+      if Fragment.size f <> size then
+        invalid_arg "Rs_vandermonde.decode: fragment sizes differ")
+    selected;
+  selected
+
+let decode t frags =
+  let selected = select_distinct t frags in
+  let stripes = Fragment.size selected.(0) in
+  let indices = Array.map Fragment.index selected in
+  let sub = Galois.Matrix.select_rows t.generator indices in
+  let inverse = Galois.Matrix.invert sub in
+  let inv_rows = Array.init t.k (Galois.Matrix.row inverse) in
+  let datas = Array.map Fragment.data selected in
+  let framed = Bytes.create (stripes * t.k) in
+  for s = 0 to stripes - 1 do
+    for j = 0 to t.k - 1 do
+      let row = inv_rows.(j) in
+      let acc = ref Galois.Gf.zero in
+      for l = 0 to t.k - 1 do
+        acc :=
+          Galois.Gf.add !acc
+            (Galois.Gf.mul row.(l) (Char.code (Bytes.get datas.(l) s)))
+      done;
+      Bytes.set framed ((s * t.k) + j) (Char.chr !acc)
+    done
+  done;
+  Splitter.unframe framed

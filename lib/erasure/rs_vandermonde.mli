@@ -1,0 +1,35 @@
+(** Reed-Solomon codes in evaluation (Vandermonde) form.
+
+    The value is framed ({!Splitter}), cut into stripes of [k] message
+    bytes, and each stripe is encoded independently: coded symbol [i] of a
+    stripe is the evaluation of the stripe's degree-(k-1) message
+    polynomial at the point [alpha{^i}]. Equivalently, the coded stripe is
+    [V m] for the [n x k] Vandermonde matrix [V].
+
+    Any [k] of the [n] coded symbols determine the stripe (the
+    corresponding [k x k] sub-Vandermonde matrix is invertible), so the
+    code is MDS: it tolerates up to [n - k] erasures. This codec handles
+    {e erasures only}; for silent corruption use {!Rs_bch}. *)
+
+type t
+
+val make : n:int -> k:int -> t
+(** [make ~n ~k] builds an [n, k] code.
+    @raise Invalid_argument unless [1 <= k <= n <= 255]. *)
+
+val n : t -> int
+val k : t -> int
+
+val encode : t -> bytes -> Fragment.t array
+(** [encode code v] produces the [n] fragments of [v], at indices
+    [0 .. n-1]. Each has size [Splitter.fragment_size ~k ~value_len]. *)
+
+exception Insufficient_fragments of { needed : int; got : int }
+
+val decode : t -> Fragment.t list -> bytes
+(** [decode code frags] reconstructs the original value from any [k]
+    distinct-index fragments ([frags] may contain more; the first [k]
+    distinct indices are used).
+    @raise Insufficient_fragments with fewer than [k] distinct indices.
+    @raise Invalid_argument on an out-of-range index or mismatched
+    fragment sizes. *)

@@ -1,0 +1,27 @@
+let header_len = 4
+
+let frame ~k v =
+  if k <= 0 then invalid_arg "Splitter.frame: k must be positive";
+  let len = Bytes.length v in
+  if len > 0x7fffffff then invalid_arg "Splitter.frame: value too large";
+  let total = header_len + len in
+  let padded = (total + k - 1) / k * k in
+  let out = Bytes.make padded '\000' in
+  Bytes.set_int32_be out 0 (Int32.of_int len);
+  Bytes.blit v 0 out header_len len;
+  out
+
+let unframe framed =
+  if Bytes.length framed < header_len then
+    invalid_arg "Splitter.unframe: buffer shorter than header";
+  let len = Int32.to_int (Bytes.get_int32_be framed 0) in
+  if len < 0 || header_len + len > Bytes.length framed then
+    invalid_arg "Splitter.unframe: corrupt length header";
+  Bytes.sub framed header_len len
+
+let stripe_count ~k ~value_len =
+  if k <= 0 then invalid_arg "Splitter.stripe_count: k must be positive";
+  if value_len < 0 then invalid_arg "Splitter.stripe_count: negative length";
+  (header_len + value_len + k - 1) / k
+
+let fragment_size = stripe_count

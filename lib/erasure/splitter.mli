@@ -1,0 +1,25 @@
+(** Byte-level framing shared by all codecs.
+
+    A value of arbitrary length is framed as a 4-byte big-endian length
+    prefix followed by the payload, padded with zeros to a multiple of
+    [k]. The framed buffer is processed stripe by stripe: stripe [s]
+    consists of bytes [s*k .. s*k + k - 1], and each stripe independently
+    becomes one symbol of every fragment, so that fragment [i] holds
+    symbol [i] of every stripe. *)
+
+val frame : k:int -> bytes -> bytes
+(** [frame ~k v] prepends the length header and zero-pads to a multiple
+    of [k]. The result is non-empty even for an empty [v].
+    @raise Invalid_argument if [k <= 0] or the value exceeds 2{^31}-1
+    bytes. *)
+
+val unframe : bytes -> bytes
+(** Inverse of {!frame}; validates the header.
+    @raise Invalid_argument on a malformed frame. *)
+
+val stripe_count : k:int -> value_len:int -> int
+(** Number of stripes (= fragment length in bytes) used to encode a value
+    of [value_len] bytes with message dimension [k]. *)
+
+val fragment_size : k:int -> value_len:int -> int
+(** Size in bytes of each fragment; equal to [stripe_count]. *)

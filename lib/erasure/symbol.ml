@@ -1,0 +1,39 @@
+(** Symbol I/O abstraction shared by the field-generic codecs.
+
+    A symbol module fixes the field the code works over and how one code
+    symbol is laid out in a byte buffer; the generic codecs
+    ({!Rs_bch_gen}) are functors over this. *)
+
+module type S = sig
+  module F : Galois.Field.S
+
+  val bytes_per_symbol : int
+
+  val max_n : int
+  (** Longest supported code: [F.order - 1]. *)
+
+  val get : bytes -> int -> F.t
+  (** [get buf i] reads symbol number [i]. *)
+
+  val set : bytes -> int -> F.t -> unit
+end
+
+(** One byte per symbol, GF(2{^8}): codes up to length 255. *)
+module Byte : S with module F = Galois.Gf = struct
+  module F = Galois.Gf
+
+  let bytes_per_symbol = 1
+  let max_n = 255
+  let get buf i = Char.code (Bytes.get buf i)
+  let set buf i v = Bytes.set buf i (Char.chr v)
+end
+
+(** Two bytes (big-endian) per symbol, GF(2{^16}): codes up to 65535. *)
+module Wide : S with module F = Galois.Gf16 = struct
+  module F = Galois.Gf16
+
+  let bytes_per_symbol = 2
+  let max_n = 65535
+  let get buf i = Bytes.get_uint16_be buf (2 * i)
+  let set buf i v = Bytes.set_uint16_be buf (2 * i) v
+end

@@ -1,0 +1,76 @@
+(** Arithmetic in the finite field GF(2{^8}).
+
+    The field is realized as GF(2)[x]/(x{^8} + x{^4} + x{^3} + x{^2} + 1),
+    i.e. the primitive polynomial [0x11d] used by most Reed-Solomon
+    deployments (QR codes, many storage systems). Elements are represented
+    as [int] values in the range [0, 255]. The generator [alpha = 0x02] is
+    primitive, so every non-zero element is a power of [alpha]; we exploit
+    this with log/antilog tables for O(1) multiplication, division and
+    inversion.
+
+    All operations are total on valid elements; functions raise
+    [Invalid_argument] when given an [int] outside [0, 255] or on division
+    by zero. *)
+
+type t = int
+(** A field element, in the range [0, 255]. *)
+
+val order : int
+(** Number of elements in the field: 256. *)
+
+val zero : t
+(** Additive identity. *)
+
+val one : t
+(** Multiplicative identity. *)
+
+val alpha : t
+(** A fixed primitive element (0x02); generates the multiplicative group. *)
+
+val of_int : int -> t
+(** [of_int i] checks that [i] is in [0, 255] and returns it.
+    @raise Invalid_argument otherwise. *)
+
+val add : t -> t -> t
+(** Field addition (XOR). Addition and subtraction coincide in GF(2{^8}). *)
+
+val sub : t -> t -> t
+(** Field subtraction; identical to {!add}. *)
+
+val mul : t -> t -> t
+(** Field multiplication via log/antilog tables. *)
+
+val div : t -> t -> t
+(** [div a b] is [a * b{^-1}].
+    @raise Division_by_zero if [b = 0]. *)
+
+val inv : t -> t
+(** Multiplicative inverse.
+    @raise Division_by_zero on [inv 0]. *)
+
+val pow : t -> int -> t
+(** [pow a e] raises [a] to the (possibly negative or zero) power [e],
+    using the discrete-log tables. [pow 0 0] is defined as [1] and
+    [pow 0 e] for [e > 0] is [0].
+    @raise Division_by_zero if [a = 0] and [e < 0]. *)
+
+val alpha_pow : int -> t
+(** [alpha_pow e] is [pow alpha e] for any integer [e] (negative allowed);
+    faster than the generic {!pow}. *)
+
+val log : t -> int
+(** Discrete logarithm base [alpha], in [0, 254].
+    @raise Invalid_argument on [log 0]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [0xNN]. *)
+
+val to_string : t -> string
+
+val mul_slow : t -> t -> t
+(** Reference carry-less ("Russian peasant") multiplication, used by the
+    test suite to validate the table-driven {!mul}. *)

@@ -1,0 +1,58 @@
+(** Arithmetic in the finite field GF(2{^16}).
+
+    Same design as {!Gf} one size up: the field is
+    GF(2)[x]/(x{^16} + x{^12} + x{^3} + x + 1) (the primitive polynomial
+    [0x1100B]), elements are [int]s in [0, 65535], and multiplication
+    uses log/antilog tables over the primitive element [alpha = 0x02]
+    (128 KiB of tables, built once at load).
+
+    GF(2{^16}) symbols let Reed-Solomon codes reach lengths up to 65535,
+    removing GF(2{^8})'s n <= 255 cap — needed for systems with several
+    hundred servers, which the paper's introduction motivates. Satisfies
+    {!Field.S}, so the generic matrix code works over it unchanged. *)
+
+type t = int
+(** A field element, in the range [0, 65535]. *)
+
+val order : int
+(** 65536. *)
+
+val zero : t
+val one : t
+
+val alpha : t
+(** A fixed primitive element (0x02). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument outside [0, 65535]. *)
+
+val add : t -> t -> t
+(** XOR; addition and subtraction coincide. *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is 0. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on [inv 0]. *)
+
+val pow : t -> int -> t
+(** General exponentiation; [pow 0 0 = 1].
+    @raise Division_by_zero if the base is 0 and the exponent negative. *)
+
+val alpha_pow : int -> t
+(** [alpha{^e}] for any integer [e]. *)
+
+val log : t -> int
+(** Discrete logarithm base [alpha], in [0, 65534].
+    @raise Invalid_argument on [log 0]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val mul_slow : t -> t -> t
+(** Reference shift-and-add multiplication, for validating {!mul}. *)

@@ -1,0 +1,3 @@
+(* The GF(2^8) instantiation of the generic matrix code; see matrix.mli
+   for documentation and Matrix_gen for the implementation. *)
+include Matrix_gen.Make (Gf)

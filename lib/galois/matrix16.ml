@@ -1,0 +1,3 @@
+(* Dense matrices over GF(2^16); same interface as {!Matrix} (see
+   matrix.mli), used by the large-n Reed-Solomon codec. *)
+include Matrix_gen.Make (Gf16)

@@ -1,0 +1,3 @@
+(* The GF(2^8) instantiation of the generic polynomial code; see
+   poly.mli for documentation and Poly_gen for the implementation. *)
+include Poly_gen.Make (Gf)

@@ -1,0 +1,88 @@
+(** Polynomials over GF(2{^8}).
+
+    A polynomial is stored as an array of coefficients in ascending degree
+    order: index [i] holds the coefficient of [x{^i}]. The representation
+    is kept normalized (the highest-index coefficient is non-zero), with
+    the zero polynomial represented by an empty coefficient array and
+    degree [-1]. Values are immutable from the outside: constructors copy
+    their input and accessors never expose the underlying array. *)
+
+type t
+
+val zero : t
+(** The zero polynomial; [degree zero = -1]. *)
+
+val one : t
+(** The constant polynomial 1. *)
+
+val constant : Gf.t -> Gf.t
+(** Identity on field elements, provided for symmetry in callers. *)
+
+val of_coeffs : Gf.t array -> t
+(** [of_coeffs [|a0; a1; ...|]] builds [a0 + a1 x + ...]; trailing zero
+    coefficients are trimmed. The array is copied. *)
+
+val of_list : Gf.t list -> t
+(** List version of {!of_coeffs}. *)
+
+val to_coeffs : t -> Gf.t array
+(** Coefficients in ascending degree order (a fresh array). *)
+
+val monomial : int -> Gf.t -> t
+(** [monomial d c] is [c x{^d}].
+    @raise Invalid_argument if [d < 0]. *)
+
+val degree : t -> int
+(** Degree of the polynomial; [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Gf.t
+(** [coeff p i] is the coefficient of [x{^i}], zero when [i] exceeds the
+    degree.
+    @raise Invalid_argument if [i < 0]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+(** Coefficient-wise sum (= difference in characteristic 2). *)
+
+val sub : t -> t -> t
+val scale : Gf.t -> t -> t
+(** [scale c p] multiplies every coefficient by [c]. *)
+
+val mul : t -> t -> t
+(** Schoolbook product; O(deg p * deg q). *)
+
+val shift : int -> t -> t
+(** [shift d p] is [x{^d} * p].
+    @raise Invalid_argument if [d < 0]. *)
+
+val div_mod : t -> t -> t * t
+(** [div_mod num den] is the unique [(q, r)] with [num = q*den + r] and
+    [degree r < degree den].
+    @raise Division_by_zero if [den] is the zero polynomial. *)
+
+val rem : t -> t -> t
+(** Remainder of {!div_mod}. *)
+
+val eval : t -> Gf.t -> Gf.t
+(** Horner evaluation. *)
+
+val derivative : t -> t
+(** Formal derivative. In characteristic 2 all even-degree terms vanish. *)
+
+val interpolate : (Gf.t * Gf.t) array -> t
+(** Lagrange interpolation: the unique polynomial of degree below the
+    number of points passing through all of them. In characteristic 2,
+    [x - xj] is [x + xj], so the basis numerators are [of_list [xj; 1]].
+    @raise Invalid_argument on an empty array or duplicate abscissae. *)
+
+val truncate : int -> t -> t
+(** [truncate d p] drops all terms of degree >= [d] (i.e. reduces modulo
+    [x{^d}]).
+    @raise Invalid_argument if [d < 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable form such as [0x03·x^2 + 0x01]. *)
+
+val to_string : t -> string

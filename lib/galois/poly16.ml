@@ -1,0 +1,3 @@
+(* Polynomials over GF(2^16); same interface as {!Poly} (see poly.mli),
+   used by the large-n errors-and-erasures decoder. *)
+include Poly_gen.Make (Gf16)

@@ -1,0 +1,135 @@
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+module Atomicity = Protocol.Atomicity
+
+type stats = { count : int; mean : float; max : float; min : float }
+
+let stats_of = function
+  | [] -> { count = 0; mean = 0.; max = 0.; min = 0. }
+  | values ->
+    let count = List.length values in
+    let sum = List.fold_left ( +. ) 0. values in
+    { count;
+      mean = sum /. float_of_int count;
+      max = List.fold_left Float.max neg_infinity values;
+      min = List.fold_left Float.min infinity values
+    }
+
+type summary = {
+  algorithm : string;
+  ops_total : int;
+  ops_complete : int;
+  liveness : bool;
+  atomic : bool;
+  write_cost : stats;
+  read_cost : stats;
+  storage_max : float;
+  storage_final : float;
+  write_latency : stats;
+  read_latency : stats;
+  messages_sent : int
+}
+
+let summarize (r : Runner.result) =
+  let records = History.records r.Runner.history in
+  let completed = List.filter (fun o -> o.History.responded_at <> None) records in
+  let of_kind kind =
+    List.filter (fun o -> o.History.kind = kind) completed
+  in
+  let cost_of o = Cost.comm_of_op r.Runner.cost ~op:o.History.op in
+  let latency_of o = Option.get o.History.responded_at -. o.History.invoked_at in
+  let writes = of_kind History.Write and reads = of_kind History.Read in
+  { algorithm = r.Runner.algorithm;
+    ops_total = List.length records;
+    ops_complete = List.length completed;
+    liveness = History.all_complete r.Runner.history;
+    atomic =
+      (match
+         Atomicity.check_tagged ~initial_value:r.Runner.initial_value records
+       with
+      | Ok () -> true
+      | Error _ -> false);
+    write_cost = stats_of (List.map cost_of writes);
+    read_cost = stats_of (List.map cost_of reads);
+    storage_max = Cost.max_total_storage r.Runner.cost;
+    storage_final = Cost.current_total_storage r.Runner.cost;
+    write_latency = stats_of (List.map latency_of writes);
+    read_latency = stats_of (List.map latency_of reads);
+    messages_sent = r.Runner.messages_sent
+  }
+
+let delta_w (r : Runner.result) ~rid =
+  match r.Runner.probe with
+  | None -> None
+  | Some probe ->
+    (match
+       Probe.registration_window ~is_crashed:r.Runner.crashed probe ~rid
+     with
+    | None -> None
+    | Some (t1, t2) ->
+      let count =
+        List.fold_left
+          (fun acc o ->
+            if
+              o.History.kind = History.Write
+              && o.History.invoked_at >= t1
+              && o.History.invoked_at <= t2
+            then acc + 1
+            else acc)
+          0
+          (History.records r.Runner.history)
+      in
+      Some count)
+
+let concurrent_writes (r : Runner.result) ~rid ~slack =
+  match r.Runner.probe with
+  | None -> None
+  | Some probe ->
+    (match
+       Probe.registration_window ~is_crashed:r.Runner.crashed probe ~rid
+     with
+    | None -> None
+    | Some (t1, t2) ->
+      let count =
+        List.fold_left
+          (fun acc o ->
+            if
+              o.History.kind = History.Write
+              && o.History.invoked_at <= t2
+              && (match o.History.responded_at with
+                 | None -> true
+                 | Some res -> res +. slack >= t1)
+            then acc + 1
+            else acc)
+          0
+          (History.records r.Runner.history)
+      in
+      Some count)
+
+let reads_with_delta_w (r : Runner.result) =
+  match r.Runner.probe with
+  | None -> []
+  | Some _ ->
+    History.records r.Runner.history
+    |> List.filter_map (fun o ->
+           if o.History.kind = History.Read && o.History.responded_at <> None
+           then
+             match delta_w r ~rid:o.History.op with
+             | Some dw ->
+               Some (o.History.op, dw, Cost.comm_of_op r.Runner.cost ~op:o.History.op)
+             | None -> None
+           else None)
+
+let pp_stats ppf s =
+  if s.count = 0 then Format.pp_print_string ppf "-"
+  else Format.fprintf ppf "mean %.3f max %.3f" s.mean s.max
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%s: %d/%d ops complete, liveness=%b atomic=%b@,\
+     write cost: %a@,read cost: %a@,storage max: %.3f@,\
+     write latency: %a@,read latency: %a@,messages: %d@]"
+    s.algorithm s.ops_complete s.ops_total s.liveness s.atomic pp_stats
+    s.write_cost pp_stats s.read_cost s.storage_max pp_stats s.write_latency
+    pp_stats s.read_latency s.messages_sent

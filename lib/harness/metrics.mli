@@ -1,0 +1,52 @@
+(** Extracting the paper's metrics from a run. *)
+
+module History = Protocol.History
+
+type stats = { count : int; mean : float; max : float; min : float }
+
+val stats_of : float list -> stats
+(** All-zero stats for an empty list. *)
+
+type summary = {
+  algorithm : string;
+  ops_total : int;
+  ops_complete : int;
+  liveness : bool;  (** every invoked operation completed *)
+  atomic : bool;  (** tag-based Lemma 2.1 check passed *)
+  write_cost : stats;  (** per completed write, value units *)
+  read_cost : stats;  (** per completed read, value units *)
+  storage_max : float;  (** worst-case total storage, value units *)
+  storage_final : float;
+      (** total storage at quiescence — CASGC's steady state after
+          garbage collection, which is what the paper's formula
+          n/(n-2f)(δ+1) describes (the peak additionally includes the
+          in-flight pre-written version) *)
+  write_latency : stats;
+  read_latency : stats;
+  messages_sent : int
+}
+
+val summarize : Runner.result -> summary
+
+val delta_w : Runner.result -> rid:int -> int option
+(** Number of writes initiated during read [rid]'s registration window
+    [T1, T2] (Section V of the paper); [None] when the run has no probes
+    or the read was never registered. Reads whose window never closed at
+    a non-crashed server count every write from T1 on. *)
+
+val reads_with_delta_w : Runner.result -> (int * int * float) list
+(** For every completed read: (rid, δ{_w}, data cost in value units).
+    Empty for runs without probes. *)
+
+val concurrent_writes : Runner.result -> rid:int -> slack:float -> int option
+(** Writes that could have delivered a coded element inside read [rid]'s
+    registration window [T1, T2]: invoked no later than [T2] and either
+    incomplete or responding within [slack] before [T1] (a completed
+    write's last straggler delivery trails its response by at most two
+    maximum message delays, so pass [slack = 2 * delay cap]). This is the
+    sound variant of δ{_w} — the paper's Theorem 5.6 bound
+    [n/(n-f) * (count + 1)] provably holds for it, whereas δ{_w} as
+    literally defined (initiations inside [T1, T2]) misses writes that
+    start just before T1 and deliver inside the window. *)
+
+val pp_summary : Format.formatter -> summary -> unit

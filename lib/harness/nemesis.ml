@@ -1,0 +1,86 @@
+module Params = Protocol.Params
+module Rng = Simnet.Rng
+
+type event =
+  | Crash of { coordinate : int; at : float }
+  | Repair of { coordinate : int; at : float }
+
+type t = event list
+
+let time_of = function Crash { at; _ } | Repair { at; _ } -> at
+
+let generate ~params ~seed ~horizon ?mean_uptime ?mean_downtime () =
+  if horizon <= 0. then invalid_arg "Nemesis.generate: non-positive horizon";
+  let n = Params.n params and f = Params.f params in
+  let mean_uptime =
+    match mean_uptime with Some u -> u | None -> horizon /. 3.0
+  in
+  let mean_downtime =
+    match mean_downtime with Some d -> d | None -> horizon /. 10.0
+  in
+  let rng = Rng.create seed in
+  (* walk time forward per server, merging candidate crash intervals;
+     enforce the global <= f budget with a sweep over interval overlaps *)
+  let candidates = ref [] in
+  for coordinate = 0 to n - 1 do
+    let t = ref (Rng.exponential rng ~mean:mean_uptime) in
+    while !t < horizon do
+      let down = 1.0 +. Rng.exponential rng ~mean:mean_downtime in
+      candidates := (coordinate, !t, !t +. down) :: !candidates;
+      t := !t +. down +. 1.0 +. Rng.exponential rng ~mean:mean_uptime
+    done
+  done;
+  let by_start (_, s1, _) (_, s2, _) = Float.compare s1 s2 in
+  let sorted = List.sort by_start !candidates in
+  (* accept an interval only if fewer than f accepted intervals overlap
+     its start *)
+  let accepted = ref [] in
+  List.iter
+    (fun (coordinate, start, stop) ->
+      let down_at_start =
+        List.length
+          (List.filter (fun (_, s, e) -> s <= start && start < e) !accepted)
+      in
+      if down_at_start < f then accepted := (coordinate, start, stop) :: !accepted)
+    sorted;
+  let events =
+    List.concat_map
+      (fun (coordinate, start, stop) ->
+        [ Crash { coordinate; at = start }; Repair { coordinate; at = stop } ])
+      !accepted
+  in
+  List.sort (fun a b -> Float.compare (time_of a) (time_of b)) events
+
+let apply t deployment =
+  List.iter
+    (function
+      | Crash { coordinate; at } ->
+        Soda.Deployment.crash_server deployment ~coordinate ~at
+      | Repair { coordinate; at } ->
+        ignore (Soda.Deployment.repair_server deployment ~coordinate ~at))
+    t
+
+let max_simultaneous_down t =
+  let down = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc event ->
+      (match event with
+      | Crash { coordinate; _ } -> Hashtbl.replace down coordinate ()
+      | Repair { coordinate; _ } -> Hashtbl.remove down coordinate);
+      max acc (Hashtbl.length down))
+    0 t
+
+let crash_count t =
+  List.length (List.filter (function Crash _ -> true | Repair _ -> false) t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      match e with
+      | Crash { coordinate; at } ->
+        Format.fprintf ppf "%.1f crash server %d@," at coordinate
+      | Repair { coordinate; at } ->
+        Format.fprintf ppf "%.1f repair server %d@," at coordinate)
+    t;
+  Format.fprintf ppf "@]"

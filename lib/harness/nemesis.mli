@@ -1,0 +1,32 @@
+(** Randomized fault schedules ("nemesis") with the crash budget
+    respected at every instant.
+
+    The paper's model allows up to [f] servers to be crashed; with the
+    repair extension a server can return, freeing budget for the next
+    failure. A nemesis schedule is a random sequence of crash/repair
+    events over a time horizon such that at no point are more than [f]
+    servers simultaneously down — the strongest fault pressure under
+    which SODA must still be live and atomic. *)
+
+type event = Crash of { coordinate : int; at : float } | Repair of { coordinate : int; at : float }
+
+type t = event list
+(** Chronological. *)
+
+val generate :
+  params:Protocol.Params.t -> seed:int -> horizon:float ->
+  ?mean_uptime:float -> ?mean_downtime:float -> unit -> t
+(** Exponentially distributed uptimes and downtimes per server (means
+    default to [horizon/3] and [horizon/10]), clipped so that at most
+    [f] servers are ever down at once: a crash that would exceed the
+    budget is skipped. Repairs are spaced at least a small recovery gap
+    after their crash. *)
+
+val apply : t -> Soda.Deployment.t -> unit
+(** Schedule every event on a deployment. *)
+
+val max_simultaneous_down : t -> int
+(** For tests: the largest number of servers down at any instant. *)
+
+val crash_count : t -> int
+val pp : Format.formatter -> t -> unit

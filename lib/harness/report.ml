@@ -1,0 +1,101 @@
+let default_out = Format.std_formatter
+
+let pad cell width = cell ^ String.make (max 0 (width - String.length cell)) ' '
+
+(* collapse accidental runs of spaces from wrapped OCaml string
+   literals *)
+let normalize_title title =
+  String.split_on_char ' ' title
+  |> List.filter (fun s -> s <> "")
+  |> String.concat " "
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+  |> String.split_on_char '-'
+  |> List.filter (fun s -> s <> "")
+  |> fun parts ->
+  let joined = String.concat "-" parts in
+  if String.length joined > 60 then String.sub joined 0 60 else joined
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (slug title ^ ".csv") in
+    let oc = open_out path in
+    let line cells =
+      output_string oc (String.concat "," (List.map csv_escape cells));
+      output_char oc '\n'
+    in
+    line header;
+    List.iter line rows;
+    close_out oc
+
+let table ?(out = default_out) ~title ~header rows =
+  let title = normalize_title title in
+  write_csv ~title ~header rows;
+  let columns = List.length header in
+  let rows =
+    List.map
+      (fun row ->
+        let len = List.length row in
+        if len < columns then row @ List.init (columns - len) (fun _ -> "")
+        else row)
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    String.concat "  " (List.map2 pad cells widths)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf out "@.== %s ==@." title;
+  Format.fprintf out "%s@." (render_row header);
+  Format.fprintf out "%s@." rule;
+  List.iter (fun row -> Format.fprintf out "%s@." (render_row row)) rows;
+  Format.pp_print_flush out ()
+
+let kv ?(out = default_out) ~title pairs =
+  Format.fprintf out "@.== %s ==@." (normalize_title title);
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  List.iter
+    (fun (key, value) -> Format.fprintf out "%s  %s@." (pad key width) value)
+    pairs;
+  Format.pp_print_flush out ()
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let i = string_of_int
+
+let ratio ~measured ~bound =
+  if bound = 0. then Printf.sprintf "%.2f/0" measured
+  else Printf.sprintf "%.2f/%.2f (%.0f%%)" measured bound (100. *. measured /. bound)

@@ -1,0 +1,134 @@
+module Engine = Simnet.Engine
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+
+type algorithm = Soda | Abd | Cas of { gc_depth : int option }
+
+let algorithm_name = function
+  | Soda -> "soda"
+  | Abd -> "abd"
+  | Cas { gc_depth = None } -> "cas"
+  | Cas { gc_depth = Some d } -> Printf.sprintf "casgc(%d)" d
+
+type result = {
+  algorithm : string;
+  workload : Workload.t;
+  history : History.t;
+  cost : Cost.t;
+  probe : Probe.t option;
+  initial_value : bytes;
+  messages_sent : int;
+  messages_delivered : int;
+  final_time : float;
+  crashed : int -> bool;
+  read_restarts : int
+}
+
+let initial_value_of (w : Workload.t) =
+  Workload.value ~len:w.Workload.value_len ~seed:w.Workload.seed ~index:999_983
+
+let run_soda ~max_events (w : Workload.t) =
+  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+  let initial_value = initial_value_of w in
+  let d =
+    Soda.Deployment.deploy ~engine ~params:w.Workload.params ~initial_value
+      ~value_len:w.Workload.value_len ~error_prone:w.Workload.error_prone
+      ~num_writers:w.Workload.num_writers ~num_readers:w.Workload.num_readers
+      ()
+  in
+  List.iter
+    (fun (coordinate, at) -> Soda.Deployment.crash_server d ~coordinate ~at)
+    w.Workload.server_crashes;
+  List.iter
+    (function
+      | Workload.Write { writer; at; value } ->
+        Soda.Deployment.write d ~writer ~at value
+      | Workload.Read { reader; at } -> Soda.Deployment.read d ~reader ~at ())
+    w.Workload.ops;
+  Engine.run ~max_events engine;
+  let crashed c =
+    Engine.is_crashed engine (Soda.Deployment.server_pid d ~coordinate:c)
+  in
+  { algorithm =
+      (if Protocol.Params.e w.Workload.params > 0 then "soda-err" else "soda");
+    workload = w;
+    history = Soda.Deployment.history d;
+    cost = Soda.Deployment.cost d;
+    probe = Some (Soda.Deployment.probe d);
+    initial_value;
+    messages_sent = Engine.messages_sent engine;
+    messages_delivered = Engine.messages_delivered engine;
+    final_time = Engine.now engine;
+    crashed;
+    read_restarts = 0
+  }
+
+let run_abd ~max_events (w : Workload.t) =
+  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+  let initial_value = initial_value_of w in
+  let d =
+    Baselines.Abd.deploy ~engine ~params:w.Workload.params ~initial_value
+      ~value_len:w.Workload.value_len ~num_writers:w.Workload.num_writers
+      ~num_readers:w.Workload.num_readers ()
+  in
+  List.iter
+    (fun (coordinate, at) -> Baselines.Abd.crash_server d ~coordinate ~at)
+    w.Workload.server_crashes;
+  List.iter
+    (function
+      | Workload.Write { writer; at; value } ->
+        Baselines.Abd.write d ~writer ~at value
+      | Workload.Read { reader; at } -> Baselines.Abd.read d ~reader ~at ())
+    w.Workload.ops;
+  Engine.run ~max_events engine;
+  { algorithm = "abd";
+    workload = w;
+    history = Baselines.Abd.history d;
+    cost = Baselines.Abd.cost d;
+    probe = None;
+    initial_value;
+    messages_sent = Engine.messages_sent engine;
+    messages_delivered = Engine.messages_delivered engine;
+    final_time = Engine.now engine;
+    crashed = (fun c -> Engine.is_crashed engine c);
+    read_restarts = 0
+  }
+
+let run_cas ~max_events ~gc_depth (w : Workload.t) =
+  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+  let initial_value = initial_value_of w in
+  let d =
+    Baselines.Cas.deploy ~engine ~params:w.Workload.params ?gc_depth
+      ~initial_value ~value_len:w.Workload.value_len
+      ~num_writers:w.Workload.num_writers ~num_readers:w.Workload.num_readers
+      ()
+  in
+  List.iter
+    (fun (coordinate, at) -> Baselines.Cas.crash_server d ~coordinate ~at)
+    w.Workload.server_crashes;
+  List.iter
+    (function
+      | Workload.Write { writer; at; value } ->
+        Baselines.Cas.write d ~writer ~at value
+      | Workload.Read { reader; at } -> Baselines.Cas.read d ~reader ~at ())
+    w.Workload.ops;
+  Engine.run ~max_events engine;
+  { algorithm = algorithm_name (Cas { gc_depth });
+    workload = w;
+    history = Baselines.Cas.history d;
+    cost = Baselines.Cas.cost d;
+    probe = Some (Baselines.Cas.probe d);
+    initial_value;
+    messages_sent = Engine.messages_sent engine;
+    messages_delivered = Engine.messages_delivered engine;
+    final_time = Engine.now engine;
+    crashed = (fun c -> Engine.is_crashed engine c);
+    read_restarts = Baselines.Cas.read_restarts d
+  }
+
+let run ?(max_events = 20_000_000) algorithm workload =
+  match algorithm with
+  | Soda -> run_soda ~max_events workload
+  | Abd -> run_abd ~max_events workload
+  | Cas { gc_depth } -> run_cas ~max_events ~gc_depth workload

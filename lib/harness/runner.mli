@@ -1,0 +1,37 @@
+(** Executing a workload against one of the algorithms.
+
+    Each run creates a fresh engine (seeded from the workload), deploys
+    the chosen algorithm, schedules the workload's operations and crash
+    events, runs the simulation to quiescence, and packages everything an
+    analysis needs. The same workload executed twice yields bitwise
+    identical results. *)
+
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+
+type algorithm =
+  | Soda  (** SODA, or SODA{_err} when the workload's params have e > 0. *)
+  | Abd
+  | Cas of { gc_depth : int option }
+      (** [None] = plain CAS; [Some delta] = CASGC(delta). *)
+
+val algorithm_name : algorithm -> string
+
+type result = {
+  algorithm : string;
+  workload : Workload.t;
+  history : History.t;
+  cost : Cost.t;
+  probe : Probe.t option;  (** SODA and CAS deployments emit probes. *)
+  initial_value : bytes;
+  messages_sent : int;
+  messages_delivered : int;
+  final_time : float;
+  crashed : int -> bool;  (** by server coordinate *)
+  read_restarts : int  (** CASGC only; 0 elsewhere *)
+}
+
+val run : ?max_events:int -> algorithm -> Workload.t -> result
+(** @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
+    quiesce within [max_events] (default 20 million). *)

@@ -1,0 +1,63 @@
+(** Workload specifications for experiments.
+
+    A workload fixes everything that defines an execution — system
+    parameters, clients, the operation schedule, the delay model, crash
+    and disk-error injection, and the seed — so that any run is
+    reproducible from its workload alone. Constructors build the
+    schedules used by the paper's experiments; the record is public so
+    tests can build bespoke schedules directly. *)
+
+module Params = Protocol.Params
+
+type op =
+  | Write of { writer : int; at : float; value : bytes }
+  | Read of { reader : int; at : float }
+
+type t = {
+  params : Params.t;
+  value_len : int;
+  num_writers : int;
+  num_readers : int;
+  ops : op list;
+  delay : Simnet.Delay.t;
+  seed : int;
+  server_crashes : (int * float) list;  (** (coordinate, time) *)
+  error_prone : int list  (** coordinates with corrupting disks (SODA{_err}) *)
+}
+
+val value : len:int -> seed:int -> index:int -> bytes
+(** Deterministic pseudo-random value, distinct for distinct [index]
+    (the operation number is mixed into every block), as required by the
+    value-based atomicity checker. *)
+
+val sequential :
+  params:Params.t -> ?value_len:int -> ?seed:int -> ?delay:Simnet.Delay.t ->
+  rounds:int -> unit -> t
+(** One writer and one reader alternating: write, quiesce, read, quiesce.
+    No overlap between operations (δ{_w} = 0 for every read). *)
+
+val concurrent :
+  params:Params.t -> ?value_len:int -> ?seed:int -> ?delay:Simnet.Delay.t ->
+  ?num_writers:int -> ?num_readers:int -> ops_per_client:int ->
+  ?spacing:float -> unit -> t
+(** Every client issues [ops_per_client] operations with starts staggered
+    by [spacing] (default 1.0), giving heavy read/write overlap. *)
+
+val read_with_write_storm :
+  params:Params.t -> ?value_len:int -> ?seed:int -> writers:int ->
+  writes_per_writer:int -> unit -> t
+(** The δ{_w} experiment of Theorem 5.6: a single read inside a storm of
+    writes under high-variance (exponential) delays, so that the read's
+    registration window overlaps a seed-dependent number of writes. The
+    harness measures δ{_w} from probes and compares the read's data cost
+    against [n/(n-f) * (δ_w + 1)]. *)
+
+val with_crashes : t -> (int * float) list -> t
+(** Adds server crash events (coordinate, time). *)
+
+val with_errors : t -> int list -> t
+(** Flags server coordinates as error-prone (SODA{_err} runs only). *)
+
+val total_ops : t -> int
+val writes : t -> int
+val reads : t -> int

@@ -1,0 +1,201 @@
+type violation = { what : string; culprits : int list }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s (ops: %a)" v.what
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    v.culprits
+
+let err what culprits = Error { what; culprits }
+
+(* ------------------------------------------------------------------ *)
+(* Tag-based check (Lemma 2.1) *)
+
+let check_tagged ?(initial_value = Bytes.empty) records =
+  let completed =
+    List.filter (fun r -> r.History.responded_at <> None) records
+  in
+  (* Every completed operation must expose a tag and a value. *)
+  let missing =
+    List.find_opt
+      (fun r -> r.History.tag = None || r.History.value = None)
+      completed
+  in
+  match missing with
+  | Some r ->
+    err "completed operation lacks a tag or value" [ r.History.op ]
+  | None ->
+    let tag_of r = Option.get r.History.tag in
+    let value_of r = Option.get r.History.value in
+    let exception Found of violation in
+    (try
+       (* P2: all writes carry distinct tags (including incomplete writes
+          that got far enough to pick one). *)
+       let writes_with_tags =
+         List.filter
+           (fun r -> r.History.kind = History.Write && r.History.tag <> None)
+           records
+       in
+       let module TagMap = Map.Make (struct
+         type t = Tag.t
+
+         let compare = Tag.compare
+       end) in
+       let by_tag =
+         List.fold_left
+           (fun acc w ->
+             let tag = tag_of w in
+             (match TagMap.find_opt tag acc with
+             | Some other ->
+               raise
+                 (Found
+                    { what = "two writes share a tag (P2)";
+                      culprits = [ other.History.op; w.History.op ]
+                    })
+             | None -> ());
+             TagMap.add tag w acc)
+           TagMap.empty writes_with_tags
+       in
+       (* P3: a completed read's (tag, value) pair matches the write with
+          that tag, or the initial state. *)
+       List.iter
+         (fun r ->
+           if r.History.kind = History.Read then begin
+             let tag = tag_of r in
+             if Tag.equal tag Tag.initial then begin
+               if not (Bytes.equal (value_of r) initial_value) then
+                 raise
+                   (Found
+                      { what =
+                          "read returned the initial tag with a \
+                           non-initial value (P3)";
+                        culprits = [ r.History.op ]
+                      })
+             end
+             else
+               match TagMap.find_opt tag by_tag with
+               | None ->
+                 raise
+                   (Found
+                      { what = "read returned a tag no write created (P3)";
+                        culprits = [ r.History.op ]
+                      })
+               | Some w ->
+                 (match w.History.value with
+                 | Some wv when Bytes.equal wv (value_of r) -> ()
+                 | Some _ ->
+                   raise
+                     (Found
+                        { what =
+                            "read returned a value different from the \
+                             write with its tag (P3)";
+                          culprits = [ w.History.op; r.History.op ]
+                        })
+                 | None ->
+                   raise
+                     (Found
+                        { what = "tagged write has no recorded value";
+                          culprits = [ w.History.op ]
+                        }))
+           end)
+         completed;
+       (* P1: the tag order never contradicts real-time precedence. *)
+       let arr = Array.of_list completed in
+       let m = Array.length arr in
+       for i = 0 to m - 1 do
+         for j = 0 to m - 1 do
+           if i <> j then begin
+             let a = arr.(i) and b = arr.(j) in
+             let a_end = Option.get a.History.responded_at in
+             if a_end < b.History.invoked_at then begin
+               (* a precedes b in real time; require not (b < a) in the
+                  tag partial order. *)
+               let ta = tag_of a and tb = tag_of b in
+               let bad =
+                 match (a.History.kind, b.History.kind) with
+                 | History.Write, History.Write -> Tag.( >= ) ta tb
+                 | History.Write, History.Read -> Tag.( > ) ta tb
+                 | History.Read, History.Write -> Tag.( >= ) ta tb
+                 | History.Read, History.Read -> Tag.( > ) ta tb
+               in
+               if bad then
+                 raise
+                   (Found
+                      { what =
+                          Format.asprintf
+                            "real-time order violated: op%d (tag %a) \
+                             finished before op%d (tag %a) started (P1)"
+                            a.History.op Tag.pp ta b.History.op Tag.pp tb;
+                        culprits = [ a.History.op; b.History.op ]
+                      })
+             end
+           end
+         done
+       done;
+       Ok ()
+     with Found v -> Error v)
+
+(* ------------------------------------------------------------------ *)
+(* Wing-Gong exhaustive search on values *)
+
+let linearizable_by_value ~initial_value records =
+  let ops =
+    records
+    |> List.filter (fun r -> r.History.responded_at <> None)
+    |> Array.of_list
+  in
+  let m = Array.length ops in
+  if m > 62 then
+    invalid_arg "Atomicity.linearizable_by_value: history too large";
+  if m = 0 then true
+  else begin
+    let inv i = ops.(i).History.invoked_at in
+    let res i = Option.get ops.(i).History.responded_at in
+    let value i =
+      match ops.(i).History.value with
+      | Some v -> v
+      | None -> Bytes.empty
+    in
+    let is_write i = ops.(i).History.kind = History.Write in
+    (* memo of (linearized-set, index of last linearized write) states
+       already proven fruitless; -1 encodes "initial value". *)
+    let visited = Hashtbl.create 1024 in
+    let full = (1 lsl m) - 1 in
+    let rec go set current =
+      if set = full then true
+      else begin
+        let key = (set, current) in
+        if Hashtbl.mem visited key then false
+        else begin
+          Hashtbl.add visited key ();
+          (* earliest response among pending ops bounds which ops can be
+             linearized next *)
+          let horizon = ref infinity in
+          for i = 0 to m - 1 do
+            if set land (1 lsl i) = 0 then
+              if res i < !horizon then horizon := res i
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < m do
+            let idx = !i in
+            if set land (1 lsl idx) = 0 && inv idx <= !horizon then begin
+              if is_write idx then
+                ok := go (set lor (1 lsl idx)) idx
+              else begin
+                let current_value =
+                  if current < 0 then initial_value else value current
+                in
+                if Bytes.equal (value idx) current_value then
+                  ok := go (set lor (1 lsl idx)) current
+              end
+            end;
+            incr i
+          done;
+          !ok
+        end
+      end
+    in
+    go 0 (-1)
+  end

@@ -1,0 +1,63 @@
+type event =
+  | Registered of { rid : int; server : int; time : float }
+  | Unregistered of { rid : int; server : int; time : float }
+  | Relayed of { rid : int; server : int; tag : Tag.t; time : float }
+  | Stored of { server : int; tag : Tag.t; time : float }
+  | Gc of { server : int; tag : Tag.t; time : float }
+  | Repair_started of { server : int; time : float }
+  | Repaired of { server : int; tag : Tag.t; time : float }
+
+type t = { mutable rev_events : event list }
+
+let create () = { rev_events = [] }
+let emit t e = t.rev_events <- e :: t.rev_events
+let events t = List.rev t.rev_events
+
+let registration_window ?(is_crashed = fun _ -> false) t ~rid =
+  let t1 = ref infinity and t2 = ref neg_infinity in
+  let pending = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e with
+      | Registered { rid = r; server; time } when r = rid ->
+        if time < !t1 then t1 := time;
+        Hashtbl.replace pending server ()
+      | Unregistered { rid = r; server; time } when r = rid ->
+        Hashtbl.remove pending server;
+        if time > !t2 then t2 := time
+      | Registered _ | Unregistered _ | Relayed _ | Stored _ | Gc _
+      | Repair_started _ | Repaired _ ->
+        ())
+    (events t);
+  let alive_pending =
+    Hashtbl.fold
+      (fun server () acc -> if is_crashed server then acc else acc + 1)
+      pending 0
+  in
+  if !t1 = infinity then None
+  else if alive_pending > 0 then Some (!t1, infinity)
+  else Some (!t1, Float.max !t1 !t2)
+
+let relays_of t ~rid =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Relayed { rid = r; _ } when r = rid -> acc + 1
+      | Registered _ | Unregistered _ | Relayed _ | Stored _ | Gc _
+      | Repair_started _ | Repaired _ ->
+        acc)
+    0 (events t)
+
+let registrations_balanced t ~crashed =
+  (* (rid, server) pairs currently registered and not yet unregistered *)
+  let open_regs = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match e with
+      | Registered { rid; server; _ } -> Hashtbl.replace open_regs (rid, server) ()
+      | Unregistered { rid; server; _ } -> Hashtbl.remove open_regs (rid, server)
+      | Relayed _ | Stored _ | Gc _ | Repair_started _ | Repaired _ -> ())
+    (events t);
+  Hashtbl.fold
+    (fun (_, server) () acc -> acc && crashed server)
+    open_regs true

@@ -1,0 +1,48 @@
+(** Instrumentation events emitted by protocol automata.
+
+    The harness uses these to measure quantities that appear in the
+    paper's analysis but are not part of any message: when a reader was
+    first registered by some server and when the last non-faulty server
+    unregistered it (the window [T1, T2] that defines δ{_w}, Section V),
+    and how many relays each read triggered. Probes are append-only and
+    cheap; analysis folds over them after the run. *)
+
+type event =
+  | Registered of { rid : int; server : int; time : float }
+      (** Server [server] added read [rid] to its registered set. *)
+  | Unregistered of { rid : int; server : int; time : float }
+      (** Server [server] removed read [rid] (completion or k-threshold). *)
+  | Relayed of { rid : int; server : int; tag : Tag.t; time : float }
+      (** Server sent a coded element to the reader of [rid]. *)
+  | Stored of { server : int; tag : Tag.t; time : float }
+      (** Server replaced its stored (tag, coded element). *)
+  | Gc of { server : int; tag : Tag.t; time : float }
+      (** (CASGC) server garbage-collected the element of [tag]. *)
+  | Repair_started of { server : int; time : float }
+      (** (repair extension) a restored server began rebuilding its
+          coded element. *)
+  | Repaired of { server : int; tag : Tag.t; time : float }
+      (** (repair extension) the server holds a fresh element again and
+          resumed answering quorum queries. *)
+
+type t
+
+val create : unit -> t
+val emit : t -> event -> unit
+val events : t -> event list
+(** In emission order. *)
+
+val registration_window :
+  ?is_crashed:(int -> bool) -> t -> rid:int -> (float * float) option
+(** [(T1, T2)]: first registration and last unregistration of read [rid];
+    [None] if it was never registered. [T2] is [infinity] when some
+    registration at a server for which [is_crashed] (default: nobody) is
+    false was never matched by an unregistration — crashed servers are
+    exempt, as in the paper's definition of the window. *)
+
+val relays_of : t -> rid:int -> int
+(** Number of coded-element relays sent to the reader of [rid]. *)
+
+val registrations_balanced : t -> crashed:(int -> bool) -> bool
+(** Theorem 5.5 check: every registration at a server that did not crash
+    is eventually matched by an unregistration at that server. *)

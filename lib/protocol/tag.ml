@@ -1,0 +1,21 @@
+type t = { z : int; w : int }
+
+let initial = { z = 0; w = -1 }
+
+let make ~z ~w =
+  if z < 0 then invalid_arg "Tag.make: negative sequence number";
+  { z; w }
+
+let next t ~w = { z = t.z + 1; w }
+
+let compare a b =
+  match Int.compare a.z b.z with 0 -> Int.compare a.w b.w | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if a >= b then a else b
+let pp ppf t = Format.fprintf ppf "(%d,%d)" t.z t.w
+let to_string t = Format.asprintf "%a" pp t

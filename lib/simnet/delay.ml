@@ -1,0 +1,37 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of { mean : float; cap : float }
+  | Per_link of (src:int -> dst:int -> t)
+
+let epsilon = 1e-9
+
+let constant d =
+  if d < 0. then invalid_arg "Delay.constant: negative delay";
+  Constant d
+
+let uniform ~lo ~hi =
+  if lo < 0. || hi < lo then invalid_arg "Delay.uniform: bad range";
+  Uniform (lo, hi)
+
+let exponential ~mean ~cap =
+  if mean <= 0. || cap < mean then invalid_arg "Delay.exponential: bad params";
+  Exponential { mean; cap }
+
+let per_link f = Per_link f
+
+let rec draw t rng ~src ~dst =
+  let d =
+    match t with
+    | Constant d -> d
+    | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+    | Exponential { mean; cap } -> Float.min cap (Rng.exponential rng ~mean)
+    | Per_link f -> draw (f ~src ~dst) rng ~src ~dst
+  in
+  Float.max epsilon d
+
+let upper_bound = function
+  | Constant d -> Some (Float.max epsilon d)
+  | Uniform (_, hi) -> Some (Float.max epsilon hi)
+  | Exponential { cap; _ } -> Some cap
+  | Per_link _ -> None

@@ -1,0 +1,208 @@
+type pid = int
+
+type 'msg queued =
+  | Deliver of { src : pid; dst : pid; msg : 'msg }
+  | Local of { owner : pid; action : unit -> unit }
+  | Injected of { owner : pid; action : 'msg context -> unit }
+  | Crash of pid
+  | Restore of pid
+
+and 'msg process_slot = {
+  name : string;
+  mutable handler : ('msg context -> src:pid -> 'msg -> unit) option;
+  mutable crashed : bool
+}
+
+and 'msg t = {
+  mutable processes : 'msg process_slot array;
+  mutable nprocs : int;
+  queue : 'msg queued Event_queue.t;
+  root_rng : Rng.t;
+  net_rng : Rng.t;
+  delay : Delay.t;
+  duplication : float;
+  mutable clock : float;
+  mutable sent : int;
+  mutable delivered : int;
+  trace_enabled : bool;
+  mutable trace_rev : event list
+}
+
+and 'msg context = { engine : 'msg t; ctx_self : pid }
+
+and event =
+  | Sent of { time : float; src : pid; dst : pid }
+  | Delivered of { time : float; src : pid; dst : pid }
+  | Dropped of { time : float; src : pid; dst : pid }
+  | Crashed of { time : float; pid : pid }
+  | Restored of { time : float; pid : pid }
+
+exception Event_limit_exceeded of int
+
+let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0) ~delay () =
+  if duplication < 0.0 || duplication >= 1.0 then
+    invalid_arg "Engine.create: duplication must be in [0, 1)";
+  let root_rng = Rng.create seed in
+  { processes = [||];
+    nprocs = 0;
+    queue = Event_queue.create ();
+    net_rng = Rng.split root_rng;
+    root_rng;
+    delay;
+    duplication;
+    clock = 0.;
+    sent = 0;
+    delivered = 0;
+    trace_enabled = trace;
+    trace_rev = []
+  }
+
+let record t ev = if t.trace_enabled then t.trace_rev <- ev :: t.trace_rev
+
+let check_pid t pid ~where =
+  if pid < 0 || pid >= t.nprocs then
+    invalid_arg (Printf.sprintf "%s: unknown pid %d" where pid)
+
+let reserve t ~name =
+  if t.nprocs >= Array.length t.processes then begin
+    let cap = max 8 (2 * Array.length t.processes) in
+    let slot = { name = ""; handler = None; crashed = false } in
+    let fresh = Array.make cap slot in
+    Array.blit t.processes 0 fresh 0 t.nprocs;
+    t.processes <- fresh
+  end;
+  let pid = t.nprocs in
+  t.processes.(pid) <- { name; handler = None; crashed = false };
+  t.nprocs <- t.nprocs + 1;
+  pid
+
+let set_handler t pid handler =
+  check_pid t pid ~where:"Engine.set_handler";
+  match t.processes.(pid).handler with
+  | Some _ -> invalid_arg "Engine.set_handler: handler already installed"
+  | None -> t.processes.(pid).handler <- Some handler
+
+let process_count t = t.nprocs
+
+let name_of t pid =
+  check_pid t pid ~where:"Engine.name_of";
+  t.processes.(pid).name
+
+let self ctx = ctx.ctx_self
+let now t = t.clock
+let now_ctx ctx = ctx.engine.clock
+let rng t = t.root_rng
+let rng_ctx ctx = ctx.engine.root_rng
+
+let send ctx ~dst msg =
+  let t = ctx.engine in
+  check_pid t dst ~where:"Engine.send";
+  let src = ctx.ctx_self in
+  let transit = Delay.draw t.delay t.net_rng ~src ~dst in
+  t.sent <- t.sent + 1;
+  record t (Sent { time = t.clock; src; dst });
+  Event_queue.push t.queue ~time:(t.clock +. transit)
+    (Deliver { src; dst; msg });
+  (* at-least-once channels: optionally deliver a duplicate copy at an
+     independent delay (counted as its own send so traces stay coherent) *)
+  if t.duplication > 0.0 && Rng.float t.net_rng 1.0 < t.duplication then begin
+    let transit' = Delay.draw t.delay t.net_rng ~src ~dst in
+    t.sent <- t.sent + 1;
+    record t (Sent { time = t.clock; src; dst });
+    Event_queue.push t.queue ~time:(t.clock +. transit')
+      (Deliver { src; dst; msg })
+  end
+
+let schedule_local ctx ~delay action =
+  let t = ctx.engine in
+  if delay < 0. then invalid_arg "Engine.schedule_local: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay)
+    (Local { owner = ctx.ctx_self; action })
+
+let inject t ~at pid action =
+  check_pid t pid ~where:"Engine.inject";
+  let time = Float.max at t.clock in
+  Event_queue.push t.queue ~time (Injected { owner = pid; action })
+
+let crash_at t pid at =
+  check_pid t pid ~where:"Engine.crash_at";
+  Event_queue.push t.queue ~time:(Float.max at t.clock) (Crash pid)
+
+let restore_at t pid at =
+  check_pid t pid ~where:"Engine.restore_at";
+  Event_queue.push t.queue ~time:(Float.max at t.clock) (Restore pid)
+
+let is_crashed t pid =
+  check_pid t pid ~where:"Engine.is_crashed";
+  t.processes.(pid).crashed
+
+let dispatch t = function
+  | Crash pid ->
+    if not t.processes.(pid).crashed then begin
+      t.processes.(pid).crashed <- true;
+      record t (Crashed { time = t.clock; pid })
+    end
+  | Restore pid ->
+    if t.processes.(pid).crashed then begin
+      t.processes.(pid).crashed <- false;
+      record t (Restored { time = t.clock; pid })
+    end
+  | Local { owner; action } ->
+    if not t.processes.(owner).crashed then action ()
+  | Injected { owner; action } ->
+    if not t.processes.(owner).crashed then
+      action { engine = t; ctx_self = owner }
+  | Deliver { src; dst; msg } ->
+    let slot = t.processes.(dst) in
+    if slot.crashed then record t (Dropped { time = t.clock; src; dst })
+    else begin
+      match slot.handler with
+      | None -> record t (Dropped { time = t.clock; src; dst })
+      | Some handler ->
+        t.delivered <- t.delivered + 1;
+        record t (Delivered { time = t.clock; src; dst });
+        handler { engine = t; ctx_self = dst } ~src msg
+    end
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, payload) ->
+    (* The clock never runs backwards even if events were pushed with
+       stale timestamps. *)
+    if time > t.clock then t.clock <- time;
+    dispatch t payload;
+    true
+
+let run ?until ?(max_events = 10_000_000) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time ->
+      (match until with
+      | Some horizon when time > horizon -> continue := false
+      | Some _ | None ->
+        incr executed;
+        if !executed > max_events then raise (Event_limit_exceeded max_events);
+        ignore (step t))
+  done
+
+let pending_events t = Event_queue.size t.queue
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let trace_events t = List.rev t.trace_rev
+
+let pp_event ~name ppf = function
+  | Sent { time; src; dst } ->
+    Format.fprintf ppf "%.3f  %s -> %s  sent" time (name src) (name dst)
+  | Delivered { time; src; dst } ->
+    Format.fprintf ppf "%.3f  %s -> %s  delivered" time (name src) (name dst)
+  | Dropped { time; src; dst } ->
+    Format.fprintf ppf "%.3f  %s -> %s  dropped (dst crashed)" time (name src)
+      (name dst)
+  | Crashed { time; pid } ->
+    Format.fprintf ppf "%.3f  %s  CRASH" time (name pid)
+  | Restored { time; pid } ->
+    Format.fprintf ppf "%.3f  %s  RESTORED" time (name pid)

@@ -1,0 +1,124 @@
+(** The discrete-event simulation engine.
+
+    An engine hosts a set of {e processes} (servers and clients alike in
+    the paper's model) exchanging messages of a single type ['msg] over
+    reliable point-to-point channels. Each send draws an independent
+    transit delay from the engine's {!Delay.t} model, so messages on the
+    same channel may be reordered — exactly the asynchronous model of the
+    paper (Section II).
+
+    Crash failures: a crashed process stops receiving messages and its
+    pending local actions are discarded; messages already in flight to it
+    are silently dropped at delivery time. Senders are allowed to crash
+    after a message is placed in the channel — delivery depends only on
+    the destination being alive, matching the model in the paper.
+
+    Determinism: executions are a pure function of the seed. Event ties
+    are broken by insertion order. *)
+
+type pid = int
+(** Process identifier, dense from 0 in registration order. *)
+
+type 'msg t
+
+type 'msg context
+(** Capabilities handed to a process while it is handling an event. *)
+
+val create :
+  ?seed:int -> ?trace:bool -> ?duplication:float -> delay:Delay.t -> unit ->
+  'msg t
+(** [create ~delay ()] builds an empty simulation. [seed] defaults to 0;
+    [trace] (default false) records an event log retrievable with
+    {!trace_events}; [duplication] (default 0, must be < 1) is the
+    probability that a message is delivered twice at independent delays
+    — an at-least-once channel model, stricter than the paper's, under
+    which the protocols' deduplication must make every step idempotent.
+    @raise Invalid_argument on an out-of-range [duplication]. *)
+
+(** {1 Topology} *)
+
+val reserve : 'msg t -> name:string -> pid
+(** Allocate a process id. The process is inert until {!set_handler}. *)
+
+val set_handler :
+  'msg t -> pid -> ('msg context -> src:pid -> 'msg -> unit) -> unit
+(** Install the message handler. May be called once per pid.
+    @raise Invalid_argument on a second call or an unknown pid. *)
+
+val process_count : 'msg t -> int
+val name_of : 'msg t -> pid -> string
+
+(** {1 Context operations (valid only during a handler / local action)} *)
+
+val self : 'msg context -> pid
+val now_ctx : 'msg context -> float
+val rng_ctx : 'msg context -> Rng.t
+
+val send : 'msg context -> dst:pid -> 'msg -> unit
+(** Place a message in the channel to [dst]; it will be delivered after a
+    model-drawn delay iff [dst] has not crashed by then. Sending to self
+    is allowed and also goes through the channel. *)
+
+val schedule_local : 'msg context -> delay:float -> (unit -> unit) -> unit
+(** Run a local action on this process after [delay] sim-time units,
+    unless the process crashes first. *)
+
+(** {1 External control (harness side)} *)
+
+val now : 'msg t -> float
+
+val rng : 'msg t -> Rng.t
+(** The engine's root generator; harnesses may draw from it between
+    runs. *)
+
+val inject : 'msg t -> at:float -> pid -> ('msg context -> unit) -> unit
+(** Schedule an action on a process at an absolute time (e.g. a client
+    invoking an operation). Discarded if the process crashed. Accepts
+    times in the past, which execute at the current time.
+    @raise Invalid_argument on an unknown pid. *)
+
+val crash_at : 'msg t -> pid -> float -> unit
+(** Schedule a crash at an absolute simulated time. *)
+
+val restore_at : 'msg t -> pid -> float -> unit
+(** Schedule a restart of a crashed process: from that time on it
+    receives messages again. The process's OCaml-side state is whatever
+    the automaton object still holds — protocol layers model the loss of
+    volatile state themselves (cf. [Soda.Server.begin_repair]). Local
+    actions and deliveries scheduled while it was crashed stay lost. *)
+
+val is_crashed : 'msg t -> pid -> bool
+
+(** {1 Execution} *)
+
+exception Event_limit_exceeded of int
+
+val run : ?until:float -> ?max_events:int -> 'msg t -> unit
+(** Process events in timestamp order until the queue drains, or until
+    simulated time would exceed [until] (remaining events stay queued).
+    [max_events] (default 10 million) guards against non-quiescent
+    protocols.
+    @raise Event_limit_exceeded when the guard trips. *)
+
+val step : 'msg t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val pending_events : 'msg t -> int
+
+(** {1 Statistics and traces} *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+(** Delivered excludes messages dropped at a crashed destination. *)
+
+type event =
+  | Sent of { time : float; src : pid; dst : pid }
+  | Delivered of { time : float; src : pid; dst : pid }
+  | Dropped of { time : float; src : pid; dst : pid }
+  | Crashed of { time : float; pid : pid }
+  | Restored of { time : float; pid : pid }
+
+val trace_events : 'msg t -> event list
+(** Chronological event log; empty unless [trace] was set. *)
+
+val pp_event : name:(pid -> string) -> Format.formatter -> event -> unit

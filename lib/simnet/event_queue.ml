@@ -1,0 +1,70 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0 .. size-1) is a binary min-heap ordered by (time, seq). *)
+  mutable size : int;
+  mutable next_seq : int
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.heap.(i) in
+  h.heap.(i) <- h.heap.(j);
+  h.heap.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier h.heap.(i) h.heap.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && earlier h.heap.(l) h.heap.(!smallest) then smallest := l;
+  if r < h.size && earlier h.heap.(r) h.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let ensure_capacity h entry =
+  if h.size >= Array.length h.heap then begin
+    let cap = max 16 (2 * Array.length h.heap) in
+    let fresh = Array.make cap entry in
+    Array.blit h.heap 0 fresh 0 h.size;
+    h.heap <- fresh
+  end
+
+let push h ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  ensure_capacity h entry;
+  h.heap.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.heap.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.heap.(0) <- h.heap.(h.size);
+      sift_down h 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.heap.(0).time
+let size h = h.size
+let is_empty h = h.size = 0
+let clear h = h.size <- 0

@@ -1,0 +1,21 @@
+(** A priority queue of timestamped events (binary min-heap).
+
+    Events with equal timestamps are delivered in insertion order (a
+    monotonically increasing sequence number breaks ties), which makes
+    simulations fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a NaN timestamp. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Masking to 62 bits keeps the value non-negative; modulo bias is
+     negligible for the bounds used in simulations (<< 2^62). *)
+  let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  (* 53 random bits scaled into [0, 1). *)
+  raw /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* u = 0 would give infinity; nudge it. *)
+  let u = if u <= 0. then 1e-300 else u in
+  -.mean *. log u
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every simulation draws all randomness from one of these generators so
+    that an execution is a pure function of its seed: any failing test can
+    be replayed exactly by re-running with the seed it printed. The
+    generator is the splitmix64 mixer, which is fast, passes BigCrush, and
+    supports cheap splitting into independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A new generator statistically independent of the parent; both the
+    parent and the child advance deterministically afterwards. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (inverse-CDF method). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle driven by this generator. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,74 @@
+type violation = { what : string; index : int }
+
+let pp_violation ppf v = Format.fprintf ppf "%s (event #%d)" v.what v.index
+
+let time_of = function
+  | Engine.Sent { time; _ }
+  | Engine.Delivered { time; _ }
+  | Engine.Dropped { time; _ }
+  | Engine.Crashed { time; _ }
+  | Engine.Restored { time; _ } ->
+    time
+
+let check events =
+  let exception Bad of violation in
+  (* outstanding sends per (src, dst) channel *)
+  let in_flight : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let crashed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let last_time = ref neg_infinity in
+  let fail what index = raise (Bad { what; index }) in
+  let consume ~index ~src ~dst =
+    match Hashtbl.find_opt in_flight (src, dst) with
+    | Some r when !r > 0 -> decr r
+    | Some _ | None ->
+      fail
+        (Printf.sprintf "delivery on %d->%d without a matching send" src dst)
+        index
+  in
+  try
+    List.iteri
+      (fun index event ->
+        let time = time_of event in
+        if time < !last_time then fail "clock ran backwards" index;
+        last_time := time;
+        match event with
+        | Engine.Sent { src; dst; _ } ->
+          (match Hashtbl.find_opt in_flight (src, dst) with
+          | Some r -> incr r
+          | None -> Hashtbl.add in_flight (src, dst) (ref 1))
+        | Engine.Delivered { src; dst; _ } ->
+          consume ~index ~src ~dst;
+          if Hashtbl.mem crashed dst then
+            fail
+              (Printf.sprintf "message delivered to crashed process %d" dst)
+              index
+        | Engine.Dropped { src; dst; _ } ->
+          consume ~index ~src ~dst;
+          (* drops may also occur at handler-less processes, but in
+             protocol runs every process has a handler, so a drop implies
+             a crashed destination; be permissive only about that case *)
+          if not (Hashtbl.mem crashed dst) then
+            fail
+              (Printf.sprintf "message to live process %d dropped" dst)
+              index
+        | Engine.Crashed { pid; _ } ->
+          if Hashtbl.mem crashed pid then
+            fail (Printf.sprintf "process %d crashed twice" pid) index;
+          Hashtbl.add crashed pid ()
+        | Engine.Restored { pid; _ } ->
+          if not (Hashtbl.mem crashed pid) then
+            fail (Printf.sprintf "live process %d restored" pid) index;
+          Hashtbl.remove crashed pid)
+      events;
+    Ok ()
+  with Bad v -> Error v
+
+let delivered_ratio events =
+  let sent = ref 0 and delivered = ref 0 in
+  List.iter
+    (function
+      | Engine.Sent _ -> incr sent
+      | Engine.Delivered _ -> incr delivered
+      | Engine.Dropped _ | Engine.Crashed _ | Engine.Restored _ -> ())
+    events;
+  if !sent = 0 then 1.0 else float_of_int !delivered /. float_of_int !sent

@@ -1,0 +1,28 @@
+(** Validation of engine traces against the network model's axioms.
+
+    Used as a meta-test of the simulator itself (and available to debug
+    protocol runs): given the event log of a traced execution, verify
+    that the engine really implemented the paper's channel and crash
+    semantics. *)
+
+type violation = {
+  what : string;
+  index : int  (** position of the offending event in the trace *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Engine.event list -> (unit, violation) result
+(** Verifies, over the whole trace:
+    - timestamps are non-decreasing;
+    - every delivery or drop is matched to an earlier unconsumed send on
+      the same (src, dst) channel, and each send is consumed at most
+      once;
+    - no process is delivered a message after it crashed (unless restored
+      in between), and drops only happen at crashed destinations;
+    - a process crashes (resp. is restored) only when alive (resp.
+      crashed). *)
+
+val delivered_ratio : Engine.event list -> float
+(** Fraction of sends that were eventually delivered (1.0 in crash-free
+    executions once quiescent). *)

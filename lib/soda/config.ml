@@ -1,0 +1,80 @@
+module Params = Protocol.Params
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+module History = Protocol.History
+module Mds = Erasure.Mds
+
+type t = {
+  params : Params.t;
+  code : Mds.t;
+  decode_threshold : int;
+  servers : int array;
+  initial_value : bytes;
+  error_prone : bool array;
+  disperse_step : float;
+  md_mode : [ `Chained | `Direct ];
+  gossip : bool;
+  cost : Cost.t;
+  probe : Probe.t;
+  history : History.t
+}
+
+let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
+    ?(error_prone = []) ?(disperse_step = 0.001) ?(md_mode = `Chained) ?(gossip = true)
+    ?(systematic = false) () =
+  let n = Params.n params in
+  if Array.length servers <> n then
+    invalid_arg "Config.make: need exactly n server pids";
+  let e = Params.e params in
+  let k = Params.k_soda params in
+  (* codecs are chosen by fault model and scale: erasures-only
+     Vandermonde for plain SODA, errors-and-erasures BCH for SODAerr,
+     each with a GF(2^16) variant once n exceeds 255 fragments *)
+  let code =
+    match (e = 0, n <= 255) with
+    | true, true ->
+      if systematic then Mds.rs_systematic ~n ~k else Mds.rs_vandermonde ~n ~k
+    | true, false -> Mds.rs16 ~n ~k
+    | false, true -> Mds.rs_bch ~n ~k
+    | false, false -> Mds.rs_bch16 ~n ~k
+  in
+  let error_flags = Array.make n false in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= n then
+        invalid_arg "Config.make: error_prone coordinate out of range";
+      error_flags.(c) <- true)
+    error_prone;
+  let flagged = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 error_flags in
+  if flagged > e then
+    invalid_arg
+      (Printf.sprintf
+         "Config.make: %d error-prone servers but the system tolerates e=%d"
+         flagged e);
+  let value_len =
+    match value_len with
+    | Some l -> l
+    | None ->
+      let l = Bytes.length initial_value in
+      if l > 0 then l else 1024
+  in
+  { params;
+    code;
+    decode_threshold = k + (2 * e);
+    servers;
+    initial_value;
+    error_prone = error_flags;
+    disperse_step;
+    md_mode;
+    gossip;
+    cost = Cost.create ~value_len;
+    probe = Probe.create ();
+    history = History.create ()
+  }
+
+let coordinate_of t ~pid =
+  let found = ref (-1) in
+  Array.iteri (fun i p -> if p = pid then found := i) t.servers;
+  if !found < 0 then raise Not_found else !found
+
+let d_size t = Params.f t.params + 1

@@ -1,0 +1,80 @@
+(** Static configuration of one SODA deployment.
+
+    Shared read-only by every automaton of the deployment; also carries
+    the (mutable) instrumentation sinks. *)
+
+module Params = Protocol.Params
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+module History = Protocol.History
+module Mds = Erasure.Mds
+
+type t = {
+  params : Params.t;
+  code : Mds.t;
+      (** [rs-vand[n, n-f]] for SODA, [rs-bch[n, n-f-2e]] for SODA{_err}. *)
+  decode_threshold : int;
+      (** Coded elements a reader needs before decoding: [k] for SODA,
+          [k + 2e] for SODA{_err}; also the server-side unregistration
+          threshold (Fig. 6). *)
+  servers : int array;  (** pid of server coordinate [i] at index [i]. *)
+  initial_value : bytes;
+  error_prone : bool array;
+      (** Coordinates whose local disk reads return corrupted elements
+          (SODA{_err} fault model); all-false for plain SODA. *)
+  disperse_step : float;
+      (** Delay between a sender's successive MD sends, letting crash
+          events interleave with a dispersal (the writer-crash scenarios
+          of Section III). *)
+  md_mode : [ `Chained | `Direct ];
+      (** [`Chained] (default) is the paper's MD-VALUE primitive: the
+          full value goes to the first f+1 servers, which fan out coded
+          elements — uniform under sender crashes, at O(f^2) write cost.
+          [`Direct] is the naive ablation: the writer sends each coded
+          element straight to its server at cost n/k, but a writer crash
+          mid-dispersal can leave a partial write that no server can
+          complete, losing uniformity (and, combined with f server
+          crashes, read liveness). Used by the [ablation-md] benchmark. *)
+  gossip : bool;
+      (** When true (the default, and the paper's algorithm), servers
+          announce every relay with READ-DISPERSE and unregister readers
+          at the k-element threshold. When false — an ablation mirroring
+          ORCAS-B's behaviour — no announcements are sent and only
+          READ-COMPLETE unregisters, so a crashed reader is relayed to
+          forever. Used by the [ablation-gossip] benchmark. *)
+  cost : Cost.t;
+  probe : Probe.t;
+  history : History.t
+}
+
+val make :
+  params:Params.t ->
+  servers:int array ->
+  ?initial_value:bytes ->
+  ?value_len:int ->
+  ?error_prone:int list ->
+  ?disperse_step:float ->
+  ?md_mode:[ `Chained | `Direct ] ->
+  ?gossip:bool ->
+  ?systematic:bool ->
+  unit ->
+  t
+(** Builds the configuration, choosing the codec from [params] ([e = 0]:
+    Vandermonde RS with [k = n-f], or the systematic variant when
+    [systematic] is set — what a production deployment would pick, since
+    its first [k] fragments are raw data; [e > 0]: BCH RS with
+    [k = n-f-2e]; either switches to its GF(2¹⁶) form beyond 255
+    servers).
+    [value_len] (default: length of [initial_value], or 1024 if that is
+    empty) sets the cost normalization base.
+    @raise Invalid_argument if [servers] does not have [n] entries or an
+    [error_prone] coordinate is out of range or they number more than
+    [e]. *)
+
+val coordinate_of : t -> pid:int -> int
+(** Inverse of [servers].
+    @raise Not_found for a pid that is not a server. *)
+
+val d_size : t -> int
+(** Size of the distinguished first set D of the MD primitives:
+    [f + 1]. *)

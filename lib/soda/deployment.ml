@@ -1,0 +1,92 @@
+module Engine = Simnet.Engine
+module Params = Protocol.Params
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+
+type t = {
+  engine : Messages.t Engine.t;
+  config : Config.t;
+  servers : Server.t array;
+  writers : Writer.t array;
+  writer_pids : int array;
+  readers : Reader.t array;
+  reader_pids : int array
+}
+
+let deploy ~engine ~params ?initial_value ?value_len ?error_prone
+    ?disperse_step ?md_mode ?gossip ?systematic ~num_writers ~num_readers () =
+  if num_writers < 0 || num_readers < 0 then
+    invalid_arg "Deployment.deploy: negative client count";
+  let n = Params.n params in
+  let server_pids =
+    Array.init n (fun i ->
+        Engine.reserve engine ~name:(Printf.sprintf "server%d" i))
+  in
+  let config =
+    Config.make ~params ~servers:server_pids ?initial_value ?value_len
+      ?error_prone ?disperse_step ?md_mode ?gossip ?systematic ()
+  in
+  let servers =
+    Array.init n (fun coordinate -> Server.create config ~coordinate)
+  in
+  Array.iteri
+    (fun i pid -> Engine.set_handler engine pid (Server.handler servers.(i)))
+    server_pids;
+  let writer_pids =
+    Array.init num_writers (fun i ->
+        Engine.reserve engine ~name:(Printf.sprintf "writer%d" i))
+  in
+  let writers = Array.init num_writers (fun _ -> Writer.create config) in
+  Array.iteri
+    (fun i pid -> Engine.set_handler engine pid (Writer.handler writers.(i)))
+    writer_pids;
+  let reader_pids =
+    Array.init num_readers (fun i ->
+        Engine.reserve engine ~name:(Printf.sprintf "reader%d" i))
+  in
+  let readers = Array.init num_readers (fun _ -> Reader.create config) in
+  Array.iteri
+    (fun i pid -> Engine.set_handler engine pid (Reader.handler readers.(i)))
+    reader_pids;
+  { engine; config; servers; writers; writer_pids; readers; reader_pids }
+
+let write t ~writer ~at ?on_done value =
+  Engine.inject t.engine ~at t.writer_pids.(writer) (fun ctx ->
+      ignore (Writer.invoke t.writers.(writer) ctx ~value ?on_done ()))
+
+let read t ~reader ~at ?on_done () =
+  Engine.inject t.engine ~at t.reader_pids.(reader) (fun ctx ->
+      ignore (Reader.invoke t.readers.(reader) ctx ?on_done ()))
+
+let crash_server t ~coordinate ~at =
+  Engine.crash_at t.engine t.config.Config.servers.(coordinate) at
+
+(* repair traffic is charged to synthetic operation ids far above any
+   client operation's; the counter is atomic so deployments driven from
+   different domains (Harness.Parallel sweeps) never collide *)
+let repair_op_base = 1_000_000
+let repair_counter = Atomic.make 0
+
+let repair_server t ~coordinate ~at =
+  let pid = t.config.Config.servers.(coordinate) in
+  let op = repair_op_base + Atomic.fetch_and_add repair_counter 1 in
+  Engine.restore_at t.engine pid at;
+  (* the injection is pushed after the restore event at the same
+     timestamp, so it runs on the freshly restored process *)
+  Engine.inject t.engine ~at pid (fun ctx ->
+      Server.begin_repair t.servers.(coordinate) ctx ~op);
+  op
+
+let crash_writer t ~writer ~at = Engine.crash_at t.engine t.writer_pids.(writer) at
+let crash_reader t ~reader ~at = Engine.crash_at t.engine t.reader_pids.(reader) at
+let history t = t.config.Config.history
+let cost t = t.config.Config.cost
+let probe t = t.config.Config.probe
+let config t = t.config
+let params t = t.config.Config.params
+let server_pid t ~coordinate = t.config.Config.servers.(coordinate)
+let writer_pid t ~writer = t.writer_pids.(writer)
+let reader_pid t ~reader = t.reader_pids.(reader)
+let server t ~coordinate = t.servers.(coordinate)
+let initial_value t = t.config.Config.initial_value

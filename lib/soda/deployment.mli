@@ -1,0 +1,86 @@
+(** Deploying and driving a SODA / SODA{_err} system on a simulation
+    engine.
+
+    A deployment registers [n] server processes plus the requested writer
+    and reader client processes on an engine supplied by the caller (who
+    therefore controls the delay model, the seed and crash scheduling),
+    and exposes asynchronous [write]/[read] operations recorded in a
+    {!Protocol.History}. Setting [e > 0] in the parameters selects
+    SODA{_err}: the BCH codec with [k = n - f - 2e], the [k + 2e]
+    decode/unregistration threshold, and the [error_prone] fault model. *)
+
+module Params = Protocol.Params
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+
+type t
+
+val deploy :
+  engine:Messages.t Simnet.Engine.t ->
+  params:Params.t ->
+  ?initial_value:bytes ->
+  ?value_len:int ->
+  ?error_prone:int list ->
+  ?disperse_step:float ->
+  ?md_mode:[ `Chained | `Direct ] ->
+  ?gossip:bool ->
+  ?systematic:bool ->
+  num_writers:int ->
+  num_readers:int ->
+  unit ->
+  t
+(** Register all processes. See {!Config.make} for the optional
+    arguments.
+    @raise Invalid_argument on non-positive client counts. *)
+
+val write :
+  t -> writer:int -> at:float -> ?on_done:(unit -> unit) -> bytes -> unit
+(** Schedule writer number [writer] (0-based) to invoke a write at
+    simulated time [at]. The operation appears in {!history} when the
+    invocation executes. Clients are single-lane: scheduling a second
+    operation on a client whose previous one is still in flight is a
+    well-formedness violation and raises (inside the engine run). *)
+
+val read : t -> reader:int -> at:float -> ?on_done:(bytes -> unit) -> unit -> unit
+
+(** {1 Fault injection} *)
+
+val crash_server : t -> coordinate:int -> at:float -> unit
+val crash_writer : t -> writer:int -> at:float -> unit
+val crash_reader : t -> reader:int -> at:float -> unit
+
+val repair_server : t -> coordinate:int -> at:float -> int
+(** Restore a crashed server at time [at] and start the repair protocol
+    (the paper's future-work item (ii)): the server comes back with no
+    volatile state and its element reset, abstains from quorum duties,
+    and fetches coded elements from its peers until it can decode and
+    re-encode the element for the highest tag reported by [n-1-f] of
+    them — which covers every write completed before the repair, so
+    atomicity is preserved. Returns the accounting operation id of the
+    repair traffic (roughly [k * 1/k = 1] value unit).
+
+    Safety of rejoin requires [n >= 2f + 2e + 1] (any completed write's
+    [k] element holders must intersect the [n-1-f] repliers); with the
+    paper's [f <= (n-1)/2] this always holds for plain SODA, and for
+    SODA{_err} whenever [e] additional servers exist. Liveness of the
+    repair itself assumes writes quiesce long enough for some tag to
+    accumulate [decode_threshold] elements (bounded retries give up
+    otherwise, leaving the server silently degraded but safe). *)
+
+(** {1 Observation} *)
+
+val history : t -> History.t
+val cost : t -> Cost.t
+val probe : t -> Probe.t
+val config : t -> Config.t
+val params : t -> Params.t
+
+val server_pid : t -> coordinate:int -> int
+val writer_pid : t -> writer:int -> int
+val reader_pid : t -> reader:int -> int
+
+val server : t -> coordinate:int -> Server.t
+(** Direct access to a server automaton's state, for tests. *)
+
+val initial_value : t -> bytes

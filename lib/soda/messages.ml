@@ -1,0 +1,65 @@
+module Tag = Protocol.Tag
+module Fragment = Erasure.Fragment
+
+type mid = { origin : int; seq : int }
+
+type meta =
+  | Read_value of { rid : int; reader : int; tr : Tag.t }
+  | Read_complete of { rid : int; reader : int; tr : Tag.t }
+  | Read_disperse of { tag : Tag.t; server_index : int; rid : int }
+
+type t =
+  | Write_get of { op : int }
+  | Write_get_reply of { op : int; tag : Tag.t }
+  | Write_ack of { op : int; tag : Tag.t }
+  | Read_get of { rid : int }
+  | Read_get_reply of { rid : int; tag : Tag.t }
+  | Relay of { rid : int; tag : Tag.t; fragment : Fragment.t }
+  | Md_full of { mid : mid; op : int; tag : Tag.t; value : bytes }
+  | Md_coded of { mid : mid; op : int; tag : Tag.t; fragment : Fragment.t }
+  | Md_meta of { mid : mid; meta : meta }
+  | Repair_get of { op : int }
+  | Repair_reply of { op : int; tag : Tag.t; fragment : Fragment.t }
+
+let data_bytes = function
+  | Write_get _ | Write_get_reply _ | Write_ack _ | Read_get _
+  | Read_get_reply _ | Md_meta _ | Repair_get _ ->
+    0
+  | Relay { fragment; _ } | Md_coded { fragment; _ }
+  | Repair_reply { fragment; _ } ->
+    Fragment.size fragment
+  | Md_full { value; _ } -> Bytes.length value
+
+let pp_meta ppf = function
+  | Read_value { rid; reader; tr } ->
+    Format.fprintf ppf "READ-VALUE(rid=%d r=%d tr=%a)" rid reader Tag.pp tr
+  | Read_complete { rid; reader; tr } ->
+    Format.fprintf ppf "READ-COMPLETE(rid=%d r=%d tr=%a)" rid reader Tag.pp tr
+  | Read_disperse { tag; server_index; rid } ->
+    Format.fprintf ppf "READ-DISPERSE(t=%a s=%d rid=%d)" Tag.pp tag
+      server_index rid
+
+let pp ppf = function
+  | Write_get { op } -> Format.fprintf ppf "WRITE-GET(op=%d)" op
+  | Write_get_reply { op; tag } ->
+    Format.fprintf ppf "WRITE-GET-REPLY(op=%d t=%a)" op Tag.pp tag
+  | Write_ack { op; tag } ->
+    Format.fprintf ppf "WRITE-ACK(op=%d t=%a)" op Tag.pp tag
+  | Read_get { rid } -> Format.fprintf ppf "READ-GET(rid=%d)" rid
+  | Read_get_reply { rid; tag } ->
+    Format.fprintf ppf "READ-GET-REPLY(rid=%d t=%a)" rid Tag.pp tag
+  | Relay { rid; tag; fragment } ->
+    Format.fprintf ppf "RELAY(rid=%d t=%a %a)" rid Tag.pp tag Fragment.pp
+      fragment
+  | Md_full { mid; op; tag; value } ->
+    Format.fprintf ppf "MD-FULL(mid=%d.%d op=%d t=%a |v|=%d)" mid.origin
+      mid.seq op Tag.pp tag (Bytes.length value)
+  | Md_coded { mid; op; tag; fragment } ->
+    Format.fprintf ppf "MD-CODED(mid=%d.%d op=%d t=%a %a)" mid.origin mid.seq
+      op Tag.pp tag Fragment.pp fragment
+  | Md_meta { mid; meta } ->
+    Format.fprintf ppf "MD-META(mid=%d.%d %a)" mid.origin mid.seq pp_meta meta
+  | Repair_get { op } -> Format.fprintf ppf "REPAIR-GET(op=%d)" op
+  | Repair_reply { op; tag; fragment } ->
+    Format.fprintf ppf "REPAIR-REPLY(op=%d t=%a %a)" op Tag.pp tag Fragment.pp
+      fragment

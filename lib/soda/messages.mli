@@ -1,0 +1,48 @@
+(** Wire messages of the SODA / SODA{_err} protocol.
+
+    Three families, mirroring Section IV of the paper:
+    - client phase messages ([WRITE-GET], [READ-GET] and their replies,
+      write acknowledgements) — metadata only;
+    - the message-disperse traffic ([Md_full], [Md_coded] for MD-VALUE
+      and [Md_meta] for MD-META);
+    - server-to-reader relays of coded elements ([Relay]) — the data
+      traffic that makes up the read cost;
+    - the repair extension's traffic ([Repair_get] / [Repair_reply]):
+      a restored server fetching the coded elements it needs to rebuild
+      its own (see {!Server.begin_repair}).
+
+    Every MD message carries a {!mid} (origin process and per-origin
+    sequence number) used by servers to deliver each dispersal exactly
+    once. *)
+
+module Tag = Protocol.Tag
+module Fragment = Erasure.Fragment
+
+type mid = { origin : int; seq : int }
+
+(** Payloads delivered by the MD-META primitive. [rid] is the unique id
+    of the read operation (the paper's reader id extended with a
+    per-operation counter, cf. "Additional notes on SODA" (3)). *)
+type meta =
+  | Read_value of { rid : int; reader : int; tr : Tag.t }
+  | Read_complete of { rid : int; reader : int; tr : Tag.t }
+  | Read_disperse of { tag : Tag.t; server_index : int; rid : int }
+
+type t =
+  | Write_get of { op : int }
+  | Write_get_reply of { op : int; tag : Tag.t }
+  | Write_ack of { op : int; tag : Tag.t }
+  | Read_get of { rid : int }
+  | Read_get_reply of { rid : int; tag : Tag.t }
+  | Relay of { rid : int; tag : Tag.t; fragment : Fragment.t }
+  | Md_full of { mid : mid; op : int; tag : Tag.t; value : bytes }
+  | Md_coded of { mid : mid; op : int; tag : Tag.t; fragment : Fragment.t }
+  | Md_meta of { mid : mid; meta : meta }
+  | Repair_get of { op : int }
+  | Repair_reply of { op : int; tag : Tag.t; fragment : Fragment.t }
+
+val data_bytes : t -> int
+(** Bytes of {e data} (value or coded element) the message carries; zero
+    for pure metadata. This is what {!Cost} charges. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+module Engine = Simnet.Engine
+module Tag = Protocol.Tag
+module Params = Protocol.Params
+module History = Protocol.History
+module Mds = Erasure.Mds
+module Fragment = Erasure.Fragment
+
+module TagMap = Map.Make (struct
+  type t = Tag.t
+
+  let compare = Tag.compare
+end)
+
+type phase =
+  | Idle
+  | Get of { rid : int; replies : (int, unit) Hashtbl.t; mutable best : Tag.t }
+  | Collect of {
+      rid : int;
+      tr : Tag.t;
+      mutable acc : (int, Fragment.t) Hashtbl.t TagMap.t
+          (* per candidate tag: fragments indexed by coordinate *)
+    }
+
+type t = {
+  config : Config.t;
+  mutable phase : phase;
+  seq : int ref;
+  mutable on_done : (bytes -> unit) option
+}
+
+let create config = { config; phase = Idle; seq = ref 0; on_done = None }
+let busy t = t.phase <> Idle
+
+let invoke t ctx ?on_done () =
+  (match t.phase with
+  | Idle -> ()
+  | Get _ | Collect _ ->
+    invalid_arg "Reader.invoke: operation already in flight (well-formedness)");
+  let rid =
+    History.invoke t.config.Config.history ~client:(Engine.self ctx)
+      ~kind:History.Read ~at:(Engine.now_ctx ctx)
+  in
+  t.on_done <- on_done;
+  t.phase <- Get { rid; replies = Hashtbl.create 8; best = Tag.initial };
+  Array.iter
+    (fun server -> Engine.send ctx ~dst:server (Messages.Read_get { rid }))
+    t.config.Config.servers;
+  rid
+
+let complete t ctx ~rid ~tr ~tag ~value =
+  let history = t.config.Config.history in
+  History.set_tag history ~op:rid tag;
+  History.set_value history ~op:rid value;
+  Md.meta_send ctx t.config ~seq:t.seq
+    (Messages.Read_complete { rid; reader = Engine.self ctx; tr });
+  History.respond history ~op:rid ~at:(Engine.now_ctx ctx);
+  t.phase <- Idle;
+  match t.on_done with
+  | Some callback ->
+    t.on_done <- None;
+    callback value
+  | None -> ()
+
+(* Try to decode tag [tag] from the accumulated fragments; on success the
+   read completes. SODAerr note: decoding can only be attempted — and is
+   only guaranteed — once [k + 2e] elements are present, and up to [e] of
+   them may be corrupt; [Mds.Decode_failure] leaves the read waiting for
+   further relays (more elements can only help the decoder). *)
+let try_decode t ctx ~rid ~tr ~tag fragments =
+  if Hashtbl.length fragments >= t.config.Config.decode_threshold then begin
+    let frags = Hashtbl.fold (fun _ f acc -> f :: acc) fragments [] in
+    match Mds.decode t.config.Config.code frags with
+    | value -> complete t ctx ~rid ~tr ~tag ~value
+    | exception Mds.Decode_failure _ -> ()
+  end
+
+let handler t ctx ~src msg =
+  match (msg, t.phase) with
+  | Messages.Read_get_reply { rid; tag }, Get g when g.rid = rid ->
+    Hashtbl.replace g.replies src ();
+    if Tag.( > ) tag g.best then g.best <- tag;
+    if Hashtbl.length g.replies >= Params.majority t.config.Config.params
+    then begin
+      let tr = g.best in
+      t.phase <- Collect { rid; tr; acc = TagMap.empty };
+      Md.meta_send ctx t.config ~seq:t.seq
+        (Messages.Read_value { rid; reader = Engine.self ctx; tr })
+    end
+  | Messages.Relay { rid; tag; fragment }, Collect c when c.rid = rid ->
+    let fragments =
+      match TagMap.find_opt tag c.acc with
+      | Some fragments -> fragments
+      | None ->
+        let fragments = Hashtbl.create 8 in
+        c.acc <- TagMap.add tag fragments c.acc;
+        fragments
+    in
+    Hashtbl.replace fragments (Fragment.index fragment) fragment;
+    try_decode t ctx ~rid ~tr:c.tr ~tag fragments
+  | ( ( Messages.Read_get_reply _ | Messages.Relay _ | Messages.Write_get _
+      | Messages.Write_get_reply _ | Messages.Write_ack _
+      | Messages.Read_get _ | Messages.Md_full _ | Messages.Md_coded _
+      | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _ ),
+      (Idle | Get _ | Collect _) ) ->
+    (* stale relays for finished reads, or foreign traffic *)
+    ()

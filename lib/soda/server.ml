@@ -1,0 +1,365 @@
+module Engine = Simnet.Engine
+module Tag = Protocol.Tag
+module Params = Protocol.Params
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+module Mds = Erasure.Mds
+module Fragment = Erasure.Fragment
+
+type registration = { reader : int; tr : Tag.t }
+
+(* In-flight repair of a restored server (the paper's future work (ii)).
+   The server refuses quorum duties until it holds an element whose tag
+   is at least the maximum it has seen in replies from n-1-f distinct
+   peers — which covers every write that completed before the repair
+   started (see the safety note on [Deployment.repair_server]). *)
+type repair_state = {
+  op : int;
+  mutable max_seen : Tag.t;
+  repliers : (int, unit) Hashtbl.t; (* coordinates heard from *)
+  collected : (Tag.t * int, Fragment.t) Hashtbl.t;
+  mutable attempts : int
+}
+
+type t = {
+  config : Config.t;
+  coordinate : int;
+  mutable tag : Tag.t;
+  mutable fragment : Fragment.t;
+  registered : (int, registration) Hashtbl.t; (* rid -> Rc entry *)
+  h : (int, (Tag.t * int, unit) Hashtbl.t) Hashtbl.t;
+      (* rid -> set of (tag, coordinate): the paper's H, keyed by read *)
+  md_delivered : (Messages.mid, unit) Hashtbl.t;
+  seq : int ref;
+  mutable repair : repair_state option
+}
+
+let create config ~coordinate =
+  let fragments = Mds.encode config.Config.code config.Config.initial_value in
+  let fragment = fragments.(coordinate) in
+  Cost.storage_set config.Config.cost ~server:coordinate
+    ~bytes:(Fragment.size fragment);
+  { config;
+    coordinate;
+    tag = Tag.initial;
+    fragment;
+    registered = Hashtbl.create 8;
+    h = Hashtbl.create 8;
+    md_delivered = Hashtbl.create 64;
+    seq = ref 0;
+    repair = None
+  }
+
+let stored_tag t = t.tag
+let repairing t = t.repair <> None
+let registered_reads t = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.registered []
+
+let history_entries t =
+  Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.h 0
+
+let h_set t rid =
+  match Hashtbl.find_opt t.h rid with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 8 in
+    Hashtbl.add t.h rid set;
+    set
+
+let h_add t rid entry = Hashtbl.replace (h_set t rid) entry ()
+
+let h_count_tag t rid tag =
+  match Hashtbl.find_opt t.h rid with
+  | None -> 0
+  | Some set ->
+    Hashtbl.fold
+      (fun (tg, _) () acc -> if Tag.equal tg tag then acc + 1 else acc)
+      set 0
+
+let unregister t ctx rid =
+  Hashtbl.remove t.registered rid;
+  Hashtbl.remove t.h rid;
+  Probe.emit t.config.Config.probe
+    (Probe.Unregistered
+       { rid; server = t.coordinate; time = Engine.now_ctx ctx })
+
+(* Send one coded element to a registered reader and announce it to the
+   other servers via READ-DISPERSE, so that everyone can count towards
+   the unregistration threshold. *)
+let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
+  Engine.send ctx ~dst:reg.reader (Messages.Relay { rid; tag; fragment });
+  Cost.comm t.config.Config.cost ~op:rid ~bytes:(Fragment.size fragment);
+  Probe.emit t.config.Config.probe
+    (Probe.Relayed
+       { rid; server = t.coordinate; tag; time = Engine.now_ctx ctx });
+  h_add t rid (tag, t.coordinate);
+  if t.config.Config.gossip then
+    Md.meta_send ctx t.config ~seq:t.seq
+      (Messages.Read_disperse { tag; server_index = t.coordinate; rid })
+
+(* Local disk read of the stored coded element; error-prone coordinates
+   return a silently corrupted copy (the SODAerr fault model). The seed
+   mixes the read id so different reads see independent corruption. *)
+let local_disk_read t ~rid =
+  if t.config.Config.error_prone.(t.coordinate) then
+    Fragment.corrupt t.fragment ~seed:(rid + (t.coordinate * 7919))
+  else t.fragment
+
+(* ------------------------------------------------------------------ *)
+(* Repair extension (paper's future work (ii)) *)
+
+let repair_retry_interval = 40.0
+let repair_max_attempts = 6
+
+let finish_repair t ctx =
+  match t.repair with
+  | None -> ()
+  | Some _ ->
+    t.repair <- None;
+    Probe.emit t.config.Config.probe
+      (Probe.Repaired
+         { server = t.coordinate; tag = t.tag; time = Engine.now_ctx ctx })
+
+(* Repair completes once n-1-f peers have answered and the server holds
+   (or can decode) an element for the highest tag among the replies. *)
+let maybe_finish_repair t ctx =
+  match t.repair with
+  | None -> ()
+  | Some r ->
+    let needed_repliers =
+      Params.n t.config.Config.params - 1 - Params.f t.config.Config.params
+    in
+    if Hashtbl.length r.repliers >= needed_repliers then begin
+      if Tag.( >= ) t.tag r.max_seen then finish_repair t ctx
+      else begin
+        let frags =
+          Hashtbl.fold
+            (fun (tag, _) fragment acc ->
+              if Tag.equal tag r.max_seen then fragment :: acc else acc)
+            r.collected []
+        in
+        if List.length frags >= t.config.Config.decode_threshold then begin
+          match Erasure.Mds.decode t.config.Config.code frags with
+          | value ->
+            let fragments = Mds.encode t.config.Config.code value in
+            t.tag <- r.max_seen;
+            t.fragment <- fragments.(t.coordinate);
+            Cost.storage_set t.config.Config.cost ~server:t.coordinate
+              ~bytes:(Fragment.size t.fragment);
+            Probe.emit t.config.Config.probe
+              (Probe.Stored
+                 { server = t.coordinate;
+                   tag = t.tag;
+                   time = Engine.now_ctx ctx
+                 });
+            finish_repair t ctx
+          | exception Erasure.Mds.Decode_failure _ ->
+            (* too many corrupted replies for this tag yet; more replies
+               or a retry round will help *)
+            ()
+        end
+      end
+    end
+
+let broadcast_repair_get t ctx ~op =
+  Array.iteri
+    (fun c pid ->
+      if c <> t.coordinate then
+        Engine.send ctx ~dst:pid (Messages.Repair_get { op }))
+    t.config.Config.servers
+
+let rec schedule_repair_retry t ctx =
+  Engine.schedule_local ctx ~delay:repair_retry_interval (fun () ->
+      match t.repair with
+      | None -> ()
+      | Some r ->
+        if r.attempts < repair_max_attempts then begin
+          r.attempts <- r.attempts + 1;
+          broadcast_repair_get t ctx ~op:r.op;
+          schedule_repair_retry t ctx
+        end)
+
+(* Called right after [Engine.restore_at] fires: volatile state is gone
+   (the crash lost it), the element reverts to the initial state, and
+   the server starts fetching the current one. Until repair finishes it
+   answers no quorum queries. *)
+let begin_repair t ctx ~op =
+  let fragments = Mds.encode t.config.Config.code t.config.Config.initial_value in
+  t.tag <- Tag.initial;
+  t.fragment <- fragments.(t.coordinate);
+  Cost.storage_set t.config.Config.cost ~server:t.coordinate
+    ~bytes:(Fragment.size t.fragment);
+  Hashtbl.reset t.registered;
+  Hashtbl.reset t.h;
+  Hashtbl.reset t.md_delivered;
+  t.repair <-
+    Some
+      { op;
+        max_seen = Tag.initial;
+        repliers = Hashtbl.create 8;
+        collected = Hashtbl.create 16;
+        attempts = 0
+      };
+  Probe.emit t.config.Config.probe
+    (Probe.Repair_started { server = t.coordinate; time = Engine.now_ctx ctx });
+  broadcast_repair_get t ctx ~op;
+  schedule_repair_retry t ctx
+
+let on_repair_reply t ctx ~src ~op ~tag ~fragment =
+  match t.repair with
+  | Some r when r.op = op -> begin
+    match Config.coordinate_of t.config ~pid:src with
+    | coordinate ->
+      Hashtbl.replace r.repliers coordinate ();
+      if Tag.( > ) tag r.max_seen then r.max_seen <- tag;
+      Hashtbl.replace r.collected (tag, coordinate) fragment;
+      maybe_finish_repair t ctx
+    | exception Not_found -> ()
+  end
+  | Some _ | None -> ()
+
+(* Fig. 5, "On md-value-deliver(tw, c's)": relay to registered readers,
+   adopt the element if its tag is newer, acknowledge the writer. *)
+let md_value_deliver t ctx ~op ~tag:tw ~fragment =
+  Hashtbl.iter
+    (fun rid reg ->
+      if Tag.( >= ) tw reg.tr then
+        relay_to_reader t ctx ~rid ~reg ~tag:tw ~fragment)
+    t.registered;
+  if Tag.( > ) tw t.tag then begin
+    t.tag <- tw;
+    t.fragment <- fragment;
+    Cost.storage_set t.config.Config.cost ~server:t.coordinate
+      ~bytes:(Fragment.size fragment);
+    Probe.emit t.config.Config.probe
+      (Probe.Stored
+         { server = t.coordinate; tag = tw; time = Engine.now_ctx ctx });
+    (* a delivery can complete an in-flight repair by itself *)
+    maybe_finish_repair t ctx
+  end;
+  (* The writer's id is part of the tag, so the acknowledgement needs no
+     extra routing state. *)
+  if tw.Tag.w >= 0 then
+    Engine.send ctx ~dst:tw.Tag.w (Messages.Write_ack { op; tag = tw })
+
+(* Fig. 5, "On md-meta-deliver(READ-VALUE, (r, tr))". *)
+let on_read_value t ctx ~rid ~reader ~tr =
+  let tombstone = (Tag.initial, t.coordinate) in
+  let already_complete =
+    match Hashtbl.find_opt t.h rid with
+    | Some set -> Hashtbl.mem set tombstone
+    | None -> false
+  in
+  if already_complete then Hashtbl.remove t.h rid
+  else begin
+    let reg = { reader; tr } in
+    Hashtbl.replace t.registered rid reg;
+    Probe.emit t.config.Config.probe
+      (Probe.Registered
+         { rid; server = t.coordinate; time = Engine.now_ctx ctx });
+    (* a repairing server's stored element may be stale (reset to the
+       initial state): relaying it could let a reader assemble k old
+       elements, so the local relay is withheld until repair finishes;
+       concurrent writes still relay normally *)
+    if t.repair = None && Tag.( >= ) t.tag tr then
+      relay_to_reader t ctx ~rid ~reg ~tag:t.tag
+        ~fragment:(local_disk_read t ~rid)
+  end
+
+(* Fig. 5, "On md-meta-deliver(READ-COMPLETE, (r, tr))". *)
+let on_read_complete t ctx ~rid =
+  if Hashtbl.mem t.registered rid then unregister t ctx rid
+  else
+    (* completion raced ahead of the registration: leave a tombstone so
+       the late READ-VALUE does not (re-)register this read *)
+    h_add t rid (Tag.initial, t.coordinate)
+
+(* Fig. 5, "On md-meta-deliver(READ-DISPERSE, (t, s', r))"; the
+   unregistration threshold is k for SODA and k + 2e for SODAerr
+   (Fig. 6). *)
+let on_read_disperse t ctx ~tag ~server_index ~rid =
+  h_add t rid (tag, server_index);
+  if Hashtbl.mem t.registered rid then
+    if h_count_tag t rid tag >= t.config.Config.decode_threshold then
+      unregister t ctx rid
+
+let deliver_meta t ctx = function
+  | Messages.Read_value { rid; reader; tr } -> on_read_value t ctx ~rid ~reader ~tr
+  | Messages.Read_complete { rid; reader = _; tr = _ } ->
+    on_read_complete t ctx ~rid
+  | Messages.Read_disperse { tag; server_index; rid } ->
+    on_read_disperse t ctx ~tag ~server_index ~rid
+
+(* Server side of MD-VALUE: a member of D forwards the full value down
+   the chain and coded elements to everyone outside D, then delivers its
+   own element; the ordering (relays before local delivery) is what makes
+   the primitive uniform under crashes. *)
+let on_md_full t ctx ~mid ~op ~tag ~value =
+  if not (Hashtbl.mem t.md_delivered mid) then begin
+    Hashtbl.add t.md_delivered mid ();
+    let config = t.config in
+    let d = Config.d_size config in
+    let fragments = Mds.encode config.Config.code value in
+    if t.coordinate < d then begin
+      for j = t.coordinate + 1 to d - 1 do
+        Engine.send ctx ~dst:config.Config.servers.(j)
+          (Messages.Md_full { mid; op; tag; value });
+        Cost.comm config.Config.cost ~op ~bytes:(Bytes.length value)
+      done;
+      for j = d to Params.n config.Config.params - 1 do
+        Engine.send ctx ~dst:config.Config.servers.(j)
+          (Messages.Md_coded { mid; op; tag; fragment = fragments.(j) });
+        Cost.comm config.Config.cost ~op
+          ~bytes:(Fragment.size fragments.(j))
+      done
+    end;
+    md_value_deliver t ctx ~op ~tag ~fragment:fragments.(t.coordinate)
+  end
+
+let on_md_coded t ctx ~mid ~op ~tag ~fragment =
+  if not (Hashtbl.mem t.md_delivered mid) then begin
+    Hashtbl.add t.md_delivered mid ();
+    md_value_deliver t ctx ~op ~tag ~fragment
+  end
+
+(* Server side of MD-META: members of D forward the payload to the rest
+   of D and to everyone outside D, then deliver. *)
+let on_md_meta t ctx ~mid ~meta =
+  if not (Hashtbl.mem t.md_delivered mid) then begin
+    Hashtbl.add t.md_delivered mid ();
+    let config = t.config in
+    let d = Config.d_size config in
+    if t.coordinate < d then
+      for j = t.coordinate + 1 to Params.n config.Config.params - 1 do
+        Engine.send ctx ~dst:config.Config.servers.(j)
+          (Messages.Md_meta { mid; meta })
+      done;
+    deliver_meta t ctx meta
+  end
+
+let handler t ctx ~src msg =
+  match msg with
+  | Messages.Write_get { op } ->
+    (* a repairing server may hold a stale tag: it abstains from quorum
+       duties (clients tolerate its silence like a crash) *)
+    if t.repair = None then
+      Engine.send ctx ~dst:src (Messages.Write_get_reply { op; tag = t.tag })
+  | Messages.Read_get { rid } ->
+    if t.repair = None then
+      Engine.send ctx ~dst:src (Messages.Read_get_reply { rid; tag = t.tag })
+  | Messages.Repair_get { op } ->
+    if t.repair = None then begin
+      let fragment = local_disk_read t ~rid:op in
+      Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
+      Engine.send ctx ~dst:src
+        (Messages.Repair_reply { op; tag = t.tag; fragment })
+    end
+  | Messages.Repair_reply { op; tag; fragment } ->
+    on_repair_reply t ctx ~src ~op ~tag ~fragment
+  | Messages.Md_full { mid; op; tag; value } -> on_md_full t ctx ~mid ~op ~tag ~value
+  | Messages.Md_coded { mid; op; tag; fragment } ->
+    on_md_coded t ctx ~mid ~op ~tag ~fragment
+  | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~mid ~meta
+  | Messages.Write_get_reply _ | Messages.Write_ack _
+  | Messages.Read_get_reply _ | Messages.Relay _ ->
+    (* client-bound messages; a server never receives these *)
+    ()

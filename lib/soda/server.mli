@@ -1,0 +1,45 @@
+(** The SODA server automaton (Fig. 5 of the paper, plus the server side
+    of the message-disperse primitives of Section III).
+
+    Each server stores exactly one [(tag, coded element)] pair — this is
+    what gives SODA its [n/(n-f)] total storage cost — plus metadata: the
+    set [Rc] of registered reads it is currently serving and the history
+    set [H] of [(tag, server, read)] relay announcements, which lets it
+    unregister a reader (even a crashed one) once [k] distinct coded
+    elements of one tag are known to have been sent (Theorem 5.5). With
+    [decode_threshold = k + 2e] the same automaton implements SODA{_err}
+    (Fig. 6); coordinates flagged [error_prone] corrupt the element they
+    read from local storage when serving a registration, modelling silent
+    disk read errors. *)
+
+type t
+
+val create : Config.t -> coordinate:int -> t
+(** A server at the given coordinate, holding the coded element of the
+    initial value under {!Protocol.Tag.initial}. Registers its initial
+    storage with the configuration's cost accountant. *)
+
+val handler : t -> Messages.t Simnet.Engine.context -> src:int -> Messages.t -> unit
+(** Message handler to install with {!Simnet.Engine.set_handler}. *)
+
+(** {1 Inspection (tests and reports)} *)
+
+val stored_tag : t -> Protocol.Tag.t
+val registered_reads : t -> int list
+(** Currently registered read-operation ids. *)
+
+val history_entries : t -> int
+(** Total number of tuples in [H]. *)
+
+(** {1 Repair extension (the paper's future work (ii))} *)
+
+val begin_repair : t -> Messages.t Simnet.Engine.context -> op:int -> unit
+(** To be invoked (via {!Simnet.Engine.inject}) right after the server's
+    process is restored with {!Simnet.Engine.restore_at}: volatile state
+    is discarded, the stored element reverts to the initial state, and
+    the server broadcasts [REPAIR-GET], refusing quorum duties until it
+    again holds an element for the highest tag reported by [n - 1 - f]
+    peers. [op] is the accounting id the repair traffic is charged to.
+    Safety requires [n >= 2f + 2e + 1]; see [Deployment.repair_server]. *)
+
+val repairing : t -> bool

@@ -1,0 +1,73 @@
+module Params = Protocol.Params
+module History = Protocol.History
+module Cost = Protocol.Cost
+
+type t = {
+  registers : (string * Deployment.t) list; (* in creation order *)
+  n : int
+}
+
+let create ~engine ~params ~objects ?value_len ?error_prone ~num_writers
+    ~num_readers () =
+  if objects = [] then invalid_arg "Store.create: no objects";
+  let sorted = List.sort_uniq compare objects in
+  if List.length sorted <> List.length objects then
+    invalid_arg "Store.create: duplicate object names";
+  let registers =
+    List.map
+      (fun name ->
+        ( name,
+          Deployment.deploy ~engine ~params ?value_len ?error_prone
+            ~num_writers ~num_readers () ))
+      objects
+  in
+  { registers; n = Params.n params }
+
+let objects t = List.map fst t.registers
+
+let find t ~obj =
+  match List.assoc_opt obj t.registers with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Store: unknown object %S" obj)
+
+let write t ~obj ~writer ~at ?on_done value =
+  Deployment.write (find t ~obj) ~writer ~at ?on_done value
+
+let read t ~obj ~reader ~at ?on_done () =
+  Deployment.read (find t ~obj) ~reader ~at ?on_done ()
+
+let crash_server t ~coordinate ~at =
+  List.iter
+    (fun (_, d) -> Deployment.crash_server d ~coordinate ~at)
+    t.registers
+
+let repair_server t ~coordinate ~at =
+  List.iter
+    (fun (_, d) -> ignore (Deployment.repair_server d ~coordinate ~at))
+    t.registers
+
+let history t ~obj = Deployment.history (find t ~obj)
+
+let total_storage t =
+  List.fold_left
+    (fun acc (_, d) -> acc +. Cost.max_total_storage (Deployment.cost d))
+    0. t.registers
+
+let check_atomicity t =
+  let rec go = function
+    | [] -> Ok ()
+    | (name, d) :: rest -> (
+      match
+        Protocol.Atomicity.check_tagged
+          ~initial_value:(Deployment.initial_value d)
+          (History.records (Deployment.history d))
+      with
+      | Ok () -> go rest
+      | Error v -> Error (name, v))
+  in
+  go t.registers
+
+let all_complete t =
+  List.for_all
+    (fun (_, d) -> History.all_complete (Deployment.history d))
+    t.registers

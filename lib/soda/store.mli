@@ -1,0 +1,70 @@
+(** A multi-object atomic store composed of SODA registers.
+
+    Section II of the paper: "A shared atomic memory can be emulated by
+    composing individual atomic objects. Therefore, we aim to implement
+    only one atomic read/write memory object." This module is that
+    composition: a named collection of independent SODA (or SODA{_err})
+    registers sharing one simulation, one physical server fleet and one
+    fault schedule.
+
+    Each object is its own register emulation — per-object tags, quorums
+    and registered-reader sets, exactly as composing n single-object
+    automata prescribes — while machine-level faults apply across all of
+    them: {!crash_server} takes down coordinate [i]'s processes for
+    every object, and {!repair_server} brings them all back through the
+    repair protocol. Clients are single-lane per object, so one client
+    may operate on different objects concurrently (well-formedness is a
+    per-object notion).
+
+    Atomicity of the composition follows from atomicity per object:
+    operations on distinct registers commute. {!check_atomicity} checks
+    every object's history. *)
+
+module Params = Protocol.Params
+module History = Protocol.History
+
+type t
+
+val create :
+  engine:Messages.t Simnet.Engine.t ->
+  params:Params.t ->
+  objects:string list ->
+  ?value_len:int ->
+  ?error_prone:int list ->
+  num_writers:int ->
+  num_readers:int ->
+  unit ->
+  t
+(** One register per (distinct) name in [objects], all with the given
+    parameters. Each object starts holding the empty value.
+    @raise Invalid_argument on an empty or duplicated object list. *)
+
+val objects : t -> string list
+
+val write :
+  t -> obj:string -> writer:int -> at:float -> ?on_done:(unit -> unit) ->
+  bytes -> unit
+(** @raise Invalid_argument on an unknown object name. *)
+
+val read :
+  t -> obj:string -> reader:int -> at:float -> ?on_done:(bytes -> unit) ->
+  unit -> unit
+
+(** {1 Machine-level faults (apply to every object's processes)} *)
+
+val crash_server : t -> coordinate:int -> at:float -> unit
+val repair_server : t -> coordinate:int -> at:float -> unit
+
+(** {1 Observation} *)
+
+val history : t -> obj:string -> History.t
+
+val total_storage : t -> float
+(** Sum over objects of each register's worst-case total storage, in
+    value units: [#objects * n/(n-f-2e)] when values share a size. *)
+
+val check_atomicity : t -> (unit, string * Protocol.Atomicity.violation) result
+(** Run the Lemma 2.1 checker on every object's history; the error names
+    the first offending object. *)
+
+val all_complete : t -> bool

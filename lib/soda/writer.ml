@@ -1,0 +1,75 @@
+module Engine = Simnet.Engine
+module Tag = Protocol.Tag
+module Params = Protocol.Params
+module History = Protocol.History
+module Mds = Erasure.Mds
+
+type phase =
+  | Idle
+  | Get of {
+      op : int;
+      value : bytes;
+      replies : (int, unit) Hashtbl.t;
+      mutable best : Tag.t
+    }
+  | Put of { op : int; acks : (int, unit) Hashtbl.t }
+
+type t = {
+  config : Config.t;
+  mutable phase : phase;
+  seq : int ref;
+  mutable on_done : (unit -> unit) option
+}
+
+let create config = { config; phase = Idle; seq = ref 0; on_done = None }
+let busy t = t.phase <> Idle
+
+let invoke t ctx ~value ?on_done () =
+  (match t.phase with
+  | Idle -> ()
+  | Get _ | Put _ ->
+    invalid_arg "Writer.invoke: operation already in flight (well-formedness)");
+  let history = t.config.Config.history in
+  let op =
+    History.invoke history ~client:(Engine.self ctx) ~kind:History.Write
+      ~at:(Engine.now_ctx ctx)
+  in
+  History.set_value history ~op value;
+  t.on_done <- on_done;
+  t.phase <-
+    Get { op; value; replies = Hashtbl.create 8; best = Tag.initial };
+  Array.iter
+    (fun server -> Engine.send ctx ~dst:server (Messages.Write_get { op }))
+    t.config.Config.servers;
+  op
+
+let handler t ctx ~src msg =
+  match (msg, t.phase) with
+  | Messages.Write_get_reply { op; tag }, Get g when g.op = op ->
+    Hashtbl.replace g.replies src ();
+    if Tag.( > ) tag g.best then g.best <- tag;
+    if Hashtbl.length g.replies >= Params.majority t.config.Config.params
+    then begin
+      let tw = Tag.next g.best ~w:(Engine.self ctx) in
+      History.set_tag t.config.Config.history ~op tw;
+      t.phase <- Put { op; acks = Hashtbl.create 8 };
+      Md.value_send ctx t.config ~seq:t.seq ~op ~tag:tw ~value:g.value
+    end
+  | Messages.Write_ack { op; tag = _ }, Put p when p.op = op ->
+    Hashtbl.replace p.acks src ();
+    if Hashtbl.length p.acks >= Mds.k t.config.Config.code then begin
+      History.respond t.config.Config.history ~op ~at:(Engine.now_ctx ctx);
+      t.phase <- Idle;
+      match t.on_done with
+      | Some callback ->
+        t.on_done <- None;
+        callback ()
+      | None -> ()
+    end
+  | ( ( Messages.Write_get_reply _ | Messages.Write_ack _
+      | Messages.Write_get _ | Messages.Read_get _ | Messages.Read_get_reply _
+      | Messages.Relay _ | Messages.Md_full _ | Messages.Md_coded _
+      | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _ ),
+      (Idle | Get _ | Put _) ) ->
+    (* stale replies from earlier phases or foreign traffic *)
+    ()

@@ -1,0 +1,176 @@
+(* Chaos tests: randomized crash/repair schedules (Nemesis) under the
+   f-at-a-time budget, with live client traffic throughout. SODA plus
+   the repair extension must deliver liveness and atomicity through all
+   of it. *)
+
+module Engine = Simnet.Engine
+module Delay = Simnet.Delay
+module Params = Protocol.Params
+module History = Protocol.History
+module Atomicity = Protocol.Atomicity
+module Workload = Harness.Workload
+module Nemesis = Harness.Nemesis
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let nemesis_unit_tests =
+  [ qtest ~count:200 "schedules never exceed the crash budget"
+      QCheck2.Gen.(
+        int_range 3 15 >>= fun n ->
+        int_range 1 (Params.fmax ~n) >>= fun f ->
+        int_range 0 100_000 >|= fun seed -> (n, f, seed))
+      (fun (n, f, seed) ->
+        let params = Params.make ~n ~f () in
+        let schedule = Nemesis.generate ~params ~seed ~horizon:2000.0 () in
+        Nemesis.max_simultaneous_down schedule <= f);
+    qtest ~count:100 "every crash is followed by its repair"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let params = Params.make ~n:9 ~f:3 () in
+        let schedule = Nemesis.generate ~params ~seed ~horizon:2000.0 () in
+        (* scanning forward, a coordinate can only crash when up and
+           repair when down *)
+        let down = Hashtbl.create 8 in
+        List.for_all
+          (fun e ->
+            match e with
+            | Nemesis.Crash { coordinate; _ } ->
+              if Hashtbl.mem down coordinate then false
+              else begin
+                Hashtbl.add down coordinate ();
+                true
+              end
+            | Nemesis.Repair { coordinate; _ } ->
+              if Hashtbl.mem down coordinate then begin
+                Hashtbl.remove down coordinate;
+                true
+              end
+              else false)
+          schedule);
+    Alcotest.test_case "schedules are non-trivial" `Quick (fun () ->
+        let params = Params.make ~n:9 ~f:3 () in
+        let schedule = Nemesis.generate ~params ~seed:5 ~horizon:3000.0 () in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d crashes" (Nemesis.crash_count schedule))
+          true
+          (Nemesis.crash_count schedule >= 3))
+  ]
+
+let run_chaos ~seed =
+  let params = Params.make ~n:7 ~f:2 () in
+  let initial_value = Workload.value ~len:128 ~seed ~index:999 in
+  let engine = Engine.create ~seed ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) () in
+  let d =
+    Soda.Deployment.deploy ~engine ~params ~initial_value ~num_writers:2
+      ~num_readers:2 ()
+  in
+  let horizon = 2400.0 in
+  let schedule = Nemesis.generate ~params ~seed ~horizon () in
+  Nemesis.apply schedule d;
+  (* steady client traffic across the whole horizon, closed-loop: a
+     client issues its next operation only after the previous one
+     completed, since chaos can stall a single operation arbitrarily
+     (e.g. while several servers are simultaneously mid-repair) *)
+  let value_index = ref 0 in
+  let rec write_loop w () =
+    if Engine.now engine < horizon then begin
+      let index = !value_index in
+      incr value_index;
+      Soda.Deployment.write d ~writer:w
+        ~at:(Engine.now engine +. 45.0)
+        ~on_done:(write_loop w)
+        (Workload.value ~len:128 ~seed ~index)
+    end
+  in
+  let rec read_loop r () =
+    if Engine.now engine < horizon then
+      Soda.Deployment.read d ~reader:r
+        ~at:(Engine.now engine +. 45.0)
+        ~on_done:(fun _ -> read_loop r ())
+        ()
+  in
+  write_loop 0 ();
+  write_loop 1 ();
+  read_loop 0 ();
+  read_loop 1 ();
+  Engine.run engine;
+  (d, initial_value, schedule)
+
+let chaos_tests =
+  [ qtest ~count:25 "liveness + atomicity through random crash/repair storms"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let d, initial_value, _ = run_chaos ~seed in
+        History.all_complete (Soda.Deployment.history d)
+        && Atomicity.check_tagged ~initial_value
+             (History.records (Soda.Deployment.history d))
+           = Ok ());
+    Alcotest.test_case "a chaotic run exercises real faults" `Quick (fun () ->
+        let _, _, schedule = run_chaos ~seed:11 in
+        Alcotest.(check bool)
+          (Printf.sprintf "crashes=%d" (Nemesis.crash_count schedule))
+          true
+          (Nemesis.crash_count schedule >= 2))
+  ]
+
+let store_chaos_tests =
+  [ qtest ~count:15 "multi-object store survives machine-level chaos"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let params = Params.make ~n:6 ~f:2 () in
+        let engine =
+          Engine.create ~seed ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+        in
+        let objects = [ "a"; "b" ] in
+        let store =
+          Soda.Store.create ~engine ~params ~objects ~num_writers:2
+            ~num_readers:2 ()
+        in
+        (* machine-level nemesis: crash/repair cycles hit every object's
+           processes on that machine together *)
+        let schedule =
+          Nemesis.generate ~params ~seed:(seed + 1) ~horizon:1200.0 ()
+        in
+        List.iter
+          (function
+            | Nemesis.Crash { coordinate; at } ->
+              Soda.Store.crash_server store ~coordinate ~at
+            | Nemesis.Repair { coordinate; at } ->
+              Soda.Store.repair_server store ~coordinate ~at)
+          schedule;
+        (* under chaos an operation can stall until a repair completes,
+           so clients chain their next operation from the completion
+           callback instead of fixed timestamps (closed loop) *)
+        List.iteri
+          (fun i obj ->
+            let rec write_loop w j () =
+              if j < 3 then
+                Soda.Store.write store ~obj ~writer:w
+                  ~at:(Engine.now engine +. 30.0)
+                  ~on_done:(write_loop w (j + 1))
+                  (Workload.value ~len:64 ~seed ~index:((100 * i) + (10 * w) + j))
+            in
+            let rec read_loop r j () =
+              if j < 3 then
+                Soda.Store.read store ~obj ~reader:r
+                  ~at:(Engine.now engine +. 40.0)
+                  ~on_done:(fun _ -> read_loop r (j + 1) ())
+                  ()
+            in
+            write_loop 0 0 ();
+            write_loop 1 0 ();
+            read_loop 0 0 ();
+            read_loop 1 0 ())
+          objects;
+        Engine.run engine;
+        Soda.Store.all_complete store
+        && Soda.Store.check_atomicity store = Ok ())
+  ]
+
+let () =
+  Alcotest.run "chaos"
+    [ ("nemesis", nemesis_unit_tests);
+      ("chaos-runs", chaos_tests);
+      ("store-chaos", store_chaos_tests)
+    ]

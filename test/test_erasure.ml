@@ -1,0 +1,477 @@
+(* Tests for the erasure-coding layer: framing, the two Reed-Solomon
+   codecs, replication and the unified Mds interface. *)
+
+module Splitter = Erasure.Splitter
+module Fragment = Erasure.Fragment
+module Rs_vandermonde = Erasure.Rs_vandermonde
+module Rs_systematic = Erasure.Rs_systematic
+module Rs_bch = Erasure.Rs_bch
+module Rs16 = Erasure.Rs16
+module Rs_bch16 = Erasure.Rs_bch16
+module Mds = Erasure.Mds
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let bytes_gen =
+  QCheck2.Gen.(string_size (int_range 0 600) >|= Bytes.of_string)
+
+(* (n, k) with 1 <= k <= n <= 30 *)
+let nk_gen =
+  QCheck2.Gen.(
+    int_range 1 30 >>= fun n ->
+    int_range 1 n >|= fun k -> (n, k))
+
+(* Choose [m] distinct elements of [0, n). *)
+let subset_gen ~n m =
+  QCheck2.Gen.(
+    shuffle_a (Array.init n (fun i -> i)) >|= fun perm -> Array.sub perm 0 m)
+
+(* ------------------------------------------------------------------ *)
+(* Splitter *)
+
+let splitter_tests =
+  [ qtest "frame/unframe round-trip"
+      QCheck2.Gen.(pair (int_range 1 40) bytes_gen)
+      (fun (k, v) -> Bytes.equal v (Splitter.unframe (Splitter.frame ~k v)));
+    qtest "framed length is a positive multiple of k"
+      QCheck2.Gen.(pair (int_range 1 40) bytes_gen)
+      (fun (k, v) ->
+        let framed = Splitter.frame ~k v in
+        Bytes.length framed > 0 && Bytes.length framed mod k = 0);
+    qtest "fragment_size consistent with frame"
+      QCheck2.Gen.(pair (int_range 1 40) bytes_gen)
+      (fun (k, v) ->
+        Splitter.fragment_size ~k ~value_len:(Bytes.length v) * k
+        = Bytes.length (Splitter.frame ~k v));
+    Alcotest.test_case "unframe rejects garbage" `Quick (fun () ->
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "short buffer" true
+          (raises (fun () -> Splitter.unframe (Bytes.of_string "ab")));
+        let bad = Bytes.make 8 '\255' in
+        Alcotest.(check bool) "bad header" true
+          (raises (fun () -> Splitter.unframe bad)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Vandermonde codec *)
+
+let vand_tests =
+  [ qtest "decode from any k fragments"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        pair bytes_gen (subset_gen ~n k) >|= fun (v, idx) -> (n, k, v, idx))
+      (fun (n, k, v, idx) ->
+        let code = Rs_vandermonde.make ~n ~k in
+        let frags = Rs_vandermonde.encode code v in
+        let chosen = Array.to_list (Array.map (fun i -> frags.(i)) idx) in
+        Bytes.equal v (Rs_vandermonde.decode code chosen));
+    qtest "extra fragments are harmless"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Rs_vandermonde.make ~n ~k in
+        let frags = Array.to_list (Rs_vandermonde.encode code v) in
+        Bytes.equal v (Rs_vandermonde.decode code frags));
+    qtest "duplicate indices do not count twice"
+      QCheck2.Gen.(
+        int_range 2 20 >>= fun n ->
+        int_range 2 n >>= fun k ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Rs_vandermonde.make ~n ~k in
+        let frags = Rs_vandermonde.encode code v in
+        (* k copies of fragment 0: only one distinct index *)
+        let dups = List.init k (fun _ -> frags.(0)) in
+        match Rs_vandermonde.decode code dups with
+        | _ -> false
+        | exception Rs_vandermonde.Insufficient_fragments { needed; got } ->
+          needed = k && got = 1);
+    qtest "fragment sizes match the formula"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Rs_vandermonde.make ~n ~k in
+        let frags = Rs_vandermonde.encode code v in
+        Array.for_all
+          (fun f ->
+            Fragment.size f
+            = Splitter.fragment_size ~k ~value_len:(Bytes.length v))
+          frags);
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        let invalid f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "k > n" true
+          (invalid (fun () -> Rs_vandermonde.make ~n:4 ~k:5));
+        Alcotest.(check bool) "n > 255" true
+          (invalid (fun () -> Rs_vandermonde.make ~n:256 ~k:3));
+        Alcotest.(check bool) "k = 0" true
+          (invalid (fun () -> Rs_vandermonde.make ~n:4 ~k:0)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BCH codec: errors and erasures *)
+
+(* Generate (n, k, value, erased set, error set) with
+   2*|errors| + |erasures| <= n - k, errors and erasures disjoint. *)
+let bch_scenario_gen =
+  QCheck2.Gen.(
+    int_range 2 24 >>= fun n ->
+    int_range 1 n >>= fun k ->
+    let budget = n - k in
+    int_range 0 (budget / 2) >>= fun errors ->
+    int_range 0 (budget - (2 * errors)) >>= fun erasures ->
+    subset_gen ~n (errors + erasures) >>= fun positions ->
+    bytes_gen >|= fun v ->
+    let err = Array.sub positions 0 errors in
+    let era = Array.sub positions errors erasures in
+    (n, k, v, era, err))
+
+let bch_tests =
+  [ qtest ~count:400 "corrects errors and erasures within the radius"
+      bch_scenario_gen
+      (fun (n, k, v, erased, errored) ->
+        let code = Rs_bch.make ~n ~k in
+        let frags = Rs_bch.encode code v in
+        let erased_set = Array.to_list erased in
+        let frags =
+          Array.to_list frags
+          |> List.filter (fun f ->
+                 not (List.mem (Fragment.index f) erased_set))
+          |> List.map (fun f ->
+                 if Array.exists (fun i -> i = Fragment.index f) errored then
+                   Fragment.corrupt f ~seed:42
+                 else f)
+        in
+        Bytes.equal v (Rs_bch.decode code frags));
+    qtest "systematic part carries the frame"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        (* decoding from exactly the systematic fragments works *)
+        let code = Rs_bch.make ~n ~k in
+        let frags = Rs_bch.encode code v in
+        let systematic =
+          List.init k (fun j -> frags.(n - k + j))
+        in
+        Bytes.equal v (Rs_bch.decode code systematic));
+    qtest ~count:100 "detects corruption beyond the radius or returns garbage \
+                      never silently for >= distance/2 on parity-only codes"
+      QCheck2.Gen.(
+        int_range 6 20 >>= fun n ->
+        let k = 1 in
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        (* with k = 1 and all but one fragment corrupted, decoding must
+           fail rather than return a wrong value silently, because the
+           locator cannot have that many roots. *)
+        let code = Rs_bch.make ~n ~k in
+        let frags = Rs_bch.encode code v in
+        let corrupted =
+          Array.to_list frags
+          |> List.mapi (fun i f ->
+                 if i < n - 1 then Fragment.corrupt f ~seed:7 else f)
+        in
+        match Rs_bch.decode code corrupted with
+        | decoded ->
+          (* if it decodes, it must decode to some codeword; we only
+             require no crash and a well-formed result here *)
+          Bytes.length decoded >= 0
+        | exception Rs_bch.Decode_failure _ -> true);
+    Alcotest.test_case "erasures-only at full radius" `Quick (fun () ->
+        let n = 9 and k = 4 in
+        let code = Rs_bch.make ~n ~k in
+        let v = Bytes.of_string "the quick brown fox jumps" in
+        let frags = Rs_bch.encode code v in
+        (* erase n - k = 5 fragments *)
+        let keep = [ frags.(0); frags.(2); frags.(5); frags.(7) ] in
+        Alcotest.(check bool) "decoded" true
+          (Bytes.equal v (Rs_bch.decode code keep)));
+    Alcotest.test_case "errors-only at full radius" `Quick (fun () ->
+        let n = 10 and k = 4 in
+        (* (n - k) / 2 = 3 corrupt fragments among all 10 present *)
+        let code = Rs_bch.make ~n ~k in
+        let v = Bytes.of_string "atomic registers from codes" in
+        let frags = Rs_bch.encode code v in
+        let frags =
+          Array.to_list frags
+          |> List.map (fun f ->
+                 match Fragment.index f with
+                 | 1 | 4 | 8 -> Fragment.corrupt f ~seed:99
+                 | _ -> f)
+        in
+        Alcotest.(check bool) "decoded" true
+          (Bytes.equal v (Rs_bch.decode code frags)));
+    Alcotest.test_case "insufficient fragments raise" `Quick (fun () ->
+        let code = Rs_bch.make ~n:8 ~k:5 in
+        let v = Bytes.of_string "x" in
+        let frags = Rs_bch.encode code v in
+        Alcotest.check_raises "too few"
+          (Rs_bch.Insufficient_fragments { needed = 5; got = 2 })
+          (fun () ->
+            ignore (Rs_bch.decode code [ frags.(0); frags.(3) ])))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Systematic codec *)
+
+let sys_tests =
+  [ qtest "decode from any k fragments"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        pair bytes_gen (subset_gen ~n k) >|= fun (v, idx) -> (n, k, v, idx))
+      (fun (n, k, v, idx) ->
+        let code = Rs_systematic.make ~n ~k in
+        let frags = Rs_systematic.encode code v in
+        let chosen = Array.to_list (Array.map (fun i -> frags.(i)) idx) in
+        Bytes.equal v (Rs_systematic.decode code chosen));
+    qtest "systematic fragments are the framed value verbatim"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Rs_systematic.make ~n ~k in
+        let frags = Rs_systematic.encode code v in
+        let framed = Splitter.frame ~k v in
+        let stripes = Bytes.length framed / k in
+        let ok = ref true in
+        for j = 0 to k - 1 do
+          for s = 0 to stripes - 1 do
+            if
+              Bytes.get (Fragment.data frags.(j)) s
+              <> Bytes.get framed ((s * k) + j)
+            then ok := false
+          done
+        done;
+        !ok);
+    qtest "fast path and matrix path agree"
+      QCheck2.Gen.(
+        int_range 2 16 >>= fun n ->
+        int_range 1 (n - 1) >>= fun k ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Rs_systematic.make ~n ~k in
+        let frags = Rs_systematic.encode code v in
+        let systematic = List.init k (fun j -> frags.(j)) in
+        (* swap one systematic fragment for a parity one to force the
+           matrix path *)
+        let mixed = frags.(n - 1) :: List.tl systematic in
+        Bytes.equal
+          (Rs_systematic.decode code systematic)
+          (Rs_systematic.decode code mixed));
+    qtest "agrees with the plain Vandermonde codec on the decoded value"
+      QCheck2.Gen.(
+        nk_gen >>= fun (n, k) ->
+        pair bytes_gen (subset_gen ~n k) >|= fun (v, idx) -> (n, k, v, idx))
+      (fun (n, k, v, idx) ->
+        (* fragments differ between the two codes, but both must decode
+           any k of their own fragments back to v *)
+        let sys = Rs_systematic.make ~n ~k in
+        let vand = Rs_vandermonde.make ~n ~k in
+        let pick frags = Array.to_list (Array.map (fun i -> frags.(i)) idx) in
+        Bytes.equal
+          (Rs_systematic.decode sys (pick (Rs_systematic.encode sys v)))
+          (Rs_vandermonde.decode vand (pick (Rs_vandermonde.encode vand v))));
+    Alcotest.test_case "insufficient fragments raise" `Quick (fun () ->
+        let code = Rs_systematic.make ~n:6 ~k:4 in
+        let frags = Rs_systematic.encode code (Bytes.of_string "zz") in
+        Alcotest.check_raises "too few"
+          (Rs_systematic.Insufficient_fragments { needed = 4; got = 2 })
+          (fun () ->
+            ignore (Rs_systematic.decode code [ frags.(0); frags.(5) ])))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GF(2^16) codec: beyond 255 fragments *)
+
+let rs16_tests =
+  [ qtest ~count:100 "decode from any k fragments (moderate n)"
+      QCheck2.Gen.(
+        int_range 1 40 >>= fun n ->
+        int_range 1 n >>= fun k ->
+        pair bytes_gen (subset_gen ~n k) >|= fun (v, idx) -> (n, k, v, idx))
+      (fun (n, k, v, idx) ->
+        let code = Rs16.make ~n ~k in
+        let frags = Rs16.encode code v in
+        let chosen = Array.to_list (Array.map (fun i -> frags.(i)) idx) in
+        Bytes.equal v (Rs16.decode code chosen));
+    qtest ~count:10 "round-trips with n in the hundreds"
+      QCheck2.Gen.(
+        int_range 256 600 >>= fun n ->
+        int_range 1 12 >>= fun k ->
+        pair bytes_gen (subset_gen ~n k) >|= fun (v, idx) -> (n, k, v, idx))
+      (fun (n, k, v, idx) ->
+        (* beyond the GF(2^8) codecs' n <= 255 cap *)
+        let code = Rs16.make ~n ~k in
+        let frags = Rs16.encode code v in
+        let chosen = Array.to_list (Array.map (fun i -> frags.(i)) idx) in
+        Bytes.equal v (Rs16.decode code chosen));
+    Alcotest.test_case "n = 255 is rejected by gf256 codecs, fine here"
+      `Quick (fun () ->
+        Alcotest.(check bool) "vand rejects 300" true
+          (match Rs_vandermonde.make ~n:300 ~k:10 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        let code = Rs16.make ~n:300 ~k:10 in
+        let v = Bytes.of_string "three hundred servers" in
+        let frags = Rs16.encode code v in
+        Alcotest.(check int) "300 fragments" 300 (Array.length frags);
+        let some = List.init 10 (fun i -> frags.(29 * i)) in
+        Alcotest.(check bool) "decodes" true
+          (Bytes.equal v (Rs16.decode code some)));
+    Alcotest.test_case "insufficient fragments raise" `Quick (fun () ->
+        let code = Rs16.make ~n:8 ~k:5 in
+        let frags = Rs16.encode code (Bytes.of_string "x") in
+        Alcotest.check_raises "too few"
+          (Rs16.Insufficient_fragments { needed = 5; got = 2 })
+          (fun () -> ignore (Rs16.decode code [ frags.(0); frags.(3) ])));
+    qtest "Mds.fragment_size matches actual fragments"
+      QCheck2.Gen.(
+        int_range 1 30 >>= fun n ->
+        int_range 1 n >>= fun k ->
+        bytes_gen >|= fun v -> (n, k, v))
+      (fun (n, k, v) ->
+        let code = Mds.rs16 ~n ~k in
+        let frags = Mds.encode code v in
+        Array.for_all
+          (fun f ->
+            Fragment.size f
+            = Mds.fragment_size code ~value_len:(Bytes.length v))
+          frags)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GF(2^16) errors-and-erasures codec *)
+
+let bch16_tests =
+  [ qtest ~count:150 "corrects errors and erasures within the radius"
+      QCheck2.Gen.(
+        int_range 2 40 >>= fun n ->
+        int_range 1 n >>= fun k ->
+        let budget = n - k in
+        int_range 0 (budget / 2) >>= fun errors ->
+        int_range 0 (budget - (2 * errors)) >>= fun erasures ->
+        subset_gen ~n (errors + erasures) >>= fun positions ->
+        bytes_gen >|= fun v ->
+        (n, k, v, Array.sub positions errors erasures,
+         Array.sub positions 0 errors))
+      (fun (n, k, v, erased, errored) ->
+        let code = Rs_bch16.make ~n ~k in
+        let frags = Rs_bch16.encode code v in
+        let erased_set = Array.to_list erased in
+        let frags =
+          Array.to_list frags
+          |> List.filter (fun f -> not (List.mem (Fragment.index f) erased_set))
+          |> List.map (fun f ->
+                 if Array.exists (fun i -> i = Fragment.index f) errored then
+                   Fragment.corrupt f ~seed:42
+                 else f)
+        in
+        Bytes.equal v (Rs_bch16.decode code frags));
+    Alcotest.test_case "errors + erasures beyond n = 255" `Quick (fun () ->
+        let n = 300 and k = 280 in
+        (* budget n - k = 20: tolerate 6 errors + 8 erasures *)
+        let code = Rs_bch16.make ~n ~k in
+        let v = Bytes.of_string (String.make 2000 'q') in
+        let frags = Rs_bch16.encode code v in
+        let surviving =
+          Array.to_list frags
+          |> List.filter (fun f -> Fragment.index f mod 40 <> 0)
+             (* drops indices 0, 40, ..., 280: 8 erasures *)
+          |> List.mapi (fun i f ->
+                 if i < 6 then Fragment.corrupt f ~seed:5 else f)
+        in
+        Alcotest.(check bool) "decoded" true
+          (Bytes.equal v (Rs_bch16.decode code surviving)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Replication + Mds dispatch *)
+
+let mds_tests =
+  [ qtest "replication round-trips from any single fragment"
+      QCheck2.Gen.(
+        int_range 1 20 >>= fun n ->
+        pair bytes_gen (int_range 0 (n - 1)) >|= fun (v, i) -> (n, v, i))
+      (fun (n, v, i) ->
+        let code = Mds.replication ~n in
+        let frags = Mds.encode code v in
+        Bytes.equal v (Mds.decode code [ frags.(i) ]));
+    qtest "Mds round-trip across all codecs"
+      QCheck2.Gen.(
+        int_range 2 16 >>= fun n ->
+        int_range 1 n >>= fun k ->
+        pair bytes_gen (int_range 0 3) >>= fun (v, which) ->
+        subset_gen ~n k >|= fun idx -> (n, k, v, which, idx))
+      (fun (n, k, v, which, idx) ->
+        let code =
+          match which with
+          | 0 -> Mds.rs_vandermonde ~n ~k
+          | 1 -> Mds.rs_bch ~n ~k
+          | 2 -> Mds.rs_systematic ~n ~k
+          | _ -> Mds.replication ~n
+        in
+        let frags = Mds.encode code v in
+        let subset =
+          if which = 3 then [ frags.(idx.(0)) ]
+          else Array.to_list (Array.map (fun i -> frags.(i)) idx)
+        in
+        Bytes.equal v (Mds.decode code subset));
+    Alcotest.test_case "storage overhead" `Quick (fun () ->
+        Alcotest.(check (float 1e-9))
+          "rs" (10. /. 7.)
+          (Mds.storage_overhead (Mds.rs_vandermonde ~n:10 ~k:7));
+        Alcotest.(check (float 1e-9))
+          "replication" 5.
+          (Mds.storage_overhead (Mds.replication ~n:5)));
+    Alcotest.test_case "names" `Quick (fun () ->
+        Alcotest.(check string) "vand" "rs-vand[9,5]"
+          (Mds.name (Mds.rs_vandermonde ~n:9 ~k:5));
+        Alcotest.(check string) "bch" "rs-bch[9,3]"
+          (Mds.name (Mds.rs_bch ~n:9 ~k:3));
+        Alcotest.(check string) "repl" "replication[4]"
+          (Mds.name (Mds.replication ~n:4)));
+    Alcotest.test_case "Mds.decode converts exceptions" `Quick (fun () ->
+        let code = Mds.rs_vandermonde ~n:6 ~k:4 in
+        let v = Bytes.of_string "abc" in
+        let frags = Mds.encode code v in
+        Alcotest.check_raises "insufficient"
+          (Mds.Insufficient_fragments { needed = 4; got = 1 })
+          (fun () -> ignore (Mds.decode code [ frags.(0) ])));
+    qtest "corrupt changes every byte and keeps the index"
+      QCheck2.Gen.(
+        pair (string_size (int_range 1 100) >|= Bytes.of_string)
+          (int_range 0 1000))
+      (fun (data, seed) ->
+        let f = Fragment.make ~index:3 ~data in
+        let g = Fragment.corrupt f ~seed in
+        Fragment.index g = 3
+        && Fragment.size g = Fragment.size f
+        && (let differs = ref true in
+            for i = 0 to Bytes.length data - 1 do
+              if Bytes.get (Fragment.data g) i = Bytes.get data i then
+                differs := false
+            done;
+            !differs))
+  ]
+
+let () =
+  Alcotest.run "erasure"
+    [ ("splitter", splitter_tests);
+      ("rs-vandermonde", vand_tests);
+      ("rs-bch", bch_tests);
+      ("rs-systematic", sys_tests);
+      ("rs16", rs16_tests);
+      ("rs-bch16", bch16_tests);
+      ("mds", mds_tests)
+    ]

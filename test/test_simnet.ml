@@ -1,0 +1,394 @@
+(* Tests for the discrete-event simulator: RNG, event queue, delay
+   models, and engine semantics (reliable delivery, crash behaviour,
+   determinism). *)
+
+module Rng = Simnet.Rng
+module Delay = Simnet.Delay
+module Event_queue = Simnet.Event_queue
+module Engine = Simnet.Engine
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let rng_tests =
+  [ qtest "same seed, same stream" QCheck2.Gen.int (fun seed ->
+        let a = Rng.create seed and b = Rng.create seed in
+        List.init 50 (fun _ -> Rng.int64 a)
+        = List.init 50 (fun _ -> Rng.int64 b));
+    qtest "int respects bound" QCheck2.Gen.(pair int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        List.init 100 (fun _ -> Rng.int rng bound)
+        |> List.for_all (fun x -> x >= 0 && x < bound));
+    qtest "int_in respects range"
+      QCheck2.Gen.(triple int (int_range (-50) 50) (int_range 0 100))
+      (fun (seed, lo, span) ->
+        let hi = lo + span in
+        let rng = Rng.create seed in
+        List.init 100 (fun _ -> Rng.int_in rng lo hi)
+        |> List.for_all (fun x -> x >= lo && x <= hi));
+    qtest "float respects bound" QCheck2.Gen.int (fun seed ->
+        let rng = Rng.create seed in
+        List.init 100 (fun _ -> Rng.float rng 3.5)
+        |> List.for_all (fun x -> x >= 0. && x < 3.5));
+    qtest "exponential is positive" QCheck2.Gen.int (fun seed ->
+        let rng = Rng.create seed in
+        List.init 100 (fun _ -> Rng.exponential rng ~mean:2.0)
+        |> List.for_all (fun x -> x >= 0.));
+    qtest "split streams differ from parent continuation" QCheck2.Gen.int
+      (fun seed ->
+        let parent = Rng.create seed in
+        let child = Rng.split parent in
+        let a = List.init 20 (fun _ -> Rng.int64 parent) in
+        let b = List.init 20 (fun _ -> Rng.int64 child) in
+        a <> b);
+    qtest "shuffle permutes" QCheck2.Gen.int (fun seed ->
+        let rng = Rng.create seed in
+        let a = Array.init 30 (fun i -> i) in
+        Rng.shuffle_in_place rng a;
+        List.sort compare (Array.to_list a) = List.init 30 (fun i -> i));
+    Alcotest.test_case "invalid bounds rejected" `Quick (fun () ->
+        let rng = Rng.create 1 in
+        Alcotest.check_raises "zero bound"
+          (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+            ignore (Rng.int rng 0));
+        Alcotest.check_raises "empty range"
+          (Invalid_argument "Rng.int_in: empty range") (fun () ->
+            ignore (Rng.int_in rng 3 2));
+        Alcotest.check_raises "empty pick"
+          (Invalid_argument "Rng.pick: empty array") (fun () ->
+            ignore (Rng.pick rng [||])));
+    (* a crude uniformity check: mean of many draws near bound/2 *)
+    Alcotest.test_case "rough uniformity" `Quick (fun () ->
+        let rng = Rng.create 99 in
+        let n = 20_000 in
+        let sum = ref 0 in
+        for _ = 1 to n do
+          sum := !sum + Rng.int rng 100
+        done;
+        let mean = float_of_int !sum /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "mean %.2f within [47, 52]" mean)
+          true
+          (mean > 47. && mean < 52.))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let queue_tests =
+  [ qtest "pops in time order"
+      QCheck2.Gen.(list_size (int_range 0 200) (float_bound_inclusive 1000.))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iteri (fun i time -> Event_queue.push q ~time i) times;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (time, _) -> drain (time :: acc)
+        in
+        let popped = drain [] in
+        popped = List.sort compare times);
+    qtest "ties break by insertion order"
+      QCheck2.Gen.(int_range 1 100)
+      (fun count ->
+        let q = Event_queue.create () in
+        for i = 0 to count - 1 do
+          Event_queue.push q ~time:1.0 i
+        done;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (_, payload) -> drain (payload :: acc)
+        in
+        drain [] = List.init count (fun i -> i));
+    Alcotest.test_case "size / peek / clear" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+        Event_queue.push q ~time:5.0 "b";
+        Event_queue.push q ~time:2.0 "a";
+        Alcotest.(check int) "size" 2 (Event_queue.size q);
+        Alcotest.(check (option (float 0.))) "peek" (Some 2.0)
+          (Event_queue.peek_time q);
+        Event_queue.clear q;
+        Alcotest.(check bool) "cleared" true (Event_queue.is_empty q));
+    Alcotest.test_case "NaN rejected" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Alcotest.check_raises "nan"
+          (Invalid_argument "Event_queue.push: NaN time") (fun () ->
+            Event_queue.push q ~time:Float.nan ()))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Delay models *)
+
+let delay_tests =
+  [ qtest "draws respect the declared upper bound"
+      QCheck2.Gen.(triple int (float_range 0.1 5.0) (float_range 0.0 5.0))
+      (fun (seed, hi, lo_frac) ->
+        let lo = lo_frac *. hi /. 5.0 in
+        let rng = Rng.create seed in
+        let models =
+          [ Delay.constant hi;
+            Delay.uniform ~lo ~hi;
+            Delay.exponential ~mean:(hi /. 2.) ~cap:hi
+          ]
+        in
+        List.for_all
+          (fun m ->
+            let bound = Option.get (Delay.upper_bound m) in
+            List.init 50 (fun _ -> Delay.draw m rng ~src:0 ~dst:1)
+            |> List.for_all (fun d -> d > 0. && d <= bound))
+          models);
+    Alcotest.test_case "per-link dispatches on endpoints" `Quick (fun () ->
+        let m =
+          Delay.per_link (fun ~src ~dst:_ ->
+              if src = 0 then Delay.constant 9.0 else Delay.constant 1.0)
+        in
+        let rng = Rng.create 5 in
+        Alcotest.(check (float 1e-9)) "slow" 9.0 (Delay.draw m rng ~src:0 ~dst:3);
+        Alcotest.(check (float 1e-9)) "fast" 1.0 (Delay.draw m rng ~src:2 ~dst:3);
+        Alcotest.(check (option (float 0.))) "no bound" None (Delay.upper_bound m));
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        let invalid f =
+          match f () with exception Invalid_argument _ -> true | _ -> false
+        in
+        Alcotest.(check bool) "negative constant" true
+          (invalid (fun () -> Delay.constant (-1.)));
+        Alcotest.(check bool) "reversed range" true
+          (invalid (fun () -> Delay.uniform ~lo:2. ~hi:1.));
+        Alcotest.(check bool) "cap below mean" true
+          (invalid (fun () -> Delay.exponential ~mean:2. ~cap:1.)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+(* a tiny ping-pong protocol: processes bounce a counter until it
+   reaches a limit *)
+type ping = Ping of int
+
+let engine_tests =
+  [ Alcotest.test_case "messages are delivered, replies flow" `Quick (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let log = ref [] in
+        let handler ctx ~src (Ping i) =
+          log := (Engine.self ctx, i) :: !log;
+          if i < 5 then Engine.send ctx ~dst:src (Ping (i + 1))
+        in
+        Engine.set_handler engine a handler;
+        Engine.set_handler engine b handler;
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:b (Ping 0));
+        Engine.run engine;
+        Alcotest.(check int) "six deliveries" 6 (List.length !log);
+        Alcotest.(check (float 1e-9)) "clock advanced" 6.0 (Engine.now engine));
+    Alcotest.test_case "crashed destination drops silently" `Quick (fun () ->
+        let engine =
+          Engine.create ~seed:1 ~trace:true ~delay:(Delay.constant 1.0) ()
+        in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let received = ref 0 in
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> incr received);
+        Engine.set_handler engine b (fun _ ~src:_ (Ping _) -> incr received);
+        Engine.crash_at engine b 0.5;
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:b (Ping 1));
+        Engine.run engine;
+        Alcotest.(check int) "not received" 0 !received;
+        let dropped =
+          List.exists
+            (function Engine.Dropped _ -> true | _ -> false)
+            (Engine.trace_events engine)
+        in
+        Alcotest.(check bool) "drop traced" true dropped);
+    Alcotest.test_case "crashed process stops sending and timers die" `Quick
+      (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let received = ref 0 in
+        Engine.set_handler engine b (fun _ ~src:_ (Ping _) -> incr received);
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> ());
+        (* a schedules a send for t=2 but crashes at t=1 *)
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.schedule_local ctx ~delay:2.0 (fun () ->
+                Engine.send ctx ~dst:b (Ping 7)));
+        Engine.crash_at engine a 1.0;
+        Engine.run engine;
+        Alcotest.(check int) "no message" 0 !received;
+        Alcotest.(check bool) "a crashed" true (Engine.is_crashed engine a));
+    Alcotest.test_case "sender may crash after send; delivery persists" `Quick
+      (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 5.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let received = ref 0 in
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> ());
+        Engine.set_handler engine b (fun _ ~src:_ (Ping _) -> incr received);
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:b (Ping 1));
+        Engine.crash_at engine a 1.0;
+        (* crash happens at t=1, delivery at t=5 *)
+        Engine.run engine;
+        Alcotest.(check int) "delivered anyway" 1 !received);
+    qtest ~count:50 "determinism: same seed, same trace" QCheck2.Gen.int
+      (fun seed ->
+        let run () =
+          let engine =
+            Engine.create ~seed ~trace:true
+              ~delay:(Delay.uniform ~lo:0.1 ~hi:3.0) ()
+          in
+          let n = 4 in
+          let pids =
+            Array.init n (fun i ->
+                Engine.reserve engine ~name:(string_of_int i))
+          in
+          Array.iter
+            (fun pid ->
+              Engine.set_handler engine pid (fun ctx ~src:_ (Ping i) ->
+                  if i < 30 then begin
+                    let dst =
+                      pids.(Simnet.Rng.int (Engine.rng_ctx ctx) n)
+                    in
+                    Engine.send ctx ~dst (Ping (i + 1))
+                  end))
+            pids;
+          Engine.inject engine ~at:0.0 pids.(0) (fun ctx ->
+              Engine.send ctx ~dst:pids.(1) (Ping 0));
+          Engine.run engine;
+          (Engine.trace_events engine, Engine.now engine)
+        in
+        run () = run ());
+    Alcotest.test_case "run ~until leaves later events queued" `Quick
+      (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 10.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let received = ref 0 in
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> ());
+        Engine.set_handler engine b (fun _ ~src:_ (Ping _) -> incr received);
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:b (Ping 1));
+        Engine.run ~until:5.0 engine;
+        Alcotest.(check int) "not yet" 0 !received;
+        Alcotest.(check int) "still queued" 1 (Engine.pending_events engine);
+        Engine.run engine;
+        Alcotest.(check int) "eventually" 1 !received);
+    Alcotest.test_case "event limit guard" `Quick (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        (* a sends to itself forever *)
+        Engine.set_handler engine a (fun ctx ~src:_ (Ping i) ->
+            Engine.send ctx ~dst:a (Ping (i + 1)));
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:a (Ping 0));
+        Alcotest.check_raises "limit" (Engine.Event_limit_exceeded 100)
+          (fun () -> Engine.run ~max_events:100 engine));
+    Alcotest.test_case "second handler installation rejected" `Quick
+      (fun () ->
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> ());
+        Alcotest.check_raises "double"
+          (Invalid_argument "Engine.set_handler: handler already installed")
+          (fun () -> Engine.set_handler engine a (fun _ ~src:_ _ -> ())))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace checking: the simulator is itself validated against the model *)
+
+let trace_tests =
+  [ qtest ~count:40 "random protocol traces satisfy the channel axioms"
+      QCheck2.Gen.int
+      (fun seed ->
+        (* run a real SODA execution with traces on, crashes included *)
+        let params = Protocol.Params.make ~n:6 ~f:2 () in
+        let engine =
+          Engine.create ~seed ~trace:true
+            ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+        in
+        let d =
+          Soda.Deployment.deploy ~engine ~params
+            ~initial_value:(Bytes.make 32 'i') ~num_writers:1 ~num_readers:1
+            ()
+        in
+        Soda.Deployment.write d ~writer:0 ~at:0.0 (Bytes.make 32 'a');
+        Soda.Deployment.read d ~reader:0 ~at:40.0 ();
+        Soda.Deployment.crash_server d ~coordinate:1 ~at:20.0;
+        Soda.Deployment.crash_server d ~coordinate:4 ~at:60.0;
+        Engine.run engine;
+        Simnet.Trace_check.check (Engine.trace_events engine) = Ok ());
+    Alcotest.test_case "crash-free quiescent traces deliver everything"
+      `Quick (fun () ->
+        let engine =
+          Engine.create ~seed:2 ~trace:true ~delay:(Delay.constant 1.0) ()
+        in
+        let a = Engine.reserve engine ~name:"a" in
+        let b = Engine.reserve engine ~name:"b" in
+        let handler ctx ~src (Ping i) =
+          if i < 10 then Engine.send ctx ~dst:src (Ping (i + 1))
+        in
+        Engine.set_handler engine a handler;
+        Engine.set_handler engine b handler;
+        Engine.inject engine ~at:0.0 a (fun ctx ->
+            Engine.send ctx ~dst:b (Ping 0));
+        Engine.run engine;
+        let events = Engine.trace_events engine in
+        Alcotest.(check bool) "valid" true
+          (Simnet.Trace_check.check events = Ok ());
+        Alcotest.(check (float 1e-9)) "all delivered" 1.0
+          (Simnet.Trace_check.delivered_ratio events));
+    Alcotest.test_case "forged traces are rejected" `Quick (fun () ->
+        let bad what events =
+          Alcotest.(check bool) what true
+            (Result.is_error (Simnet.Trace_check.check events))
+        in
+        bad "delivery without send"
+          [ Engine.Delivered { time = 1.0; src = 0; dst = 1 } ];
+        bad "clock reversal"
+          [ Engine.Sent { time = 2.0; src = 0; dst = 1 };
+            Engine.Delivered { time = 1.0; src = 0; dst = 1 }
+          ];
+        bad "double delivery of one send"
+          [ Engine.Sent { time = 0.0; src = 0; dst = 1 };
+            Engine.Delivered { time = 1.0; src = 0; dst = 1 };
+            Engine.Delivered { time = 2.0; src = 0; dst = 1 }
+          ];
+        bad "delivery to crashed process"
+          [ Engine.Sent { time = 0.0; src = 0; dst = 1 };
+            Engine.Crashed { time = 0.5; pid = 1 };
+            Engine.Delivered { time = 1.0; src = 0; dst = 1 }
+          ];
+        bad "restore of a live process"
+          [ Engine.Restored { time = 0.0; pid = 3 } ];
+        bad "double crash"
+          [ Engine.Crashed { time = 0.0; pid = 3 };
+            Engine.Crashed { time = 1.0; pid = 3 }
+          ]);
+    Alcotest.test_case "crash-restore-deliver is accepted" `Quick (fun () ->
+        let events =
+          [ Engine.Crashed { time = 0.0; pid = 1 };
+            Engine.Restored { time = 1.0; pid = 1 };
+            Engine.Sent { time = 2.0; src = 0; dst = 1 };
+            Engine.Delivered { time = 3.0; src = 0; dst = 1 }
+          ]
+        in
+        Alcotest.(check bool) "valid" true
+          (Simnet.Trace_check.check events = Ok ()))
+  ]
+
+let () =
+  Alcotest.run "simnet"
+    [ ("rng", rng_tests);
+      ("event-queue", queue_tests);
+      ("delay", delay_tests);
+      ("engine", engine_tests);
+      ("trace-check", trace_tests)
+    ]

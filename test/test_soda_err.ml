@@ -1,0 +1,284 @@
+(* Tests for SODAerr (Section VI): correctness despite silently
+   corrupted local disk reads at up to e servers, combined with up to f
+   crashes; the k = n - f - 2e code dimension; the k + 2e decode and
+   unregistration thresholds; and the storage/cost claims of Thm 6.3. *)
+
+module Engine = Simnet.Engine
+module Delay = Simnet.Delay
+module Params = Protocol.Params
+module History = Protocol.History
+module Cost = Protocol.Cost
+module Probe = Protocol.Probe
+module Atomicity = Protocol.Atomicity
+module Workload = Harness.Workload
+module Runner = Harness.Runner
+module Metrics = Harness.Metrics
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let accept (r : Runner.result) =
+  History.all_complete r.Runner.history
+  && Atomicity.check_tagged ~initial_value:r.Runner.initial_value
+       (History.records r.Runner.history)
+     = Ok ()
+
+(* params with e > 0 and room for it: n - f - 2e >= 1 *)
+let err_params_gen =
+  QCheck2.Gen.(
+    int_range 5 16 >>= fun n ->
+    int_range 1 (Params.fmax ~n) >>= fun f ->
+    let emax = (n - f - 1) / 2 in
+    int_range 1 (max 1 emax) >|= fun e ->
+    if n - f - (2 * e) < 1 then Params.make ~n ~f ~e:1 ()
+    else Params.make ~n ~f ~e ())
+
+(* pick e distinct error-prone coordinates *)
+let error_coords_gen params =
+  QCheck2.Gen.(
+    shuffle_a (Array.init (Params.n params) (fun i -> i)) >|= fun perm ->
+    Array.to_list (Array.sub perm 0 (Params.e params)))
+
+let basic_tests =
+  [ Alcotest.test_case "read decodes through e corrupt servers" `Quick
+      (fun () ->
+        let params = Params.make ~n:10 ~f:2 ~e:2 () in
+        let engine = Engine.create ~seed:5 ~delay:(Delay.constant 1.0) () in
+        let d =
+          Soda.Deployment.deploy ~engine ~params
+            ~initial_value:(Bytes.make 128 'i') ~error_prone:[ 1; 6 ]
+            ~num_writers:1 ~num_readers:1 ()
+        in
+        let written = Bytes.of_string "survives silent disk corruption" in
+        let result = ref None in
+        Soda.Deployment.write d ~writer:0 ~at:0.0 written;
+        Soda.Deployment.read d ~reader:0 ~at:50.0
+          ~on_done:(fun v -> result := Some v)
+          ();
+        Engine.run engine;
+        (match !result with
+        | Some v -> Alcotest.(check bool) "value" true (Bytes.equal v written)
+        | None -> Alcotest.fail "read did not complete"));
+    Alcotest.test_case "initial value survives corrupt reads too" `Quick
+      (fun () ->
+        let params = Params.make ~n:8 ~f:1 ~e:1 () in
+        let engine = Engine.create ~seed:9 ~delay:(Delay.constant 1.0) () in
+        let initial_value = Bytes.of_string "genesis block" in
+        let d =
+          Soda.Deployment.deploy ~engine ~params ~initial_value
+            ~error_prone:[ 0 ] ~num_writers:1 ~num_readers:1 ()
+        in
+        let result = ref None in
+        Soda.Deployment.read d ~reader:0 ~at:0.0
+          ~on_done:(fun v -> result := Some v)
+          ();
+        Engine.run engine;
+        (match !result with
+        | Some v ->
+          Alcotest.(check bool) "value" true (Bytes.equal v initial_value)
+        | None -> Alcotest.fail "read did not complete"));
+    Alcotest.test_case "code dimension and thresholds follow Section VI"
+      `Quick (fun () ->
+        let params = Params.make ~n:12 ~f:3 ~e:2 () in
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let d =
+          Soda.Deployment.deploy ~engine ~params ~num_writers:1 ~num_readers:1
+            ()
+        in
+        let config = Soda.Deployment.config d in
+        Alcotest.(check int) "k = n - f - 2e" 5
+          (Erasure.Mds.k config.Soda.Config.code);
+        Alcotest.(check int) "threshold = k + 2e" 9
+          config.Soda.Config.decode_threshold;
+        Alcotest.(check string) "BCH codec" "rs-bch[12,5]"
+          (Erasure.Mds.name config.Soda.Config.code));
+    Alcotest.test_case "more error-prone servers than e is rejected" `Quick
+      (fun () ->
+        let params = Params.make ~n:10 ~f:2 ~e:1 () in
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        Alcotest.(check bool) "rejected" true
+          (match
+             Soda.Deployment.deploy ~engine ~params ~error_prone:[ 0; 1 ]
+               ~num_writers:1 ~num_readers:1 ()
+           with
+          | _ -> false
+          | exception Invalid_argument _ -> true))
+  ]
+
+let random_tests =
+  [ qtest ~count:50 "liveness + atomicity with e corrupt disks (Thm 6.1, 6.2)"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        error_coords_gen params >>= fun coords ->
+        int_range 0 100_000 >|= fun seed -> (params, coords, seed))
+      (fun (params, coords, seed) ->
+        let w =
+          Workload.concurrent ~params ~value_len:128 ~seed ~num_writers:2
+            ~num_readers:2 ~ops_per_client:2
+            ~delay:(Delay.uniform ~lo:0.2 ~hi:2.5) ()
+        in
+        let w = Workload.with_errors w coords in
+        accept (Runner.run Runner.Soda w));
+    qtest ~count:40 "liveness + atomicity with e corrupt disks AND f crashes"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        error_coords_gen params >>= fun coords ->
+        int_range 0 100_000 >>= fun seed ->
+        shuffle_a (Array.init (Params.n params) (fun i -> i)) >>= fun perm ->
+        list_size
+          (return (Params.f params))
+          (float_range 0.0 400.0)
+        >|= fun times ->
+        (params, coords, seed, List.mapi (fun i t -> (perm.(i), t)) times))
+      (fun (params, coords, seed, crashes) ->
+        let w =
+          Workload.concurrent ~params ~value_len:128 ~seed ~num_writers:2
+            ~num_readers:2 ~ops_per_client:2
+            ~delay:(Delay.uniform ~lo:0.2 ~hi:2.5) ()
+        in
+        let w = Workload.with_errors (Workload.with_crashes w crashes) coords in
+        accept (Runner.run Runner.Soda w));
+    qtest ~count:30 "returned values are never corrupted"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        error_coords_gen params >>= fun coords ->
+        int_range 0 100_000 >|= fun seed -> (params, coords, seed))
+      (fun (params, coords, seed) ->
+        (* P3 of the tag checker already compares read values against
+           writes; this asserts it directly for clarity *)
+        let w =
+          Workload.concurrent ~params ~value_len:256 ~seed ~num_writers:1
+            ~num_readers:2 ~ops_per_client:2 ()
+        in
+        let w = Workload.with_errors w coords in
+        let r = Runner.run Runner.Soda w in
+        let records = History.records r.Runner.history in
+        let value_of_tag tag =
+          if Protocol.Tag.equal tag Protocol.Tag.initial then
+            Some r.Runner.initial_value
+          else
+            List.find_map
+              (fun o ->
+                if o.History.kind = History.Write && o.History.tag = Some tag
+                then o.History.value
+                else None)
+              records
+        in
+        List.for_all
+          (fun o ->
+            o.History.kind = History.Write
+            ||
+            match (o.History.tag, o.History.value) with
+            | Some tag, Some v -> (
+              match value_of_tag tag with
+              | Some written -> Bytes.equal v written
+              | None -> false)
+            | _ -> o.History.responded_at = None)
+          records)
+  ]
+
+let cost_tests =
+  [ qtest ~count:30 "Thm 6.3(i): storage is exactly n/(n-f-2e) fragments"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        int_range 0 10_000 >|= fun seed -> (params, seed))
+      (fun (params, seed) ->
+        let w =
+          Workload.sequential ~params ~value_len:512 ~seed ~rounds:2 ()
+        in
+        let r = Runner.run Runner.Soda w in
+        let n = Params.n params and k = Params.k_soda params in
+        let frag = Erasure.Splitter.fragment_size ~k ~value_len:512 in
+        let expected = float_of_int (n * frag) /. 512.0 in
+        abs_float (Cost.max_total_storage r.Runner.cost -. expected) < 1e-9);
+    qtest ~count:30 "Thm 6.3(ii): write cost stays below 5 f^2"
+      QCheck2.Gen.(
+        int_range 2 10 >>= fun f ->
+        int_range (2 * f + 3) 24 >>= fun n ->
+        int_range 0 10_000 >|= fun seed -> (n, f, seed))
+      (fun (n, f, seed) ->
+        let params = Params.make ~n ~f ~e:1 () in
+        let w = Workload.sequential ~params ~value_len:2048 ~seed ~rounds:2 () in
+        let r = Runner.run Runner.Soda w in
+        let bound = 5.0 *. float_of_int (f * f) in
+        History.records r.Runner.history
+        |> List.filter (fun o -> o.History.kind = History.Write)
+        |> List.for_all (fun o ->
+               Cost.comm_of_op r.Runner.cost ~op:o.History.op <= bound));
+    qtest ~count:30
+      "Thm 6.3(iii): quiescent read cost between k+2e and n elements"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        error_coords_gen params >>= fun coords ->
+        int_range 0 10_000 >|= fun seed -> (params, coords, seed))
+      (fun (params, coords, seed) ->
+        (* n/(n-f-2e) is the worst case; a reordered READ-COMPLETE can
+           spare some servers their relay, but never below the k + 2e
+           the reader needs to decode *)
+        let w = Workload.sequential ~params ~value_len:512 ~seed ~rounds:2 () in
+        let w = Workload.with_errors w coords in
+        let r = Runner.run Runner.Soda w in
+        let n = Params.n params
+        and k = Params.k_soda params
+        and e = Params.e params in
+        let frag = Erasure.Splitter.fragment_size ~k ~value_len:512 in
+        let unit = float_of_int frag /. 512.0 in
+        History.records r.Runner.history
+        |> List.filter (fun o -> o.History.kind = History.Read)
+        |> List.for_all (fun o ->
+               let c = Cost.comm_of_op r.Runner.cost ~op:o.History.op in
+               c >= (float_of_int (k + (2 * e)) *. unit) -. 1e-9
+               && c <= (float_of_int n *. unit) +. 1e-9))
+  ]
+
+let threshold_tests =
+  [ Alcotest.test_case
+      "with only k + 2e - 1 live servers the read cannot finish; with k + 2e \
+       it can"
+      `Quick (fun () ->
+        let params = Params.make ~n:10 ~f:2 ~e:1 () in
+        (* k = 6, threshold 8 *)
+        let run ~alive =
+          let engine = Engine.create ~seed:3 ~delay:(Delay.constant 1.0) () in
+          let d =
+            Soda.Deployment.deploy ~engine ~params
+              ~initial_value:(Bytes.make 64 'i') ~num_writers:1 ~num_readers:1
+              ()
+          in
+          (* crash everything beyond [alive] coordinates *)
+          for c = alive to 9 do
+            Soda.Deployment.crash_server d ~coordinate:c ~at:0.0
+          done;
+          let result = ref None in
+          Soda.Deployment.read d ~reader:0 ~at:1.0
+            ~on_done:(fun v -> result := Some v)
+            ();
+          Engine.run engine;
+          !result
+        in
+        Alcotest.(check bool) "k+2e-1 insufficient" true (run ~alive:7 = None);
+        Alcotest.(check bool) "k+2e sufficient" true (run ~alive:8 <> None));
+    qtest ~count:30 "unregistration waits for k + 2e announcements"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let params = Params.make ~n:9 ~f:1 ~e:1 () in
+        let w =
+          Workload.sequential ~params ~value_len:128 ~seed ~rounds:2 ()
+        in
+        let r = Runner.run Runner.Soda w in
+        (* every read must have been relayed at least k + 2e elements *)
+        let probe = Option.get r.Runner.probe in
+        History.records r.Runner.history
+        |> List.filter (fun o -> o.History.kind = History.Read)
+        |> List.for_all (fun o ->
+               Probe.relays_of probe ~rid:o.History.op
+               >= Params.k_soda params + (2 * Params.e params)))
+  ]
+
+let () =
+  Alcotest.run "soda-err"
+    [ ("basics", basic_tests);
+      ("random-executions", random_tests);
+      ("costs", cost_tests);
+      ("thresholds", threshold_tests)
+    ]
