@@ -1,0 +1,121 @@
+(* Codec kernel throughput, reported as JSON (one object on stdout) so
+   successive runs can be archived as a trajectory. Invoked as
+
+     dune exec bench/main.exe -- codec            # full (64 KiB + 1 MiB)
+     dune exec bench/main.exe -- codec --smoke    # tiny CI quota
+
+   Unlike the Bechamel microbenchmarks (bench/micro.ml) this measures
+   wall-clock MB/s of whole encode/decode calls, including framing,
+   transposition and fragment allocation — the number a deployment
+   actually sees per value. *)
+
+let smoke = ref false
+
+let value_of_size len =
+  Bytes.init len (fun i -> Char.chr ((i * 31) land 0xff))
+
+(* Repeat [f] until [min_elapsed] seconds have been spent (at least
+   [min_iters] times) and return seconds per call. *)
+let time_per_call ~min_elapsed ~min_iters f =
+  ignore (f ());
+  (* warm-up: tables, caches *)
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  let elapsed = ref 0.0 in
+  while !iters < min_iters || !elapsed < min_elapsed do
+    ignore (f ());
+    incr iters;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !iters
+
+let mb_per_s ~bytes seconds = float_of_int bytes /. seconds /. 1e6
+
+type point = {
+  codec : string;
+  op : string;
+  size : int;
+  domains : int;
+  mbps : float;
+  ns : float;
+}
+
+let measure ~codec ~op ~size ~domains f =
+  let min_elapsed = if !smoke then 0.02 else 0.2 in
+  let s = time_per_call ~min_elapsed ~min_iters:3 f in
+  { codec; op; size; domains; mbps = mb_per_s ~bytes:size s; ns = s *. 1e9 }
+
+let codec_points ~domains code size =
+  let value = value_of_size size in
+  let name = Erasure.Mds.name code in
+  let k = Erasure.Mds.k code in
+  let encode =
+    measure ~codec:name ~op:"encode" ~size ~domains (fun () ->
+        Erasure.Mds.encode ~domains code value)
+  in
+  let fragments = Array.to_list (Erasure.Mds.encode code value) in
+  (* decode from the "worst" k survivors: drop the first n-k fragments,
+     which for the systematic codecs forces the matrix path *)
+  let survivors =
+    List.filteri (fun i _ -> i >= Erasure.Mds.n code - k) fragments
+  in
+  let decode =
+    measure ~codec:name ~op:"decode" ~size ~domains (fun () ->
+        Erasure.Mds.decode ~domains code survivors)
+  in
+  [ encode; decode ]
+
+let kernel_points size =
+  let src = value_of_size size in
+  let dst = Bytes.make size '\000' in
+  let table = Galois.Gf.mul_table 0xb7 in
+  let tables16 = Galois.Gf16.mul_tables 0x1b7 in
+  [ measure ~codec:"kernel-gf8" ~op:"muladd_buf" ~size ~domains:1 (fun () ->
+        Galois.Gf.muladd_buf table ~src ~dst ~off:0 ~len:size);
+    measure ~codec:"kernel-gf16" ~op:"muladd_buf" ~size ~domains:1 (fun () ->
+        Galois.Gf16.muladd_buf tables16 ~src ~dst ~off:0 ~len:(size / 2))
+  ]
+
+let emit points =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"bench\":\"codec\",";
+  Buffer.add_string buf
+    (Printf.sprintf "\"smoke\":%b,\"results\":[" !smoke);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"codec\":%S,\"op\":%S,\"size\":%d,\"domains\":%d,\"mb_per_s\":%.1f,\"ns_per_op\":%.0f}"
+           p.codec p.op p.size p.domains p.mbps p.ns))
+    points;
+  Buffer.add_string buf "]}";
+  print_endline (Buffer.contents buf)
+
+let run () =
+  let sizes = if !smoke then [ 16384 ] else [ 65536; 1048576 ] in
+  let n = 12 and k = 8 in
+  let codecs =
+    [ Erasure.Mds.rs_vandermonde ~n ~k;
+      Erasure.Mds.rs_systematic ~n ~k;
+      Erasure.Mds.rs_bch ~n ~k;
+      Erasure.Mds.rs16 ~n ~k
+    ]
+  in
+  let points =
+    List.concat_map
+      (fun size ->
+        kernel_points size
+        @ List.concat_map (fun c -> codec_points ~domains:1 c size) codecs)
+      sizes
+  in
+  (* Domain-parallel point: the largest size, vandermonde, sharded. *)
+  let parallel =
+    if !smoke then []
+    else
+      let size = 1048576 in
+      let domains = Harness.Parallel.recommended_domains () in
+      if domains < 2 then []
+      else codec_points ~domains (Erasure.Mds.rs_vandermonde ~n ~k) size
+  in
+  emit (points @ parallel)

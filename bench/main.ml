@@ -29,11 +29,12 @@ let experiments =
     ( "ablation-gossip",
       Experiments.ablation_gossip,
       "READ-DISPERSE gossip vs none" );
-    ("micro", Micro.run, "Bechamel microbenchmarks")
+    ("micro", Micro.run, "Bechamel microbenchmarks");
+    ("codec", Codec_bench.run, "codec kernel throughput, JSON (see --smoke)")
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--csv DIR] [experiment...]";
+  print_endline "usage: main.exe [--csv DIR] [--smoke] [experiment...]";
   print_endline "experiments:";
   List.iter
     (fun (name, _, doc) -> Printf.printf "  %-16s %s\n" name doc)
@@ -41,15 +42,19 @@ let usage () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  (* --csv DIR: additionally write every table as CSV into DIR *)
-  let rec extract_csv acc = function
+  (* --csv DIR: additionally write every table as CSV into DIR;
+     --smoke: shrink the codec benchmark to a CI-sized quota *)
+  let rec extract_flags acc = function
     | "--csv" :: dir :: rest ->
       Harness.Report.set_csv_dir (Some dir);
-      extract_csv acc rest
-    | x :: rest -> extract_csv (x :: acc) rest
+      extract_flags acc rest
+    | "--smoke" :: rest ->
+      Codec_bench.smoke := true;
+      extract_flags acc rest
+    | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_csv [] args in
+  let args = extract_flags [] args in
   let requested =
     match args with
     | [] -> List.map (fun (name, _, _) -> name) experiments

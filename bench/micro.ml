@@ -17,6 +17,35 @@ let gf_tests =
         (Staged.stage (fun () -> Galois.Gf.mul_slow !a !b))
     ]
 
+(* Bytes processed per run of each named benchmark, for the MB/s column
+   of the report; benchmarks that aren't byte sweeps are omitted. *)
+let bytes_per_run : (string * int) list ref = ref []
+
+let note_bytes name bytes = bytes_per_run := (name, bytes) :: !bytes_per_run
+
+(* The raw kernel sweeps underlying every codec: one table-driven
+   muladd pass over a contiguous buffer, at a small and a large size. *)
+let kernel_tests =
+  let make_point name len =
+    let src = value_of_size len in
+    let dst = Bytes.make len '\000' in
+    let table = Galois.Gf.mul_table 0xb7 in
+    let tables16 = Galois.Gf16.mul_tables 0x1b7 in
+    [ (let n = Printf.sprintf "muladd-gf8-%s" name in
+       note_bytes ("micro/kernel/" ^ n) len;
+       Test.make ~name:n
+         (Staged.stage (fun () ->
+              Galois.Gf.muladd_buf table ~src ~dst ~off:0 ~len)));
+      (let n = Printf.sprintf "muladd-gf16-%s" name in
+       note_bytes ("micro/kernel/" ^ n) len;
+       Test.make ~name:n
+         (Staged.stage (fun () ->
+              Galois.Gf16.muladd_buf tables16 ~src ~dst ~off:0 ~len:(len / 2))))
+    ]
+  in
+  Test.make_grouped ~name:"kernel"
+    (make_point "64KiB" 65536 @ make_point "1MiB" 1048576)
+
 let codec_tests =
   let n = 12 and k = 8 in
   let vand = Erasure.Mds.rs_vandermonde ~n ~k in
@@ -24,10 +53,12 @@ let codec_tests =
   let bch = Erasure.Mds.rs_bch ~n ~k in
   let make_encode name code len =
     let value = value_of_size len in
+    note_bytes ("micro/rs[12,8]/" ^ name) len;
     Test.make ~name (Staged.stage (fun () -> Erasure.Mds.encode code value))
   in
   let make_decode name code len ~corrupt ~drop =
     let value = value_of_size len in
+    note_bytes ("micro/rs[12,8]/" ^ name) len;
     let fragments = Array.to_list (Erasure.Mds.encode code value) in
     let fragments =
       List.filteri (fun i _ -> i >= drop) fragments
@@ -44,6 +75,7 @@ let codec_tests =
       Array.to_list (Erasure.Mds.encode sys value)
       |> List.filteri (fun i _ -> i < k)
     in
+    note_bytes "micro/rs[12,8]/decode-sys-64KiB-fastpath" 65536;
     Test.make ~name:"decode-sys-64KiB-fastpath"
       (Staged.stage (fun () -> Erasure.Mds.decode sys fragments))
   in
@@ -78,7 +110,8 @@ let simulation_tests =
     [ Test.make ~name:"soda-write+read-n7-4KiB" (Staged.stage run) ]
 
 let all_tests =
-  Test.make_grouped ~name:"micro" [ gf_tests; codec_tests; simulation_tests ]
+  Test.make_grouped ~name:"micro"
+    [ gf_tests; kernel_tests; codec_tests; simulation_tests ]
 
 let run () =
   let cfg =
@@ -95,17 +128,26 @@ let run () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
+      let ns = match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Some e
+        | Some _ | None -> None
+      in
       let estimate =
-        match Analyze.OLS.estimates ols with
-        | Some [ e ] -> Printf.sprintf "%.1f" e
-        | Some _ | None -> "-"
+        match ns with Some e -> Printf.sprintf "%.1f" e | None -> "-"
+      in
+      let mbps =
+        match (ns, List.assoc_opt name !bytes_per_run) with
+        | Some e, Some bytes when e > 0.0 ->
+          Printf.sprintf "%.0f" (float_of_int bytes *. 1000.0 /. e)
+        | _ -> "-"
       in
       let r2 =
         match Analyze.OLS.r_square ols with
         | Some r -> Printf.sprintf "%.4f" r
         | None -> "-"
       in
-      rows := [ name; estimate; r2 ] :: !rows)
+      rows := [ name; estimate; mbps; r2 ] :: !rows)
     results;
-  Harness.Report.table ~title:"micro" ~header:[ "benchmark"; "ns/run"; "r^2" ]
+  Harness.Report.table ~title:"micro"
+    ~header:[ "benchmark"; "ns/run"; "MB/s"; "r^2" ]
     (List.sort compare !rows)

@@ -1,0 +1,208 @@
+(* Buffer-level Reed-Solomon kernel; see kernel.mli. *)
+
+module Gf = Galois.Gf
+module Gf16 = Galois.Gf16
+
+type table = Bytes.t
+type table16 = Gf16.mul_tables
+
+let mul_table = Gf.mul_table
+let mul_buf = Gf.mul_buf
+let muladd_buf = Gf.muladd_buf
+let row_tables coeffs = Array.map Gf.mul_table coeffs
+let row_tables16 coeffs = Array.map Gf16.mul_tables coeffs
+
+(* ------------------------------------------------------------------ *)
+(* Stripe-major <-> row-major transposition.
+
+   The framed value interleaves the k code columns byte by byte
+   (stripe s occupies framed[s*k*bps, (s+1)*k*bps)); the kernel sweeps
+   want each column contiguous. bps = 1 and 2 (the two symbol widths in
+   use) get dedicated loops; unsafe accesses are covered by the length
+   checks at entry. *)
+
+let split_cols ~k ~bps framed =
+  if k <= 0 || bps <= 0 then invalid_arg "Kernel.split_cols: bad dimensions";
+  let row_bytes = k * bps in
+  let len = Bytes.length framed in
+  if len mod row_bytes <> 0 then
+    invalid_arg "Kernel.split_cols: buffer not a whole number of stripes";
+  let stripes = len / row_bytes in
+  Array.init k (fun j ->
+      let col = Bytes.create (stripes * bps) in
+      (match bps with
+      | 1 ->
+        for s = 0 to stripes - 1 do
+          Bytes.unsafe_set col s (Bytes.unsafe_get framed ((s * k) + j))
+        done
+      | 2 ->
+        for s = 0 to stripes - 1 do
+          let src = 2 * ((s * k) + j) in
+          Bytes.unsafe_set col (2 * s) (Bytes.unsafe_get framed src);
+          Bytes.unsafe_set col ((2 * s) + 1) (Bytes.unsafe_get framed (src + 1))
+        done
+      | _ ->
+        for s = 0 to stripes - 1 do
+          Bytes.blit framed (bps * ((s * k) + j)) col (s * bps) bps
+        done);
+      col)
+
+let merge_cols ~k ~bps cols =
+  if k <= 0 || bps <= 0 then invalid_arg "Kernel.merge_cols: bad dimensions";
+  if Array.length cols <> k then
+    invalid_arg "Kernel.merge_cols: expected k column buffers";
+  let col_len = Bytes.length cols.(0) in
+  Array.iter
+    (fun c ->
+      if Bytes.length c <> col_len then
+        invalid_arg "Kernel.merge_cols: ragged columns")
+    cols;
+  if col_len mod bps <> 0 then
+    invalid_arg "Kernel.merge_cols: column not a whole number of symbols";
+  let stripes = col_len / bps in
+  let framed = Bytes.create (stripes * k * bps) in
+  for j = 0 to k - 1 do
+    let col = cols.(j) in
+    match bps with
+    | 1 ->
+      for s = 0 to stripes - 1 do
+        Bytes.unsafe_set framed ((s * k) + j) (Bytes.unsafe_get col s)
+      done
+    | 2 ->
+      for s = 0 to stripes - 1 do
+        let dst = 2 * ((s * k) + j) in
+        Bytes.unsafe_set framed dst (Bytes.unsafe_get col (2 * s));
+        Bytes.unsafe_set framed (dst + 1) (Bytes.unsafe_get col ((2 * s) + 1))
+      done
+    | _ ->
+      for s = 0 to stripes - 1 do
+        Bytes.blit col (s * bps) framed (bps * ((s * k) + j)) bps
+      done
+  done;
+  framed
+
+(* ------------------------------------------------------------------ *)
+(* Row application: dst[off, off+len) = sum_j coeffs.(j) * srcs.(j).
+
+   The naive formulation is one muladd_buf sweep per non-zero
+   coefficient, but every sweep after the first re-reads and re-writes
+   dst for each byte. Fusing the terms four (then two) at a time keeps
+   the running XOR in a register, so an (n-k)-term row costs roughly
+   one dst write per byte instead of n-k read-modify-writes. Bounds are
+   validated once in [apply_row]; tables come from [Gf.mul_table] and
+   are always 256 bytes. *)
+
+let quad4 ~acc t0 s0 t1 s1 t2 s2 t3 s3 dst ~off ~len =
+  for i = off to off + len - 1 do
+    let p =
+      Char.code (Bytes.unsafe_get t0 (Char.code (Bytes.unsafe_get s0 i)))
+      lxor Char.code (Bytes.unsafe_get t1 (Char.code (Bytes.unsafe_get s1 i)))
+      lxor Char.code (Bytes.unsafe_get t2 (Char.code (Bytes.unsafe_get s2 i)))
+      lxor Char.code (Bytes.unsafe_get t3 (Char.code (Bytes.unsafe_get s3 i)))
+    in
+    let p = if acc then p lxor Char.code (Bytes.unsafe_get dst i) else p in
+    Bytes.unsafe_set dst i (Char.unsafe_chr p)
+  done
+
+let dual2 ~acc t0 s0 t1 s1 dst ~off ~len =
+  for i = off to off + len - 1 do
+    let p =
+      Char.code (Bytes.unsafe_get t0 (Char.code (Bytes.unsafe_get s0 i)))
+      lxor Char.code (Bytes.unsafe_get t1 (Char.code (Bytes.unsafe_get s1 i)))
+    in
+    let p = if acc then p lxor Char.code (Bytes.unsafe_get dst i) else p in
+    Bytes.unsafe_set dst i (Char.unsafe_chr p)
+  done
+
+let apply_row ~coeffs ~srcs ~dst ~off ~len =
+  let terms = Array.length coeffs in
+  if Array.length srcs <> terms then
+    invalid_arg "Kernel.apply_row: coefficient/source count mismatch";
+  if off < 0 || len < 0 || off + len > Bytes.length dst then
+    invalid_arg "Kernel.apply_row: range outside dst";
+  (* Gather the non-zero terms; their tables and bounds. *)
+  let tabs = Array.make terms Bytes.empty in
+  let bufs = Array.make terms Bytes.empty in
+  let live = ref 0 in
+  for j = 0 to terms - 1 do
+    if coeffs.(j) <> Gf.zero then begin
+      if off + len > Bytes.length srcs.(j) then
+        invalid_arg "Kernel.apply_row: range outside src";
+      tabs.(!live) <- Gf.mul_table coeffs.(j);
+      bufs.(!live) <- srcs.(j);
+      incr live
+    end
+  done;
+  let live = !live in
+  let j = ref 0 in
+  while live - !j >= 4 do
+    let b = !j in
+    quad4 ~acc:(b > 0) tabs.(b) bufs.(b) tabs.(b + 1)
+      bufs.(b + 1)
+      tabs.(b + 2)
+      bufs.(b + 2)
+      tabs.(b + 3)
+      bufs.(b + 3)
+      dst ~off ~len;
+    j := b + 4
+  done;
+  if live - !j >= 2 then begin
+    let b = !j in
+    dual2 ~acc:(b > 0) tabs.(b) bufs.(b) tabs.(b + 1) bufs.(b + 1) dst ~off
+      ~len;
+    j := b + 2
+  end;
+  if live - !j = 1 then begin
+    let b = !j in
+    if b > 0 then Gf.muladd_buf tabs.(b) ~src:bufs.(b) ~dst ~off ~len
+    else Gf.mul_buf tabs.(b) ~src:bufs.(b) ~dst ~off ~len
+  end;
+  (* An all-zero row still must define the output range: dst buffers come
+     from Bytes.create, whose contents are unspecified. *)
+  if live = 0 then Bytes.fill dst off len '\000'
+
+let apply_row16 ~coeffs ~tables ~srcs ~dst ~off ~len =
+  let terms = Array.length coeffs in
+  if Array.length srcs <> terms || Array.length tables <> terms then
+    invalid_arg "Kernel.apply_row16: coefficient/table/source count mismatch";
+  let first = ref true in
+  for j = 0 to terms - 1 do
+    let c = coeffs.(j) in
+    if c <> Gf16.zero then begin
+      if !first then
+        if c = Gf16.one then Bytes.blit srcs.(j) (2 * off) dst (2 * off) (2 * len)
+        else Gf16.mul_buf tables.(j) ~src:srcs.(j) ~dst ~off ~len
+      else Gf16.muladd_buf tables.(j) ~src:srcs.(j) ~dst ~off ~len;
+      first := false
+    end
+  done;
+  if !first then Bytes.fill dst (2 * off) (2 * len) '\000'
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel striping. *)
+
+let default_min_chunk = 4096
+
+let parallel_rows ?(domains = 1) ?(min_chunk = default_min_chunk) ~n f =
+  if n < 0 then invalid_arg "Kernel.parallel_rows: negative range";
+  let min_chunk = max 1 min_chunk in
+  (* Never spawn a domain for less than [min_chunk] rows of work. *)
+  let domains = max 1 (min domains (n / min_chunk)) in
+  if n = 0 then ()
+  else if domains = 1 then f ~lo:0 ~len:n
+  else begin
+    let chunk = (n + domains - 1) / domains in
+    let failures = Array.make domains None in
+    let worker d () =
+      let lo = d * chunk in
+      let len = min chunk (n - lo) in
+      if len > 0 then
+        try f ~lo ~len with e -> failures.(d) <- Some e
+    in
+    let spawned =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) failures
+  end

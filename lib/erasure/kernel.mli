@@ -1,0 +1,92 @@
+(** Buffer-level Reed-Solomon kernel.
+
+    The codecs in this library are all, on their hot path, the same
+    computation: a small matrix of field coefficients applied to long
+    byte buffers. This module packages the three ingredients of the
+    table-driven, row-major formulation they share:
+
+    - {b product-table sweeps} ({!mul_buf}/{!muladd_buf}, re-exported
+      from {!Galois.Gf}; the GF(2{^16}) versions live in
+      {!Galois.Gf16}): one 256-entry table per coefficient turns a
+      field multiply into a single byte-indexed load;
+    - {b stripe transposition} ({!split_cols}/{!merge_cols}) between the
+      stripe-major framed value and the column-contiguous buffers the
+      sweeps want;
+    - {b domain striping} ({!parallel_rows}): sharding the stripe range
+      of one encode/decode across OCaml domains for large values.
+
+    See DESIGN.md, section "Codec kernel". *)
+
+type table = Bytes.t
+(** A 256-entry GF(2{^8}) product table; see {!Galois.Gf.mul_table}. *)
+
+type table16 = Galois.Gf16.mul_tables
+(** Split product tables for one GF(2{^16}) coefficient. *)
+
+val mul_table : Galois.Gf.t -> table
+(** [mul_table c] is the cached table with [t.[x] = c * x]; O(1), safe
+    from any domain. *)
+
+val mul_buf : table -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [dst.[i] <- c * src.[i]] over [off, off+len). *)
+
+val muladd_buf :
+  table -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [dst.[i] <- dst.[i] xor c * src.[i]] over [off, off+len). *)
+
+val row_tables : Galois.Gf.t array -> table array
+(** Tables for every coefficient of a matrix row. *)
+
+val row_tables16 : Galois.Gf16.t array -> table16 array
+(** GF(2{^16}) row tables. Builds (and caches) each coefficient's split
+    tables; call in the coordinating domain before {!parallel_rows} —
+    first-time construction must not race. *)
+
+val split_cols : k:int -> bps:int -> Bytes.t -> Bytes.t array
+(** [split_cols ~k ~bps framed] transposes a stripe-major framed buffer
+    (each stripe = [k] symbols of [bps] bytes) into [k] column-contiguous
+    buffers of one symbol per stripe. Column [j] is exactly systematic
+    fragment [j]'s payload.
+    @raise Invalid_argument if the buffer is not a whole number of
+    stripes. *)
+
+val merge_cols : k:int -> bps:int -> Bytes.t array -> Bytes.t
+(** Inverse of {!split_cols}: interleave [k] equal-length column buffers
+    back into one stripe-major buffer.
+    @raise Invalid_argument on ragged or miscounted columns. *)
+
+val apply_row :
+  coeffs:Galois.Gf.t array ->
+  srcs:Bytes.t array ->
+  dst:Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+(** [apply_row ~coeffs ~srcs ~dst ~off ~len] computes one output row over
+    the given stripe range: [dst = sum_j coeffs.(j) * srcs.(j)]. Zero
+    coefficients are skipped entirely, a leading unit coefficient is a
+    [Bytes.blit], and the range is zero-filled if every coefficient is
+    zero (so [dst] may be a fresh [Bytes.create]). *)
+
+val apply_row16 :
+  coeffs:Galois.Gf16.t array ->
+  tables:table16 array ->
+  srcs:Bytes.t array ->
+  dst:Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+(** GF(2{^16}) row application; [off]/[len] count 16-bit symbols and
+    [tables] must be [row_tables16 coeffs] (precomputed by the caller so
+    the sweep itself is domain-safe). *)
+
+val parallel_rows :
+  ?domains:int -> ?min_chunk:int -> n:int -> (lo:int -> len:int -> unit) -> unit
+(** [parallel_rows ~domains ~n f] covers the range [0, n) with disjoint
+    calls [f ~lo ~len], sharded over up to [domains] OCaml domains
+    (contiguous chunks, one per domain). With [domains <= 1] — the
+    default, keeping the deterministic simulator single-domain — or when
+    [n < 2 * min_chunk] (default [min_chunk] 4096, so spawning is never
+    cheaper than the work), [f] runs inline as a single chunk. [f] must
+    be safe to run concurrently on disjoint ranges. If any chunk raises,
+    the lowest-indexed exception is re-raised after all domains join. *)

@@ -53,40 +53,40 @@ let n t = t.n
 let k t = t.k
 let name t = t.name
 
-let encode t value =
+let encode ?domains t value =
   match t.impl with
-  | Vandermonde c -> Rs_vandermonde.encode c value
-  | Systematic c -> Rs_systematic.encode c value
-  | Bch c -> Rs_bch.encode c value
-  | Rs16 c -> Rs16.encode c value
-  | Bch16 c -> Rs_bch16.encode c value
+  | Vandermonde c -> Rs_vandermonde.encode ?domains c value
+  | Systematic c -> Rs_systematic.encode ?domains c value
+  | Bch c -> Rs_bch.encode ?domains c value
+  | Rs16 c -> Rs16.encode ?domains c value
+  | Bch16 c -> Rs_bch16.encode ?domains c value
   | Replication c -> Replication.encode c value
 
-let decode t frags =
+let decode ?domains t frags =
   match t.impl with
   | Vandermonde c -> begin
-    try Rs_vandermonde.decode c frags with
+    try Rs_vandermonde.decode ?domains c frags with
     | Rs_vandermonde.Insufficient_fragments { needed; got } ->
       raise (Insufficient_fragments { needed; got })
   end
   | Systematic c -> begin
-    try Rs_systematic.decode c frags with
+    try Rs_systematic.decode ?domains c frags with
     | Rs_systematic.Insufficient_fragments { needed; got } ->
       raise (Insufficient_fragments { needed; got })
   end
   | Bch c -> begin
-    try Rs_bch.decode c frags with
+    try Rs_bch.decode ?domains c frags with
     | Rs_bch.Insufficient_fragments { needed; got } ->
       raise (Insufficient_fragments { needed; got })
     | Rs_bch.Decode_failure msg -> raise (Decode_failure msg)
   end
   | Rs16 c -> begin
-    try Rs16.decode c frags with
+    try Rs16.decode ?domains c frags with
     | Rs16.Insufficient_fragments { needed; got } ->
       raise (Insufficient_fragments { needed; got })
   end
   | Bch16 c -> begin
-    try Rs_bch16.decode c frags with
+    try Rs_bch16.decode ?domains c frags with
     | Rs_bch16.Insufficient_fragments { needed; got } ->
       raise (Insufficient_fragments { needed; got })
     | Rs_bch16.Decode_failure msg -> raise (Decode_failure msg)

@@ -50,11 +50,14 @@ val k : t -> int
 val name : t -> string
 (** Short human-readable codec name, e.g. ["rs-bch[12,7]"]. *)
 
-val encode : t -> bytes -> Fragment.t array
-(** Encode a value into [n] fragments, indices [0 .. n-1]. *)
+val encode : ?domains:int -> t -> bytes -> Fragment.t array
+(** Encode a value into [n] fragments, indices [0 .. n-1]. [?domains]
+    (default 1: deterministic, single-domain) lets the Reed-Solomon
+    codecs shard the stripe range of large values across OCaml domains;
+    replication ignores it. The fragments are identical either way. *)
 
-val decode : t -> Fragment.t list -> bytes
-(** Reconstruct the value from fragments.
+val decode : ?domains:int -> t -> Fragment.t list -> bytes
+(** Reconstruct the value from fragments. [?domains] as in {!encode}.
     @raise Insufficient_fragments
     @raise Decode_failure *)
 

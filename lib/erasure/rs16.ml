@@ -14,26 +14,22 @@ let n t = t.n
 let k t = t.k
 
 (* one stripe = k 16-bit symbols = 2k bytes; Splitter's framing at
-   "dimension 2k" gives exactly the padding we need *)
-let symbol_get buf i = Bytes.get_uint16_be buf (2 * i)
-let symbol_set buf i v = Bytes.set_uint16_be buf (2 * i) v
+   "dimension 2k" gives exactly the padding we need. Encode/decode run
+   row-major with the split-table GF(2^16) kernel; split tables are
+   built in this domain, before any parallel sharding. *)
 
-let encode t value =
+let encode ?domains t value =
   let framed = Splitter.frame ~k:(2 * t.k) value in
   let stripes = Bytes.length framed / (2 * t.k) in
+  let cols = Kernel.split_cols ~k:t.k ~bps:2 framed in
   let outputs = Array.init t.n (fun _ -> Bytes.create (2 * stripes)) in
   let rows = Array.init t.n (Matrix16.row t.generator) in
-  for s = 0 to stripes - 1 do
-    let base = s * t.k in
-    for i = 0 to t.n - 1 do
-      let row = rows.(i) in
-      let acc = ref Gf16.zero in
-      for j = 0 to t.k - 1 do
-        acc := Gf16.add !acc (Gf16.mul row.(j) (symbol_get framed (base + j)))
-      done;
-      symbol_set outputs.(i) s !acc
-    done
-  done;
+  let tables = Array.map Kernel.row_tables16 rows in
+  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+      for i = 0 to t.n - 1 do
+        Kernel.apply_row16 ~coeffs:rows.(i) ~tables:tables.(i) ~srcs:cols
+          ~dst:outputs.(i) ~off:lo ~len
+      done);
   Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
 
 let select_distinct t frags =
@@ -43,7 +39,7 @@ let select_distinct t frags =
   List.iter
     (fun f ->
       let i = Fragment.index f in
-      if i >= t.n then
+      if i < 0 || i >= t.n then
         invalid_arg (Printf.sprintf "Rs16.decode: index %d out of range" i);
       if !count < t.k && not (Hashtbl.mem seen i) then begin
         Hashtbl.add seen i ();
@@ -63,23 +59,19 @@ let select_distinct t frags =
     selected;
   selected
 
-let decode t frags =
+let decode ?domains t frags =
   let selected = select_distinct t frags in
   let stripes = Fragment.size selected.(0) / 2 in
   let indices = Array.map Fragment.index selected in
   let sub = Matrix16.select_rows t.generator indices in
   let inverse = Matrix16.invert sub in
   let inv_rows = Array.init t.k (Matrix16.row inverse) in
+  let tables = Array.map Kernel.row_tables16 inv_rows in
   let datas = Array.map Fragment.data selected in
-  let framed = Bytes.create (stripes * 2 * t.k) in
-  for s = 0 to stripes - 1 do
-    for j = 0 to t.k - 1 do
-      let row = inv_rows.(j) in
-      let acc = ref Gf16.zero in
-      for l = 0 to t.k - 1 do
-        acc := Gf16.add !acc (Gf16.mul row.(l) (symbol_get datas.(l) s))
-      done;
-      symbol_set framed ((s * t.k) + j) !acc
-    done
-  done;
-  Splitter.unframe framed
+  let cols = Array.init t.k (fun _ -> Bytes.create (2 * stripes)) in
+  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+      for j = 0 to t.k - 1 do
+        Kernel.apply_row16 ~coeffs:inv_rows.(j) ~tables:tables.(j) ~srcs:datas
+          ~dst:cols.(j) ~off:lo ~len
+      done);
+  Splitter.unframe (Kernel.merge_cols ~k:t.k ~bps:2 cols)

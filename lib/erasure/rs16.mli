@@ -16,10 +16,13 @@ val make : n:int -> k:int -> t
 val n : t -> int
 val k : t -> int
 
-val encode : t -> bytes -> Fragment.t array
+val encode : ?domains:int -> t -> bytes -> Fragment.t array
+(** [?domains] (default 1) shards the stripe range of large values
+    across OCaml domains. *)
 
 exception Insufficient_fragments of { needed : int; got : int }
 
-val decode : t -> Fragment.t list -> bytes
-(** Reconstructs from any [k] distinct-index fragments.
+val decode : ?domains:int -> t -> Fragment.t list -> bytes
+(** Reconstructs from any [k] distinct-index fragments. [?domains] as in
+    {!encode}.
     @raise Insufficient_fragments with fewer than [k]. *)

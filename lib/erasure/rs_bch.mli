@@ -22,9 +22,11 @@ val make : n:int -> k:int -> t
 val n : t -> int
 val k : t -> int
 
-val encode : t -> bytes -> Fragment.t array
+val encode : ?domains:int -> t -> bytes -> Fragment.t array
 (** Encode into [n] fragments at indices [0 .. n-1]; fragment [n-k+j]
-    carries the systematic message byte [j] of every stripe. *)
+    carries the systematic message byte [j] of every stripe. [?domains]
+    (default 1) shards the stripe range of large values across OCaml
+    domains. *)
 
 exception Insufficient_fragments of { needed : int; got : int }
 
@@ -33,8 +35,9 @@ exception Decode_failure of string
     radius (e.g. too many corrupt fragments): the locator has the wrong
     number of roots in range, or correction does not yield a codeword. *)
 
-val decode : t -> Fragment.t list -> bytes
-(** [decode code frags] reconstructs the value. Fragments whose indices
+val decode : ?domains:int -> t -> Fragment.t list -> bytes
+(** [decode code frags] reconstructs the value; stripes are corrected
+    independently, so [?domains] shards them too. Fragments whose indices
     are absent are treated as erasures; present fragments may be
     corrupted. Reconstruction is guaranteed whenever
     [2*corruptions + erasures <= n - k].

@@ -7,7 +7,7 @@ module Make (Sym : Symbol.S) = struct
   module F = Sym.F
   module Poly = Galois.Poly_gen.Make (F)
 
-  type t = { n : int; k : int; generator : Poly.t }
+  type t = { n : int; k : int; parity_rows : F.t array array }
 
   exception Insufficient_fragments of { needed : int; got : int }
   exception Decode_failure of string
@@ -20,50 +20,67 @@ module Make (Sym : Symbol.S) = struct
     done;
     !g
 
+  (* Systematic encoding — message symbol j at coefficient x^(n-k+j),
+     parity at coefficients 0 .. n-k-1 — is linear in the message, so
+     parity symbol i is a fixed row of coefficients over the message:
+     parity_rows.(i).(j) = coeff i of (x^(n-k+j) mod g). Precomputing
+     the matrix turns per-stripe polynomial division into table-driven
+     buffer sweeps. *)
+  let parity_matrix ~n ~k g =
+    let parity_len = n - k in
+    let rems =
+      Array.init k (fun j ->
+          Poly.rem (Poly.monomial (parity_len + j) F.one) g)
+    in
+    Array.init parity_len (fun i ->
+        Array.init k (fun j -> Poly.coeff rems.(j) i))
+
   let make ~n ~k =
     if k < 1 || k > n || n > Sym.max_n then
       invalid_arg
         (Printf.sprintf "Rs_bch.make: invalid parameters n=%d k=%d" n k);
-    { n; k; generator = generator_poly ~n ~k }
+    let generator = generator_poly ~n ~k in
+    { n; k; parity_rows = parity_matrix ~n ~k generator }
 
   let n t = t.n
   let k t = t.k
-
-  (* Systematic encoding of one stripe: message symbol j becomes the
-     coefficient of x^(n-k+j); parity fills coefficients 0 .. n-k-1. *)
-  let encode_stripe t (msg : int array) (out : int array) =
-    let parity_len = t.n - t.k in
-    if parity_len = 0 then Array.blit msg 0 out 0 t.k
-    else begin
-      let shifted =
-        Poly.of_coeffs
-          (Array.init t.n (fun i ->
-               if i < parity_len then F.zero else msg.(i - parity_len)))
-      in
-      let parity = Poly.rem shifted t.generator in
-      for i = 0 to parity_len - 1 do
-        out.(i) <- Poly.coeff parity i
-      done;
-      Array.blit msg 0 out parity_len t.k
-    end
-
   let bps = Sym.bytes_per_symbol
 
-  let encode t value =
+  (* dst[off, off+len) = sum_j coeffs.(j) * srcs.(j), offsets in
+     symbols; tables are precomputed by the caller (required for the
+     GF(2^16) instantiation, whose table cache must not be raced). *)
+  let apply_row ~coeffs ~tables ~srcs ~dst ~off ~len =
+    let first = ref true in
+    Array.iteri
+      (fun j c ->
+        if not (F.is_zero c) then begin
+          if !first then
+            if F.equal c F.one then
+              Bytes.blit srcs.(j) (bps * off) dst (bps * off) (bps * len)
+            else Sym.mul_buf tables.(j) ~src:srcs.(j) ~dst ~off ~len
+          else Sym.muladd_buf tables.(j) ~src:srcs.(j) ~dst ~off ~len;
+          first := false
+        end)
+      coeffs;
+    if !first then Bytes.fill dst (bps * off) (bps * len) '\000'
+
+  let encode ?domains t value =
     let framed = Splitter.frame ~k:(bps * t.k) value in
     let stripes = Bytes.length framed / (bps * t.k) in
-    let outputs = Array.init t.n (fun _ -> Bytes.create (bps * stripes)) in
-    let msg = Array.make t.k 0 in
-    let cw = Array.make t.n 0 in
-    for s = 0 to stripes - 1 do
-      for j = 0 to t.k - 1 do
-        msg.(j) <- Sym.get framed ((s * t.k) + j)
-      done;
-      encode_stripe t msg cw;
-      for i = 0 to t.n - 1 do
-        Sym.set outputs.(i) s cw.(i)
-      done
-    done;
+    let parity_len = t.n - t.k in
+    let cols = Kernel.split_cols ~k:t.k ~bps framed in
+    (* fragment parity_len + j is exactly message column j *)
+    let outputs =
+      Array.init t.n (fun i ->
+          if i < parity_len then Bytes.create (bps * stripes)
+          else cols.(i - parity_len))
+    in
+    let tables = Array.map (Array.map Sym.mul_table) t.parity_rows in
+    Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+        for i = 0 to parity_len - 1 do
+          apply_row ~coeffs:t.parity_rows.(i) ~tables:tables.(i) ~srcs:cols
+            ~dst:outputs.(i) ~off:lo ~len
+        done);
     Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
 
   let syndromes t (received : int array) =
@@ -96,28 +113,19 @@ module Make (Sym : Symbol.S) = struct
     (!v_cur, !r_cur)
 
   (* Correct one stripe in place. [received] has n symbols with erased
-     positions set to 0; [erased] flags them. *)
-  let correct_stripe t (received : int array) (erased : bool array) =
+     positions set to 0. The erasure locator [gamma] and [num_erasures]
+     depend only on which fragments are present, so the caller computes
+     them once for all stripes. *)
+  let correct_stripe t ~gamma ~num_erasures (received : int array) =
     let two_t = t.n - t.k in
-    let num_erasures = ref 0 in
-    let gamma = ref Poly.one in
-    for i = 0 to t.n - 1 do
-      if erased.(i) then begin
-        incr num_erasures;
-        (* (1 - alpha^i x); subtraction = addition in characteristic 2. *)
-        gamma := Poly.mul !gamma (Poly.of_list [ F.one; F.alpha_pow i ])
-      end
-    done;
-    if !num_erasures > two_t then
-      raise (Decode_failure "more erasures than parity symbols");
     let synd = syndromes t received in
     let s_poly = Poly.of_coeffs synd in
-    if not (Poly.is_zero s_poly) || !num_erasures > 0 then begin
-      let t_poly = Poly.truncate two_t (Poly.mul s_poly !gamma) in
-      let lambda, omega = sugiyama ~two_t ~num_erasures:!num_erasures t_poly in
+    if not (Poly.is_zero s_poly) || num_erasures > 0 then begin
+      let t_poly = Poly.truncate two_t (Poly.mul s_poly gamma) in
+      let lambda, omega = sugiyama ~two_t ~num_erasures t_poly in
       if Poly.is_zero lambda || F.is_zero (Poly.coeff lambda 0) then
         raise (Decode_failure "degenerate error locator");
-      let xi = Poly.mul lambda !gamma in
+      let xi = Poly.mul lambda gamma in
       let xi' = Poly.derivative xi in
       (* Chien search over the code's positions; every root of Xi must
          land on a valid position, exactly deg(Xi) of them. *)
@@ -141,7 +149,7 @@ module Make (Sym : Symbol.S) = struct
         raise (Decode_failure "correction did not produce a codeword")
     end
 
-  let decode t frags =
+  let decode ?domains t frags =
     let present = Array.make t.n false in
     let datas = Array.make t.n Bytes.empty in
     let count = ref 0 in
@@ -149,7 +157,7 @@ module Make (Sym : Symbol.S) = struct
     List.iter
       (fun f ->
         let i = Fragment.index f in
-        if i >= t.n then
+        if i < 0 || i >= t.n then
           invalid_arg (Printf.sprintf "Rs_bch.decode: index %d out of range" i);
         if not present.(i) then begin
           present.(i) <- true;
@@ -165,17 +173,32 @@ module Make (Sym : Symbol.S) = struct
     if !size mod bps <> 0 then
       invalid_arg "Rs_bch.decode: fragment size not a whole symbol count";
     let stripes = !size / bps in
-    let erased = Array.init t.n (fun i -> not present.(i)) in
-    let framed = Bytes.create (stripes * bps * t.k) in
-    let received = Array.make t.n 0 in
-    for s = 0 to stripes - 1 do
-      for i = 0 to t.n - 1 do
-        received.(i) <- (if present.(i) then Sym.get datas.(i) s else 0)
-      done;
-      correct_stripe t received erased;
-      for j = 0 to t.k - 1 do
-        Sym.set framed ((s * t.k) + j) received.(t.n - t.k + j)
-      done
+    let num_erasures = ref 0 in
+    let gamma = ref Poly.one in
+    for i = 0 to t.n - 1 do
+      if not present.(i) then begin
+        incr num_erasures;
+        (* (1 - alpha^i x); subtraction = addition in characteristic 2. *)
+        gamma := Poly.mul !gamma (Poly.of_list [ F.one; F.alpha_pow i ])
+      end
     done;
+    if !num_erasures > t.n - t.k then
+      raise (Decode_failure "more erasures than parity symbols");
+    let gamma = !gamma and num_erasures = !num_erasures in
+    let framed = Bytes.create (stripes * bps * t.k) in
+    (* Stripes are corrected independently, so the stripe range shards
+       across domains like the matrix codecs' sweeps; each chunk owns
+       its scratch word. *)
+    Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+        let received = Array.make t.n 0 in
+        for s = lo to lo + len - 1 do
+          for i = 0 to t.n - 1 do
+            received.(i) <- (if present.(i) then Sym.get datas.(i) s else 0)
+          done;
+          correct_stripe t ~gamma ~num_erasures received;
+          for j = 0 to t.k - 1 do
+            Sym.set framed ((s * t.k) + j) received.(t.n - t.k + j)
+          done
+        done);
     Splitter.unframe framed
 end

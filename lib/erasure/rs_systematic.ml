@@ -18,29 +18,24 @@ let make ~n ~k =
 let n t = t.n
 let k t = t.k
 
-let encode t value =
+let encode ?domains t value =
   let framed = Splitter.frame ~k:t.k value in
   let stripes = Bytes.length framed / t.k in
-  let outputs = Array.init t.n (fun _ -> Bytes.create stripes) in
-  (* systematic fragments: pure byte shuffling *)
-  for j = 0 to t.k - 1 do
-    for s = 0 to stripes - 1 do
-      Bytes.set outputs.(j) s (Bytes.get framed ((s * t.k) + j))
-    done
-  done;
-  (* parity fragments: one generator row each *)
-  for i = t.k to t.n - 1 do
-    let row = Matrix.row t.generator i in
-    for s = 0 to stripes - 1 do
-      let base = s * t.k in
-      let acc = ref Gf.zero in
-      for j = 0 to t.k - 1 do
-        acc :=
-          Gf.add !acc (Gf.mul row.(j) (Char.code (Bytes.get framed (base + j))))
-      done;
-      Bytes.set outputs.(i) s (Char.chr !acc)
-    done
-  done;
+  (* The top k generator rows are the identity, so the k transposed
+     columns ARE the systematic fragments — no further copying. *)
+  let cols = Kernel.split_cols ~k:t.k ~bps:1 framed in
+  let outputs =
+    Array.init t.n (fun i -> if i < t.k then cols.(i) else Bytes.create stripes)
+  in
+  let parity_rows =
+    Array.init (t.n - t.k) (fun i -> Matrix.row t.generator (t.k + i))
+  in
+  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+      Array.iteri
+        (fun i coeffs ->
+          Kernel.apply_row ~coeffs ~srcs:cols ~dst:outputs.(t.k + i) ~off:lo
+            ~len)
+        parity_rows);
   Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
 
 let select_distinct t frags =
@@ -50,7 +45,7 @@ let select_distinct t frags =
   List.iter
     (fun f ->
       let i = Fragment.index f in
-      if i >= t.n then
+      if i < 0 || i >= t.n then
         invalid_arg
           (Printf.sprintf "Rs_systematic.decode: index %d out of range" i);
       if !count < t.k && not seen.(i) then begin
@@ -70,40 +65,34 @@ let select_distinct t frags =
     selected;
   selected
 
-let decode t frags =
+let decode ?domains t frags =
   let selected = select_distinct t frags in
   let stripes = Fragment.size selected.(0) in
   let all_systematic =
     Array.for_all (fun f -> Fragment.index f < t.k) selected
   in
-  let framed = Bytes.create (stripes * t.k) in
-  if all_systematic then
-    (* fast path: place each systematic fragment back into its column *)
-    Array.iter
-      (fun f ->
-        let j = Fragment.index f in
-        let data = Fragment.data f in
-        for s = 0 to stripes - 1 do
-          Bytes.set framed ((s * t.k) + j) (Bytes.get data s)
-        done)
-      selected
-  else begin
-    let indices = Array.map Fragment.index selected in
-    let sub = Matrix.select_rows t.generator indices in
-    let inverse = Matrix.invert sub in
-    let inv_rows = Array.init t.k (Matrix.row inverse) in
-    let datas = Array.map Fragment.data selected in
-    for s = 0 to stripes - 1 do
-      for j = 0 to t.k - 1 do
-        let row = inv_rows.(j) in
-        let acc = ref Gf.zero in
-        for l = 0 to t.k - 1 do
-          acc :=
-            Gf.add !acc
-              (Gf.mul row.(l) (Char.code (Bytes.get datas.(l) s)))
-        done;
-        Bytes.set framed ((s * t.k) + j) (Char.chr !acc)
-      done
-    done
-  end;
+  let framed =
+    if all_systematic then begin
+      (* fast path: the fragments are the columns, merely re-interleave *)
+      let cols = Array.make t.k Bytes.empty in
+      Array.iter
+        (fun f -> cols.(Fragment.index f) <- Fragment.data f)
+        selected;
+      Kernel.merge_cols ~k:t.k ~bps:1 cols
+    end
+    else begin
+      let indices = Array.map Fragment.index selected in
+      let sub = Matrix.select_rows t.generator indices in
+      let inverse = Matrix.invert sub in
+      let inv_rows = Array.init t.k (Matrix.row inverse) in
+      let datas = Array.map Fragment.data selected in
+      let cols = Array.init t.k (fun _ -> Bytes.create stripes) in
+      Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+          for j = 0 to t.k - 1 do
+            Kernel.apply_row ~coeffs:inv_rows.(j) ~srcs:datas ~dst:cols.(j)
+              ~off:lo ~len
+          done);
+      Kernel.merge_cols ~k:t.k ~bps:1 cols
+    end
+  in
   Splitter.unframe framed

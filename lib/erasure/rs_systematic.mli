@@ -22,13 +22,14 @@ val make : n:int -> k:int -> t
 val n : t -> int
 val k : t -> int
 
-val encode : t -> bytes -> Fragment.t array
+val encode : ?domains:int -> t -> bytes -> Fragment.t array
 (** Fragments [0 .. k-1] are the framed value's stripes verbatim;
-    [k .. n-1] are parity. *)
+    [k .. n-1] are parity. [?domains] (default 1) shards the stripe
+    range of large values across OCaml domains. *)
 
 exception Insufficient_fragments of { needed : int; got : int }
 
-val decode : t -> Fragment.t list -> bytes
+val decode : ?domains:int -> t -> Fragment.t list -> bytes
 (** Reconstructs from any [k] distinct-index fragments; all-systematic
-    inputs take the copy-only fast path.
+    inputs take the copy-only fast path. [?domains] as in {!encode}.
     @raise Insufficient_fragments with fewer than [k] distinct indices. *)

@@ -11,25 +11,22 @@ let make ~n ~k =
 let n t = t.n
 let k t = t.k
 
-let encode t value =
+(* Row-major encode: transpose the framed value into k column-contiguous
+   buffers, then produce each coded fragment with one table-driven
+   muladd sweep per non-zero generator coefficient (see Kernel and
+   DESIGN.md "Codec kernel"). Large values shard the stripe range
+   across domains. *)
+let encode ?domains t value =
   let framed = Splitter.frame ~k:t.k value in
   let stripes = Bytes.length framed / t.k in
+  let cols = Kernel.split_cols ~k:t.k ~bps:1 framed in
   let outputs = Array.init t.n (fun _ -> Bytes.create stripes) in
-  (* Row i of the generator, hoisted out of the per-stripe loop. *)
   let rows = Array.init t.n (Galois.Matrix.row t.generator) in
-  for s = 0 to stripes - 1 do
-    let base = s * t.k in
-    for i = 0 to t.n - 1 do
-      let row = rows.(i) in
-      let acc = ref Galois.Gf.zero in
-      for j = 0 to t.k - 1 do
-        acc :=
-          Galois.Gf.add !acc
-            (Galois.Gf.mul row.(j) (Char.code (Bytes.get framed (base + j))))
-      done;
-      Bytes.set outputs.(i) s (Char.chr !acc)
-    done
-  done;
+  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+      for i = 0 to t.n - 1 do
+        Kernel.apply_row ~coeffs:rows.(i) ~srcs:cols ~dst:outputs.(i) ~off:lo
+          ~len
+      done);
   Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
 
 (* Pick the first [k] fragments with distinct, in-range indices and a
@@ -41,7 +38,7 @@ let select_distinct t frags =
   List.iter
     (fun f ->
       let i = Fragment.index f in
-      if i >= t.n then
+      if i < 0 || i >= t.n then
         invalid_arg
           (Printf.sprintf "Rs_vandermonde.decode: index %d out of range" i);
       if !count < t.k && not seen.(i) then begin
@@ -61,7 +58,7 @@ let select_distinct t frags =
     selected;
   selected
 
-let decode t frags =
+let decode ?domains t frags =
   let selected = select_distinct t frags in
   let stripes = Fragment.size selected.(0) in
   let indices = Array.map Fragment.index selected in
@@ -69,17 +66,12 @@ let decode t frags =
   let inverse = Galois.Matrix.invert sub in
   let inv_rows = Array.init t.k (Galois.Matrix.row inverse) in
   let datas = Array.map Fragment.data selected in
-  let framed = Bytes.create (stripes * t.k) in
-  for s = 0 to stripes - 1 do
-    for j = 0 to t.k - 1 do
-      let row = inv_rows.(j) in
-      let acc = ref Galois.Gf.zero in
-      for l = 0 to t.k - 1 do
-        acc :=
-          Galois.Gf.add !acc
-            (Galois.Gf.mul row.(l) (Char.code (Bytes.get datas.(l) s)))
-      done;
-      Bytes.set framed ((s * t.k) + j) (Char.chr !acc)
-    done
-  done;
-  Splitter.unframe framed
+  (* Fragments are already column-contiguous; sweep the inverse matrix
+     row-major into fresh columns and re-interleave at the end. *)
+  let cols = Array.init t.k (fun _ -> Bytes.create stripes) in
+  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+      for j = 0 to t.k - 1 do
+        Kernel.apply_row ~coeffs:inv_rows.(j) ~srcs:datas ~dst:cols.(j) ~off:lo
+          ~len
+      done);
+  Splitter.unframe (Kernel.merge_cols ~k:t.k ~bps:1 cols)

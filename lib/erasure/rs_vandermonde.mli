@@ -20,16 +20,19 @@ val make : n:int -> k:int -> t
 val n : t -> int
 val k : t -> int
 
-val encode : t -> bytes -> Fragment.t array
+val encode : ?domains:int -> t -> bytes -> Fragment.t array
 (** [encode code v] produces the [n] fragments of [v], at indices
-    [0 .. n-1]. Each has size [Splitter.fragment_size ~k ~value_len]. *)
+    [0 .. n-1]. Each has size [Splitter.fragment_size ~k ~value_len].
+    [?domains] (default 1: deterministic, single-domain) shards the
+    stripe range of large values across OCaml domains; the output is
+    identical regardless. *)
 
 exception Insufficient_fragments of { needed : int; got : int }
 
-val decode : t -> Fragment.t list -> bytes
+val decode : ?domains:int -> t -> Fragment.t list -> bytes
 (** [decode code frags] reconstructs the original value from any [k]
     distinct-index fragments ([frags] may contain more; the first [k]
-    distinct indices are used).
+    distinct indices are used). [?domains] as in {!encode}.
     @raise Insufficient_fragments with fewer than [k] distinct indices.
     @raise Invalid_argument on an out-of-range index or mismatched
     fragment sizes. *)

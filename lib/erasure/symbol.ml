@@ -2,7 +2,10 @@
 
     A symbol module fixes the field the code works over and how one code
     symbol is laid out in a byte buffer; the generic codecs
-    ({!Rs_bch_gen}) are functors over this. *)
+    ({!Rs_bch_gen}) are functors over this. Besides single-symbol get/set
+    it now also exposes the buffer-level product-table sweeps of the
+    codec kernel (see {!Kernel} and DESIGN.md "Codec kernel"), so the
+    functors can run row-major over whole fragments. *)
 
 module type S = sig
   module F : Galois.Field.S
@@ -16,6 +19,21 @@ module type S = sig
   (** [get buf i] reads symbol number [i]. *)
 
   val set : bytes -> int -> F.t -> unit
+
+  type mul_table
+  (** Product table(s) for one fixed coefficient. *)
+
+  val mul_table : F.t -> mul_table
+  (** Build (or fetch from cache) the table for a coefficient. Call in
+      the coordinating domain before sharding work across domains. *)
+
+  val mul_buf : mul_table -> src:bytes -> dst:bytes -> off:int -> len:int -> unit
+  (** [dst = c * src] over symbols [off, off+len) ([off]/[len] count
+      symbols, not bytes). *)
+
+  val muladd_buf :
+    mul_table -> src:bytes -> dst:bytes -> off:int -> len:int -> unit
+  (** [dst += c * src] over symbols [off, off+len). *)
 end
 
 (** One byte per symbol, GF(2{^8}): codes up to length 255. *)
@@ -26,6 +44,12 @@ module Byte : S with module F = Galois.Gf = struct
   let max_n = 255
   let get buf i = Char.code (Bytes.get buf i)
   let set buf i v = Bytes.set buf i (Char.chr v)
+
+  type mul_table = Bytes.t
+
+  let mul_table = F.mul_table
+  let mul_buf t ~src ~dst ~off ~len = F.mul_buf t ~src ~dst ~off ~len
+  let muladd_buf t ~src ~dst ~off ~len = F.muladd_buf t ~src ~dst ~off ~len
 end
 
 (** Two bytes (big-endian) per symbol, GF(2{^16}): codes up to 65535. *)
@@ -36,4 +60,10 @@ module Wide : S with module F = Galois.Gf16 = struct
   let max_n = 65535
   let get buf i = Bytes.get_uint16_be buf (2 * i)
   let set buf i v = Bytes.set_uint16_be buf (2 * i) v
+
+  type mul_table = F.mul_tables
+
+  let mul_table = F.mul_tables
+  let mul_buf t ~src ~dst ~off ~len = F.mul_buf t ~src ~dst ~off ~len
+  let muladd_buf t ~src ~dst ~off ~len = F.muladd_buf t ~src ~dst ~off ~len
 end

@@ -74,3 +74,51 @@ let pow a e =
 
 let pp ppf a = Format.fprintf ppf "0x%02x" a
 let to_string a = Format.asprintf "%a" pp a
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-level kernels.
+
+   One 256-entry product table per coefficient turns a field multiply
+   into a single byte-indexed load, with no zero branches and no
+   log/exp indirection, which is what lets the Reed-Solomon codecs
+   stream whole fragments. All 256 tables together are only 64 KiB, so
+   they are built eagerly at module initialization: [mul_table] is a
+   pure array read and therefore safe to call from any domain. *)
+
+let all_tables =
+  Array.init order (fun c -> Bytes.init order (fun x -> Char.chr (mul c x)))
+
+let mul_table c =
+  if c < 0 || c > field_mask then
+    invalid_arg (Printf.sprintf "Gf.mul_table: %d out of range [0, 255]" c)
+  else all_tables.(c)
+
+let check_buf_args ~fname table ~src ~dst ~off ~len =
+  if Bytes.length table <> order then
+    invalid_arg (fname ^ ": table must have 256 entries");
+  if off < 0 || len < 0 || off + len > Bytes.length src
+     || off + len > Bytes.length dst
+  then
+    invalid_arg
+      (Printf.sprintf "%s: range [%d, %d) outside buffers (src %d, dst %d)"
+         fname off (off + len) (Bytes.length src) (Bytes.length dst))
+
+(* The [unsafe_get]/[unsafe_set] in the loops below are justified by
+   [check_buf_args]: every index is in [off, off+len), inside both
+   buffers, and every table index is a byte. *)
+
+let mul_buf table ~src ~dst ~off ~len =
+  check_buf_args ~fname:"Gf.mul_buf" table ~src ~dst ~off ~len;
+  for i = off to off + len - 1 do
+    let x = Char.code (Bytes.unsafe_get src i) in
+    Bytes.unsafe_set dst i (Bytes.unsafe_get table x)
+  done
+
+let muladd_buf table ~src ~dst ~off ~len =
+  check_buf_args ~fname:"Gf.muladd_buf" table ~src ~dst ~off ~len;
+  for i = off to off + len - 1 do
+    let x = Char.code (Bytes.unsafe_get src i) in
+    let p = Char.code (Bytes.unsafe_get table x) in
+    let d = Char.code (Bytes.unsafe_get dst i) in
+    Bytes.unsafe_set dst i (Char.unsafe_chr (p lxor d))
+  done

@@ -74,3 +74,33 @@ val to_string : t -> string
 val mul_slow : t -> t -> t
 (** Reference carry-less ("Russian peasant") multiplication, used by the
     test suite to validate the table-driven {!mul}. *)
+
+(** {1 Buffer-level kernels}
+
+    The Reed-Solomon hot loops multiply long byte buffers by a handful of
+    fixed coefficients. A per-coefficient 256-entry product table turns
+    each multiply into one byte-indexed load — no log/exp indirection and
+    no zero branches — and the buffer sweeps below amortize the bounds
+    checks over whole fragments. *)
+
+val mul_table : t -> Bytes.t
+(** [mul_table c] is the 256-byte table [t] with [t.[x] = c * x]. All
+    tables are precomputed at module initialization, so this is an O(1)
+    array read, safe from any domain, and callers may share the result
+    freely (but must not mutate it).
+    @raise Invalid_argument outside [0, 255]. *)
+
+val mul_buf : Bytes.t -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [mul_buf table ~src ~dst ~off ~len] sets
+    [dst.[i] <- table.[src.[i]]] for [i] in [off, off+len): a whole-buffer
+    [dst := c * src] when [table = mul_table c]. [src] and [dst] may be
+    the same buffer.
+    @raise Invalid_argument if the range exceeds either buffer or the
+    table is not 256 bytes. *)
+
+val muladd_buf :
+  Bytes.t -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [muladd_buf table ~src ~dst ~off ~len] performs
+    [dst.[i] <- dst.[i] xor table.[src.[i]]] over the range: the fused
+    [dst += c * src] sweep at the heart of row-major encode/decode.
+    @raise Invalid_argument as {!mul_buf}. *)

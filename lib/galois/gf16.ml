@@ -70,3 +70,83 @@ let pow a e =
   else alpha_pow (log_table.(a) * e)
 
 let pp ppf a = Format.fprintf ppf "0x%04x" a
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-level kernels.
+
+   A full 65536-entry product table per coefficient would cost 128 KiB
+   each, so we use the classical split-table scheme instead: for a
+   coefficient [c],
+
+     c * x = c * (hi(x) << 8)  xor  c * lo(x)
+           = hi_table.(hi(x)) xor lo_table.(lo(x))
+
+   by linearity of GF(2^16) multiplication over XOR. Two 256-entry int
+   arrays per coefficient, one load each per symbol.
+
+   Tables are cached per coefficient on first use. The cache is NOT
+   safe against concurrent first-time fills from multiple domains;
+   callers that shard work across domains must obtain the tables they
+   need in the coordinating domain first (the erasure codecs do). *)
+
+type mul_tables = { lo : int array; hi : int array }
+
+let build_tables c =
+  { lo = Array.init 256 (fun x -> mul c x);
+    hi = Array.init 256 (fun x -> mul c (x lsl 8))
+  }
+
+let tables_cache : mul_tables option array = Array.make order None
+
+let mul_tables c =
+  if c < 0 || c > field_mask then
+    invalid_arg (Printf.sprintf "Gf16.mul_tables: %d out of range [0, 65535]" c)
+  else
+    match tables_cache.(c) with
+    | Some t -> t
+    | None ->
+      let t = build_tables c in
+      tables_cache.(c) <- Some t;
+      t
+
+(* [off] and [len] count 16-bit symbols; buffers hold big-endian symbols
+   as the codecs lay them out. *)
+let check_buf_args ~fname ~src ~dst ~off ~len =
+  if
+    off < 0 || len < 0
+    || 2 * (off + len) > Bytes.length src
+    || 2 * (off + len) > Bytes.length dst
+  then
+    invalid_arg
+      (Printf.sprintf
+         "%s: symbol range [%d, %d) outside buffers (src %d, dst %d bytes)"
+         fname off (off + len) (Bytes.length src) (Bytes.length dst))
+
+(* Unsafe accesses below are covered by [check_buf_args]; table indices
+   are single bytes into 256-entry arrays. *)
+
+let mul_buf t ~src ~dst ~off ~len =
+  check_buf_args ~fname:"Gf16.mul_buf" ~src ~dst ~off ~len;
+  let { lo; hi } = t in
+  for s = off to off + len - 1 do
+    let i = 2 * s in
+    let xh = Char.code (Bytes.unsafe_get src i) in
+    let xl = Char.code (Bytes.unsafe_get src (i + 1)) in
+    let p = Array.unsafe_get hi xh lxor Array.unsafe_get lo xl in
+    Bytes.unsafe_set dst i (Char.unsafe_chr (p lsr 8));
+    Bytes.unsafe_set dst (i + 1) (Char.unsafe_chr (p land 0xff))
+  done
+
+let muladd_buf t ~src ~dst ~off ~len =
+  check_buf_args ~fname:"Gf16.muladd_buf" ~src ~dst ~off ~len;
+  let { lo; hi } = t in
+  for s = off to off + len - 1 do
+    let i = 2 * s in
+    let xh = Char.code (Bytes.unsafe_get src i) in
+    let xl = Char.code (Bytes.unsafe_get src (i + 1)) in
+    let p = Array.unsafe_get hi xh lxor Array.unsafe_get lo xl in
+    let dh = Char.code (Bytes.unsafe_get dst i) in
+    let dl = Char.code (Bytes.unsafe_get dst (i + 1)) in
+    Bytes.unsafe_set dst i (Char.unsafe_chr ((p lsr 8) lxor dh));
+    Bytes.unsafe_set dst (i + 1) (Char.unsafe_chr ((p land 0xff) lxor dl))
+  done

@@ -56,3 +56,32 @@ val pp : Format.formatter -> t -> unit
 
 val mul_slow : t -> t -> t
 (** Reference shift-and-add multiplication, for validating {!mul}. *)
+
+(** {1 Buffer-level kernels}
+
+    GF(2{^16}) analogue of {!Gf.mul_table}/{!Gf.muladd_buf}. A full
+    per-coefficient product table would be 128 KiB, so each coefficient
+    gets the classical {e split} tables — 256 entries for the low source
+    byte and 256 for the high — combined by XOR-linearity:
+    [c * x = hi.(x lsr 8) lxor lo.(x land 0xff)]. *)
+
+type mul_tables
+(** Split product tables for one fixed coefficient. *)
+
+val mul_tables : t -> mul_tables
+(** [mul_tables c] returns (building and caching on first use) the split
+    tables for [c]. First-time construction is not safe to race from
+    several domains: fetch the tables you need before sharding work.
+    @raise Invalid_argument outside [0, 65535]. *)
+
+val mul_buf : mul_tables -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [mul_buf t ~src ~dst ~off ~len] sets symbols [off, off+len) of [dst]
+    to [c] times the corresponding symbols of [src]; symbols are 16-bit
+    big-endian, and [off]/[len] count symbols, not bytes.
+    @raise Invalid_argument if the symbol range exceeds either buffer. *)
+
+val muladd_buf :
+  mul_tables -> src:Bytes.t -> dst:Bytes.t -> off:int -> len:int -> unit
+(** [muladd_buf t ~src ~dst ~off ~len]: [dst += c * src] over the symbol
+    range, the fused sweep used by the row-major codec paths.
+    @raise Invalid_argument as {!mul_buf}. *)

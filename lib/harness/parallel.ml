@@ -2,6 +2,12 @@ let recommended_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min 8 n)
 
+let iter_ranges ?domains ?min_chunk ~n f =
+  let domains =
+    match domains with Some d -> d | None -> recommended_domains ()
+  in
+  Erasure.Kernel.parallel_rows ~domains ?min_chunk ~n f
+
 type 'b outcome = Value of 'b | Raised of exn
 
 let map ?domains f inputs =

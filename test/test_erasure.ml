@@ -465,9 +465,115 @@ let mds_tests =
             !differs))
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Fragment-index validation: every codec rejects out-of-range indices
+   with a clear Invalid_argument. The codecs also guard [i < 0]
+   defensively; a negative index cannot be built through Fragment.make
+   (tested below), so the high side is what we can exercise end-to-end. *)
+
+let index_validation_tests =
+  let raises_invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  let value = Bytes.of_string "index validation payload" in
+  [ Alcotest.test_case "Fragment.make rejects negative indices" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "negative index" true
+          (raises_invalid (fun () ->
+               Fragment.make ~index:(-1) ~data:(Bytes.create 4))));
+    Alcotest.test_case "decoders reject out-of-range indices" `Quick
+      (fun () ->
+        let check_oob name decode =
+          (* index n is one past the last valid fragment *)
+          let bogus = Fragment.make ~index:6 ~data:(Bytes.create 8) in
+          Alcotest.(check bool)
+            (name ^ " rejects index n")
+            true
+            (raises_invalid (fun () -> decode [ bogus ]))
+        in
+        check_oob "vandermonde" (fun frags ->
+            ignore
+              (Rs_vandermonde.decode (Rs_vandermonde.make ~n:6 ~k:3) frags));
+        check_oob "systematic" (fun frags ->
+            ignore (Rs_systematic.decode (Rs_systematic.make ~n:6 ~k:3) frags));
+        check_oob "bch" (fun frags ->
+            ignore (Rs_bch.decode (Rs_bch.make ~n:6 ~k:3) frags));
+        check_oob "rs16" (fun frags ->
+            ignore (Rs16.decode (Rs16.make ~n:6 ~k:3) frags));
+        check_oob "bch16" (fun frags ->
+            ignore (Rs_bch16.decode (Rs_bch16.make ~n:6 ~k:3) frags)));
+    Alcotest.test_case "in-range indices still decode" `Quick (fun () ->
+        let code = Rs_vandermonde.make ~n:6 ~k:3 in
+        let frags = Array.to_list (Rs_vandermonde.encode code value) in
+        Alcotest.(check bool)
+          "round-trip" true
+          (Bytes.equal value (Rs_vandermonde.decode code frags)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Splitter edge cases: empty value, lengths exactly filling the last
+   stripe, and corrupt-header rejection. *)
+
+let splitter_edge_tests =
+  let raises_invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  [ Alcotest.test_case "empty value round-trips at any k" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            let framed = Splitter.frame ~k Bytes.empty in
+            Alcotest.(check int)
+              (Printf.sprintf "padded length k=%d" k)
+              ((4 + k - 1) / k * k)
+              (Bytes.length framed);
+            Alcotest.(check bool)
+              (Printf.sprintf "round-trip k=%d" k)
+              true
+              (Bytes.equal Bytes.empty (Splitter.unframe framed)))
+          [ 1; 2; 3; 4; 5; 7; 16 ]);
+    Alcotest.test_case "value length an exact multiple of k" `Quick (fun () ->
+        (* header + value exactly fills the stripes: no padding bytes *)
+        List.iter
+          (fun k ->
+            let len = (3 * k) - 4 in
+            if len >= 0 then begin
+              let v = Bytes.init len (fun i -> Char.chr (i land 0xff)) in
+              let framed = Splitter.frame ~k v in
+              Alcotest.(check int)
+                (Printf.sprintf "no padding k=%d" k)
+                (4 + len) (Bytes.length framed);
+              Alcotest.(check bool)
+                (Printf.sprintf "round-trip k=%d" k)
+                true
+                (Bytes.equal v (Splitter.unframe framed))
+            end)
+          [ 2; 4; 5; 8; 13 ]);
+    Alcotest.test_case "corrupt length headers are rejected" `Quick (fun () ->
+        (* too-large length *)
+        let framed = Splitter.frame ~k:4 (Bytes.of_string "hello") in
+        let corrupt = Bytes.copy framed in
+        Bytes.set_int32_be corrupt 0 1000l;
+        Alcotest.(check bool)
+          "oversized length" true
+          (raises_invalid (fun () -> Splitter.unframe corrupt));
+        (* negative length *)
+        let negative = Bytes.copy framed in
+        Bytes.set_int32_be negative 0 (-5l);
+        Alcotest.(check bool)
+          "negative length" true
+          (raises_invalid (fun () -> Splitter.unframe negative));
+        (* shorter than the header itself *)
+        Alcotest.(check bool)
+          "short buffer" true
+          (raises_invalid (fun () -> Splitter.unframe (Bytes.create 3))))
+  ]
+
 let () =
   Alcotest.run "erasure"
     [ ("splitter", splitter_tests);
+      ("splitter-edge", splitter_edge_tests);
+      ("index-validation", index_validation_tests);
       ("rs-vandermonde", vand_tests);
       ("rs-bch", bch_tests);
       ("rs-systematic", sys_tests);
