@@ -181,14 +181,11 @@ let read_cost () =
   (* the 60 seeded storms are independent simulations: sweep them across
      domains *)
   let per_seed =
-    Harness.Parallel.map
-      (fun seed ->
-        let w =
-          Workload.read_with_write_storm ~params ~value_len ~seed ~writers:4
-            ~writes_per_writer:2 ()
-        in
-        Metrics.reads_with_delta_w (Runner.run Runner.Soda w))
-      (List.init 60 (fun seed -> seed))
+    List.init 60 (fun seed ->
+        Workload.read_with_write_storm ~params ~value_len ~seed ~writers:4
+          ~writes_per_writer:2 ())
+    |> Runner.run_sweep Runner.Soda
+    |> List.map Metrics.reads_with_delta_w
   in
   List.iter
     (List.iter (fun (_, dw, cost) ->
@@ -487,14 +484,14 @@ let latency_dist () =
       (fun (name, algo) ->
         (* 40 seeded runs of 3 sequential rounds each: 120 writes + 120
            reads per algorithm *)
+        let runs =
+          List.init 40 (fun seed ->
+              Workload.sequential ~params ~value_len ~seed ~delay ~rounds:3 ())
+          |> Runner.run_sweep algo
+        in
         let latencies kind =
-          Harness.Parallel.map
-            (fun seed ->
-              let w =
-                Workload.sequential ~params ~value_len ~seed ~delay ~rounds:3
-                  ()
-              in
-              let r = Runner.run algo w in
+          List.concat_map
+            (fun r ->
               History.records r.Runner.history
               |> List.filter_map (fun o ->
                      if o.History.kind = kind then
@@ -502,8 +499,8 @@ let latency_dist () =
                          (fun finish -> finish -. o.History.invoked_at)
                          o.History.responded_at
                      else None))
-            (List.init 40 (fun i -> i))
-          |> List.concat |> Array.of_list
+            runs
+          |> Array.of_list
         in
         List.map
           (fun (kind_name, kind, bound) ->
@@ -634,34 +631,35 @@ let ablation_md () =
      how often do subsequent reads still complete? *)
   let trials = 60 in
   let count_ok md_mode =
-    let ok = ref 0 in
-    for seed = 0 to trials - 1 do
-      let params = Params.make ~n:7 ~f:3 () in
-      let engine =
-        Simnet.Engine.create ~seed ~delay:(Simnet.Delay.uniform ~lo:0.5 ~hi:2.0)
-          ()
-      in
-      let d =
-        Soda.Deployment.deploy ~engine ~params
-          ~initial_value:(Workload.value ~len:value_len ~seed ~index:0)
-          ~value_len ~md_mode ~disperse_step:0.5 ~num_writers:1 ~num_readers:1
-          ()
-      in
-      Soda.Deployment.write d ~writer:0 ~at:0.0
-        (Workload.value ~len:value_len ~seed ~index:1);
-      (* writer dies mid-dispersal; then f servers die *)
-      Soda.Deployment.crash_writer d ~writer:0 ~at:3.0;
-      Soda.Deployment.crash_server d ~coordinate:(seed mod 7) ~at:10.0;
-      Soda.Deployment.crash_server d ~coordinate:((seed + 2) mod 7) ~at:10.0;
-      Soda.Deployment.crash_server d ~coordinate:((seed + 4) mod 7) ~at:10.0;
-      let completed = ref false in
-      Soda.Deployment.read d ~reader:0 ~at:50.0
-        ~on_done:(fun _ -> completed := true)
-        ();
-      Simnet.Engine.run engine;
-      if !completed then incr ok
-    done;
-    !ok
+    (* each trial owns its engine, so the seeds fan out across domains *)
+    Harness.Parallel.map
+      (fun seed ->
+        let params = Params.make ~n:7 ~f:3 () in
+        let engine =
+          Simnet.Engine.create ~seed
+            ~delay:(Simnet.Delay.uniform ~lo:0.5 ~hi:2.0) ()
+        in
+        let d =
+          Soda.Deployment.deploy ~engine ~params
+            ~initial_value:(Workload.value ~len:value_len ~seed ~index:0)
+            ~value_len ~md_mode ~disperse_step:0.5 ~num_writers:1
+            ~num_readers:1 ()
+        in
+        Soda.Deployment.write d ~writer:0 ~at:0.0
+          (Workload.value ~len:value_len ~seed ~index:1);
+        (* writer dies mid-dispersal; then f servers die *)
+        Soda.Deployment.crash_writer d ~writer:0 ~at:3.0;
+        Soda.Deployment.crash_server d ~coordinate:(seed mod 7) ~at:10.0;
+        Soda.Deployment.crash_server d ~coordinate:((seed + 2) mod 7) ~at:10.0;
+        Soda.Deployment.crash_server d ~coordinate:((seed + 4) mod 7) ~at:10.0;
+        let completed = ref false in
+        Soda.Deployment.read d ~reader:0 ~at:50.0
+          ~on_done:(fun _ -> completed := true)
+          ();
+        Simnet.Engine.run engine;
+        !completed)
+      (List.init trials Fun.id)
+    |> List.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0
   in
   Report.table
     ~title:

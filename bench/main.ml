@@ -30,7 +30,8 @@ let experiments =
       Experiments.ablation_gossip,
       "READ-DISPERSE gossip vs none" );
     ("micro", Micro.run, "Bechamel microbenchmarks");
-    ("codec", Codec_bench.run, "codec kernel throughput, JSON (see --smoke)")
+    ("codec", Codec_bench.run, "codec kernel throughput, JSON (see --smoke)");
+    ("sim", Sim_bench.run, "simulator & checker events/sec, JSON (see --smoke)")
   ]
 
 let usage () =
@@ -50,6 +51,7 @@ let () =
       extract_flags acc rest
     | "--smoke" :: rest ->
       Codec_bench.smoke := true;
+      Sim_bench.smoke := true;
       extract_flags acc rest
     | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc

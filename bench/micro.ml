@@ -90,6 +90,70 @@ let codec_tests =
       make_decode "decode-bch-64KiB-2errors" bch 65536 ~corrupt:2 ~drop:0
     ]
 
+let event_queue_tests =
+  (* the simulator's dominant data-structure operations, isolated from
+     protocol work. [replace-top] is steady-state churn at a fixed heap
+     depth: pop the minimum, push a replacement a pseudo-random offset
+     later — one full sift per run. [push-pop-256] ramps a queue up and
+     drains it, covering both sift directions and the inbox path. *)
+  let lcg = ref 0x4F6CDD1D in
+  let jitter () =
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!lcg land 0xFFFF) /. 65536.0
+  in
+  let depth = 256 in
+  let churn_q : unit Simnet.Event_queue.t = Simnet.Event_queue.create () in
+  let churn_t = ref 0.0 in
+  for _ = 1 to depth do
+    churn_t := !churn_t +. 1.0;
+    Simnet.Event_queue.push_tagged churn_q ~time:(!churn_t +. jitter ()) ~tag:3
+      ()
+  done;
+  let drain_q : unit Simnet.Event_queue.t = Simnet.Event_queue.create () in
+  Test.make_grouped ~name:"event_queue"
+    [ Test.make ~name:"replace-top-d256"
+        (Staged.stage (fun () ->
+             ignore (Simnet.Event_queue.next_tag churn_q : int);
+             Simnet.Event_queue.pop_exn churn_q;
+             churn_t := !churn_t +. 1.0;
+             (Simnet.Event_queue.inbox churn_q).(0) <- !churn_t +. jitter ();
+             Simnet.Event_queue.push_inbox churn_q ~tag:3 ()));
+      Test.make ~name:"push-pop-256"
+        (Staged.stage (fun () ->
+             for i = 1 to depth do
+               Simnet.Event_queue.push_tagged drain_q
+                 ~time:(float_of_int i +. jitter ())
+                 ~tag:3 ()
+             done;
+             while not (Simnet.Event_queue.is_empty drain_q) do
+               Simnet.Event_queue.pop_exn drain_q
+             done))
+    ]
+
+let engine_tests =
+  (* the engine's send + deliver path with a no-op protocol: two
+     processes ping-pong a single message, so every [step] dispatches
+     one delivery and enqueues one send *)
+  let make name delay =
+    let engine = Simnet.Engine.create ~seed:1 ~delay () in
+    let a = Simnet.Engine.reserve engine ~name:"a" in
+    let b = Simnet.Engine.reserve engine ~name:"b" in
+    Simnet.Engine.set_handler engine a (fun ctx ~src:_ () ->
+        Simnet.Engine.send ctx ~dst:b ());
+    Simnet.Engine.set_handler engine b (fun ctx ~src:_ () ->
+        Simnet.Engine.send ctx ~dst:a ());
+    Simnet.Engine.inject engine ~at:0.0 a (fun ctx ->
+        Simnet.Engine.send ctx ~dst:b ());
+    ignore (Simnet.Engine.step engine : bool);
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Simnet.Engine.step engine : bool)))
+  in
+  Test.make_grouped ~name:"engine"
+    [ make "send+deliver-const" (Simnet.Delay.constant 1.0);
+      make "send+deliver-exp"
+        (Simnet.Delay.exponential ~mean:1.0 ~cap:10.0)
+    ]
+
 let simulation_tests =
   (* a whole SODA round-trip (write + read on a 7-server cluster) as one
      macro-ish sample, to put protocol overhead in perspective *)
@@ -111,7 +175,13 @@ let simulation_tests =
 
 let all_tests =
   Test.make_grouped ~name:"micro"
-    [ gf_tests; kernel_tests; codec_tests; simulation_tests ]
+    [ gf_tests;
+      kernel_tests;
+      codec_tests;
+      event_queue_tests;
+      engine_tests;
+      simulation_tests
+    ]
 
 let run () =
   let cfg =

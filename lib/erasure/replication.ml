@@ -8,9 +8,13 @@ let make ~n =
 
 let n t = t.n
 
+(* All n fragments carry the same bytes, and nothing downstream mutates
+   a fragment's payload in place ([Fragment.corrupt] copies), so the one
+   framed buffer is shared: encoding is O(|value|) regardless of n
+   instead of n copies. *)
 let encode t value =
   let framed = Splitter.frame ~k:1 value in
-  Array.init t.n (fun i -> Fragment.make ~index:i ~data:(Bytes.copy framed))
+  Array.init t.n (fun i -> Fragment.make ~index:i ~data:framed)
 
 let decode t frags =
   match frags with

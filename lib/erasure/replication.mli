@@ -12,6 +12,9 @@ val make : n:int -> t
 val n : t -> int
 
 val encode : t -> bytes -> Fragment.t array
+(** All [n] fragments share one framed payload buffer (one copy of the
+    value total, not [n]); treat fragment data as immutable, as every
+    codec does — {!Fragment.corrupt} already copies. *)
 
 exception Insufficient_fragments
 

@@ -20,6 +20,7 @@ type result = {
   initial_value : bytes;
   messages_sent : int;
   messages_delivered : int;
+  events_executed : int;
   final_time : float;
   crashed : int -> bool;
   read_restarts : int
@@ -59,6 +60,7 @@ let run_soda ~max_events (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed;
     read_restarts = 0
@@ -90,6 +92,7 @@ let run_abd ~max_events (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
     read_restarts = 0
@@ -122,6 +125,7 @@ let run_cas ~max_events ~gc_depth (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
     read_restarts = Baselines.Cas.read_restarts d
@@ -132,3 +136,6 @@ let run ?(max_events = 20_000_000) algorithm workload =
   | Soda -> run_soda ~max_events workload
   | Abd -> run_abd ~max_events workload
   | Cas { gc_depth } -> run_cas ~max_events ~gc_depth workload
+
+let run_sweep ?max_events ?domains algorithm workloads =
+  Parallel.map ?domains (fun w -> run ?max_events algorithm w) workloads

@@ -27,6 +27,9 @@ type result = {
   initial_value : bytes;
   messages_sent : int;
   messages_delivered : int;
+  events_executed : int;
+      (** Every event the engine dispatched: deliveries, drops, local
+          actions (e.g. dispersal steps), injections, crash/restores. *)
   final_time : float;
   crashed : int -> bool;  (** by server coordinate *)
   read_restarts : int  (** CASGC only; 0 elsewhere *)
@@ -35,3 +38,14 @@ type result = {
 val run : ?max_events:int -> algorithm -> Workload.t -> result
 (** @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
     quiesce within [max_events] (default 20 million). *)
+
+val run_sweep :
+  ?max_events:int -> ?domains:int -> algorithm -> Workload.t list -> result list
+(** [run_sweep algorithm workloads] runs each workload independently,
+    fanned out across OCaml 5 domains with {!Parallel.map} ([domains]
+    defaults to {!Parallel.recommended_domains}). Each run owns a fresh
+    engine and is a pure function of its workload, so the result list is
+    in input order and identical to [List.map (run algorithm) workloads]
+    — only wall-clock time changes.
+    @raise Simnet.Engine.Event_limit_exceeded as {!run} does, re-raised
+    after all runs finish. *)

@@ -9,7 +9,11 @@
     properties P1 (real-time order respected), P2 (writes totally
     ordered, i.e. write tags unique) and P3 (a read returns the value of
     the write whose tag it carries, or the initial value for the initial
-    tag). This is exact for tag-based protocols and runs in O(m{^2}).
+    tag). This is exact for tag-based protocols and runs in
+    O(m log m): P1 is decided by a plane sweep over the operations in
+    invocation order against the maximum tag of the operations already
+    responded. {!check_tagged_quadratic} is the original pairwise P1
+    scan, retained as a differential-testing oracle.
 
     {!linearizable_by_value} is a protocol-agnostic exhaustive search in
     the style of Wing & Gong: it asks whether {e any} total order of the
@@ -33,6 +37,13 @@ val check_tagged :
     potential writers of tags that completed reads returned.
     [initial_value] (default empty) is the register's initial value,
     associated with {!Tag.initial}. *)
+
+val check_tagged_quadratic :
+  ?initial_value:bytes -> History.record list -> (unit, violation) result
+(** As {!check_tagged}, but deciding P1 with the original O(m{^2})
+    pairwise scan. The two must agree on the verdict for every history
+    (the reported culprit pair may differ); the differential tests
+    enforce this. Prefer {!check_tagged}. *)
 
 val linearizable_by_value : initial_value:bytes -> History.record list -> bool
 (** Exhaustive linearizability check over completed operations.

@@ -1,0 +1,149 @@
+(* Open-addressing hash tables keyed by non-negative ints.
+
+   The simulator's hot paths (MD deduplication, the servers' H sets)
+   perform millions of membership tests and insertions on small int
+   keys. Stdlib [Hashtbl] pays a C call into the generic hasher plus a
+   bucket-cons allocation per [add]; these tables use linear probing
+   over flat int arrays — a multiply-and-mask plus a couple of cache
+   lines per operation, and no allocation once grown.
+
+   No removal of individual keys (that would need tombstones); callers
+   that delete do so wholesale with [reset]. Capacities are powers of
+   two, load factor <= 1/2. The empty slot is keyed by -1, so keys must
+   be >= 0 — which packed tags, mids and coordinates are. *)
+
+(* Fibonacci hashing: spreads consecutive keys (mids and packed tags
+   are near-consecutive) across the table. *)
+let[@inline] slot_of key mask = (key * 0x1fd3eca2d2b1ba6d) lsr 1 land mask
+
+module Set = struct
+  type t = { mutable keys : int array; mutable size : int; mutable mask : int }
+
+  let create capacity =
+    let cap = ref 16 in
+    while !cap < 2 * capacity do
+      cap := !cap * 2
+    done;
+    { keys = Array.make !cap (-1); size = 0; mask = !cap - 1 }
+
+  let length t = t.size
+
+  let rec probe keys mask i key =
+    let k = Array.unsafe_get keys i in
+    if k = key then i
+    else if k = -1 then lnot i (* free slot where the key would go *)
+    else probe keys mask ((i + 1) land mask) key
+
+  let mem t key = probe t.keys t.mask (slot_of key t.mask) key >= 0
+
+  let grow t =
+    let old = t.keys in
+    let cap = 2 * Array.length old in
+    t.keys <- Array.make cap (-1);
+    t.mask <- cap - 1;
+    Array.iter
+      (fun k ->
+        if k >= 0 then begin
+          let i = probe t.keys t.mask (slot_of k t.mask) k in
+          t.keys.(lnot i) <- k
+        end)
+      old
+
+  (* [add t key] inserts and reports whether the key was new. *)
+  let add t key =
+    if key < 0 then invalid_arg "Int_tbl.Set.add: negative key";
+    let i = probe t.keys t.mask (slot_of key t.mask) key in
+    if i >= 0 then false
+    else begin
+      t.keys.(lnot i) <- key;
+      t.size <- t.size + 1;
+      if 2 * t.size > Array.length t.keys then grow t;
+      true
+    end
+
+  let reset t =
+    Array.fill t.keys 0 (Array.length t.keys) (-1);
+    t.size <- 0
+
+  let iter f t = Array.iter (fun k -> if k >= 0 then f k) t.keys
+end
+
+(* Same scheme with a parallel value array. The dummy passed at
+   [create] pads unused value slots (the generic interface has no other
+   way to initialise them); it is never returned for a present key. *)
+module Map = struct
+  type 'a t = {
+    mutable keys : int array;
+    mutable vals : 'a array;
+    dummy : 'a;
+    mutable size : int;
+    mutable mask : int
+  }
+
+  let create ~dummy capacity =
+    let cap = ref 16 in
+    while !cap < 2 * capacity do
+      cap := !cap * 2
+    done;
+    { keys = Array.make !cap (-1);
+      vals = Array.make !cap dummy;
+      dummy;
+      size = 0;
+      mask = !cap - 1
+    }
+
+  let length t = t.size
+
+  let rec probe keys mask i key =
+    let k = Array.unsafe_get keys i in
+    if k = key then i
+    else if k = -1 then lnot i
+    else probe keys mask ((i + 1) land mask) key
+
+  let find_opt t key =
+    let i = probe t.keys t.mask (slot_of key t.mask) key in
+    if i >= 0 then Some (Array.unsafe_get t.vals i) else None
+
+  let find t key ~default =
+    let i = probe t.keys t.mask (slot_of key t.mask) key in
+    if i >= 0 then Array.unsafe_get t.vals i else default
+
+  let grow t =
+    let okeys = t.keys and ovals = t.vals in
+    let cap = 2 * Array.length okeys in
+    t.keys <- Array.make cap (-1);
+    t.vals <- Array.make cap t.dummy;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun j k ->
+        if k >= 0 then begin
+          let i = lnot (probe t.keys t.mask (slot_of k t.mask) k) in
+          t.keys.(i) <- k;
+          t.vals.(i) <- ovals.(j)
+        end)
+      okeys
+
+  let replace t key v =
+    if key < 0 then invalid_arg "Int_tbl.Map.replace: negative key";
+    let i = probe t.keys t.mask (slot_of key t.mask) key in
+    if i >= 0 then t.vals.(i) <- v
+    else begin
+      let i = lnot i in
+      t.keys.(i) <- key;
+      t.vals.(i) <- v;
+      t.size <- t.size + 1;
+      if 2 * t.size > Array.length t.keys then grow t
+    end
+
+  let reset t =
+    Array.fill t.keys 0 (Array.length t.keys) (-1);
+    Array.fill t.vals 0 (Array.length t.vals) t.dummy;
+    t.size <- 0
+
+  let fold f t acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun i k -> if k >= 0 then acc := f k t.vals.(i) !acc)
+      t.keys;
+    !acc
+end

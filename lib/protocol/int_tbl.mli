@@ -1,0 +1,48 @@
+(** Open-addressing hash tables keyed by non-negative ints.
+
+    Built for the simulator's hot paths (MD deduplication, the servers'
+    H sets): linear probing over flat arrays — no per-insert allocation,
+    no generic-hashing C call. Keys must be [>= 0] (packed tags, mids
+    and coordinates are); individual removal is not supported — delete
+    wholesale with [reset]. *)
+
+module Set : sig
+  type t
+
+  val create : int -> t
+  (** [create capacity] sizes the table for [capacity] keys without
+      growing. *)
+
+  val add : t -> int -> bool
+  (** Insert; [true] iff the key was not already present.
+      @raise Invalid_argument on a negative key. *)
+
+  val mem : t -> int -> bool
+  val length : t -> int
+
+  val reset : t -> unit
+  (** Remove every key, retaining capacity. *)
+
+  val iter : (int -> unit) -> t -> unit
+end
+
+module Map : sig
+  type 'a t
+
+  val create : dummy:'a -> int -> 'a t
+  (** [dummy] pads unused value slots; it is never returned for a
+      present key. *)
+
+  val replace : 'a t -> int -> 'a -> unit
+  (** Insert or overwrite. @raise Invalid_argument on a negative key. *)
+
+  val find_opt : 'a t -> int -> 'a option
+
+  val find : 'a t -> int -> default:'a -> 'a
+  (** [find t key ~default] is the value bound to [key], or [default]
+      when absent — unlike {!find_opt}, allocation-free. *)
+
+  val length : 'a t -> int
+  val reset : 'a t -> unit
+  val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+end

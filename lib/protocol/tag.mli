@@ -28,5 +28,14 @@ val ( >= ) : t -> t -> bool
 
 val max : t -> t -> t
 
+val pack : t -> int
+(** An injective encoding of a tag as a non-negative [int], ordered like
+    {!compare}; an O(1) key for int-keyed tables on hot paths. Valid for
+    [z] up to 2{^41} - 1 and writer ids up to 2{^20} - 1 (the simulator's
+    pid cap). @raise Invalid_argument outside that range. *)
+
+val unpack : int -> t
+(** Inverse of {!pack}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -20,15 +20,40 @@ let exponential ~mean ~cap =
 
 let per_link f = Per_link f
 
-let rec draw t rng ~src ~dst =
+type shape =
+  | Constant_delay of float
+  | Uniform_delay of { lo : float; hi : float }
+  | Exponential_delay of { mean : float; cap : float }
+  | Dynamic_delay
+
+let shape = function
+  | Constant d -> Constant_delay d
+  | Uniform (lo, hi) -> Uniform_delay { lo; hi }
+  | Exponential { mean; cap } -> Exponential_delay { mean; cap }
+  | Per_link _ -> Dynamic_delay
+
+(* Peel [Per_link] wrappers down to a concrete distribution. *)
+let rec resolve t ~src ~dst =
+  match t with Per_link f -> resolve (f ~src ~dst) ~src ~dst | t -> t
+
+(* [draw] is deliberately non-recursive (the [Per_link] indirection is
+   peeled by [resolve] first) and avoids [Float.min]/[Float.max] so the
+   whole sampling chain can inline into [Engine.send] even without
+   flambda — otherwise every hop boxes a handful of intermediate floats
+   on the simulator's hottest path. The comparisons are safe because no
+   distribution can produce a NaN. *)
+let[@inline] draw t rng ~src ~dst =
+  let t = match t with Per_link _ -> resolve t ~src ~dst | t -> t in
   let d =
     match t with
     | Constant d -> d
     | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
-    | Exponential { mean; cap } -> Float.min cap (Rng.exponential rng ~mean)
-    | Per_link f -> draw (f ~src ~dst) rng ~src ~dst
+    | Exponential { mean; cap } ->
+      let d = Rng.exponential rng ~mean in
+      if d > cap then cap else d
+    | Per_link _ -> assert false
   in
-  Float.max epsilon d
+  if d < epsilon then epsilon else d
 
 let upper_bound = function
   | Constant d -> Some (Float.max epsilon d)

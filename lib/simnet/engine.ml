@@ -1,31 +1,86 @@
 type pid = int
 
-type 'msg queued =
-  | Deliver of { src : pid; dst : pid; msg : 'msg }
-  | Local of { owner : pid; action : unit -> unit }
-  | Injected of { owner : pid; action : 'msg context -> unit }
-  | Crash of pid
-  | Restore of pid
+(* ------------------------------------------------------------------ *)
+(* Queue representation.
 
-and 'msg process_slot = {
+   The hot path of a simulation is send -> push -> pop -> dispatch, so
+   queued events are not represented as a variant (the previous
+   [Deliver of {src; dst; msg}] cost one 4-word block per send). The
+   event kind and the endpoint pids are packed into the event queue's
+   unboxed tag word, and the queue's payload slot carries the message
+   (or the local action's closure) directly:
+
+     bits 0-2   kind (k_* below)
+     bits 3-22  src pid (deliver) / owner pid (local, injected, control)
+     bits 23-42 dst pid (deliver only)
+
+   The payload is an [Obj.t] whose real type is determined by the kind:
+
+     k_deliver  -> 'msg
+     k_local    -> unit -> unit
+     k_injected -> 'msg context -> unit
+     k_crash / k_restore -> unit (a dummy immediate)
+
+   The packing caps pids at 2^20 - 1; [reserve] enforces it. Pushes and
+   pops are consistent by construction ([dispatch] is the only reader),
+   so the [Obj.obj] casts below never see a payload of the wrong type. *)
+
+let k_deliver = 0
+let k_local = 1
+let k_injected = 2
+let k_crash = 3
+let k_restore = 4
+
+let max_pid = 0xFFFFF
+
+let pack ~kind ~a ~b = kind lor (a lsl 3) lor (b lsl 23)
+let tag_kind tag = tag land 7
+let tag_a tag = (tag lsr 3) land max_pid
+let tag_b tag = (tag lsr 23) land max_pid
+
+let obj_unit = Obj.repr 0
+
+let dk_constant = 0
+let dk_uniform = 1
+let dk_exponential = 2
+let dk_dynamic = 3
+
+type 'msg process_slot = {
   name : string;
   mutable handler : ('msg context -> src:pid -> 'msg -> unit) option;
-  mutable crashed : bool
+  mutable crashed : bool;
+  (* one context per process, allocated at registration, so dispatch
+     reuses it instead of allocating one per delivered event *)
+  mutable ctx : 'msg context option
 }
 
 and 'msg t = {
   mutable processes : 'msg process_slot array;
   mutable nprocs : int;
-  queue : 'msg queued Event_queue.t;
+  queue : Obj.t Event_queue.t;
   root_rng : Rng.t;
   net_rng : Rng.t;
   delay : Delay.t;
+  (* the delay distribution, pre-classified so [send] can sample with
+     local float arithmetic instead of calling [Delay.draw] (which,
+     without flambda, boxes every intermediate float on the hottest
+     path of the simulator) *)
+  delay_kind : int;  (* dk_* below *)
+  delay_a : float;  (* constant value / lo / mean *)
+  delay_b : float;  (* hi / cap *)
   duplication : float;
-  mutable clock : float;
+  (* simulated time, in a one-slot float array so per-event clock
+     updates store unboxed (a [mutable float] field of this mixed
+     record would box on every store) *)
+  clock : float array;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable executed : int;
   trace_enabled : bool;
-  mutable trace_rev : event list
+  mutable trace : event array;
+  mutable trace_len : int
 }
 
 and 'msg context = { engine : 'msg t; ctx_self : pid }
@@ -43,38 +98,68 @@ let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0) ~delay () =
   if duplication < 0.0 || duplication >= 1.0 then
     invalid_arg "Engine.create: duplication must be in [0, 1)";
   let root_rng = Rng.create seed in
+  let delay_kind, delay_a, delay_b =
+    match Delay.shape delay with
+    | Delay.Constant_delay d -> (dk_constant, Float.max Delay.epsilon d, 0.0)
+    | Delay.Uniform_delay { lo; hi } -> (dk_uniform, lo, hi)
+    | Delay.Exponential_delay { mean; cap } -> (dk_exponential, mean, cap)
+    | Delay.Dynamic_delay -> (dk_dynamic, 0.0, 0.0)
+  in
   { processes = [||];
     nprocs = 0;
     queue = Event_queue.create ();
     net_rng = Rng.split root_rng;
     root_rng;
     delay;
+    delay_kind;
+    delay_a;
+    delay_b;
     duplication;
-    clock = 0.;
+    clock = [| 0.0 |];
     sent = 0;
     delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    executed = 0;
     trace_enabled = trace;
-    trace_rev = []
+    trace = [||];
+    trace_len = 0
   }
 
-let record t ev = if t.trace_enabled then t.trace_rev <- ev :: t.trace_rev
+let record t ev =
+  if t.trace_enabled then begin
+    if t.trace_len >= Array.length t.trace then begin
+      let cap = max 256 (2 * Array.length t.trace) in
+      let fresh = Array.make cap ev in
+      Array.blit t.trace 0 fresh 0 t.trace_len;
+      t.trace <- fresh
+    end;
+    t.trace.(t.trace_len) <- ev;
+    t.trace_len <- t.trace_len + 1
+  end
 
 let check_pid t pid ~where =
   if pid < 0 || pid >= t.nprocs then
     invalid_arg (Printf.sprintf "%s: unknown pid %d" where pid)
 
 let reserve t ~name =
+  if t.nprocs > max_pid then invalid_arg "Engine.reserve: too many processes";
   if t.nprocs >= Array.length t.processes then begin
     let cap = max 8 (2 * Array.length t.processes) in
-    let slot = { name = ""; handler = None; crashed = false } in
+    let slot = { name = ""; handler = None; crashed = false; ctx = None } in
     let fresh = Array.make cap slot in
     Array.blit t.processes 0 fresh 0 t.nprocs;
     t.processes <- fresh
   end;
   let pid = t.nprocs in
-  t.processes.(pid) <- { name; handler = None; crashed = false };
+  let slot = { name; handler = None; crashed = false; ctx = None } in
+  slot.ctx <- Some { engine = t; ctx_self = pid };
+  t.processes.(pid) <- slot;
   t.nprocs <- t.nprocs + 1;
   pid
+
+let ctx_of slot =
+  match slot.ctx with Some ctx -> ctx | None -> assert false
 
 let set_handler t pid handler =
   check_pid t pid ~where:"Engine.set_handler";
@@ -89,8 +174,8 @@ let name_of t pid =
   t.processes.(pid).name
 
 let self ctx = ctx.ctx_self
-let now t = t.clock
-let now_ctx ctx = ctx.engine.clock
+let now t = t.clock.(0)
+let now_ctx ctx = ctx.engine.clock.(0)
 let rng t = t.root_rng
 let rng_ctx ctx = ctx.engine.root_rng
 
@@ -98,101 +183,177 @@ let send ctx ~dst msg =
   let t = ctx.engine in
   check_pid t dst ~where:"Engine.send";
   let src = ctx.ctx_self in
-  let transit = Delay.draw t.delay t.net_rng ~src ~dst in
+  (* The transit sampling below is [Delay.draw] with bit-identical
+     arithmetic, specialised on the pre-classified distribution so every
+     intermediate float stays in a register (a [Delay.draw] call boxes
+     each one: [Rng.float], the exponential's [u], its result, the
+     draw). [dk_dynamic] keeps the general path. *)
+  let transit =
+    let k = t.delay_kind in
+    if k = dk_constant then t.delay_a
+    else if k = dk_exponential then begin
+      let u =
+        float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
+        /. 9007199254740992.0 *. 1.0
+      in
+      let u = if u <= 0. then 1e-300 else u in
+      let d = -.t.delay_a *. log u in
+      let d = if d > t.delay_b then t.delay_b else d in
+      if d < Delay.epsilon then Delay.epsilon else d
+    end
+    else if k = dk_uniform then begin
+      let d =
+        t.delay_a
+        +. float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
+           /. 9007199254740992.0
+           *. (t.delay_b -. t.delay_a)
+      in
+      if d < Delay.epsilon then Delay.epsilon else d
+    end
+    else Delay.draw t.delay t.net_rng ~src ~dst
+  in
   t.sent <- t.sent + 1;
-  record t (Sent { time = t.clock; src; dst });
-  Event_queue.push t.queue ~time:(t.clock +. transit)
-    (Deliver { src; dst; msg });
+  if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
+  let tag = pack ~kind:k_deliver ~a:src ~b:dst in
+  (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
+  Event_queue.push_inbox t.queue ~tag (Obj.repr msg);
   (* at-least-once channels: optionally deliver a duplicate copy at an
      independent delay (counted as its own send so traces stay coherent) *)
   if t.duplication > 0.0 && Rng.float t.net_rng 1.0 < t.duplication then begin
     let transit' = Delay.draw t.delay t.net_rng ~src ~dst in
     t.sent <- t.sent + 1;
-    record t (Sent { time = t.clock; src; dst });
-    Event_queue.push t.queue ~time:(t.clock +. transit')
-      (Deliver { src; dst; msg })
+    t.duplicated <- t.duplicated + 1;
+    if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
+    (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit';
+    Event_queue.push_inbox t.queue ~tag (Obj.repr msg)
   end
 
 let schedule_local ctx ~delay action =
   let t = ctx.engine in
   if delay < 0. then invalid_arg "Engine.schedule_local: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay)
-    (Local { owner = ctx.ctx_self; action })
+  (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. delay;
+  Event_queue.push_inbox t.queue
+    ~tag:(pack ~kind:k_local ~a:ctx.ctx_self ~b:0)
+    (Obj.repr action)
 
 let inject t ~at pid action =
   check_pid t pid ~where:"Engine.inject";
-  let time = Float.max at t.clock in
-  Event_queue.push t.queue ~time (Injected { owner = pid; action })
+  let time = Float.max at t.clock.(0) in
+  Event_queue.push_tagged t.queue ~time
+    ~tag:(pack ~kind:k_injected ~a:pid ~b:0)
+    (Obj.repr action)
 
 let crash_at t pid at =
   check_pid t pid ~where:"Engine.crash_at";
-  Event_queue.push t.queue ~time:(Float.max at t.clock) (Crash pid)
+  Event_queue.push_tagged t.queue ~time:(Float.max at t.clock.(0))
+    ~tag:(pack ~kind:k_crash ~a:pid ~b:0)
+    obj_unit
 
 let restore_at t pid at =
   check_pid t pid ~where:"Engine.restore_at";
-  Event_queue.push t.queue ~time:(Float.max at t.clock) (Restore pid)
+  Event_queue.push_tagged t.queue ~time:(Float.max at t.clock.(0))
+    ~tag:(pack ~kind:k_restore ~a:pid ~b:0)
+    obj_unit
 
 let is_crashed t pid =
   check_pid t pid ~where:"Engine.is_crashed";
   t.processes.(pid).crashed
 
-let dispatch t = function
-  | Crash pid ->
-    if not t.processes.(pid).crashed then begin
-      t.processes.(pid).crashed <- true;
-      record t (Crashed { time = t.clock; pid })
-    end
-  | Restore pid ->
-    if t.processes.(pid).crashed then begin
-      t.processes.(pid).crashed <- false;
-      record t (Restored { time = t.clock; pid })
-    end
-  | Local { owner; action } ->
-    if not t.processes.(owner).crashed then action ()
-  | Injected { owner; action } ->
-    if not t.processes.(owner).crashed then
-      action { engine = t; ctx_self = owner }
-  | Deliver { src; dst; msg } ->
+let dispatch t tag payload =
+  t.executed <- t.executed + 1;
+  let kind = tag_kind tag in
+  if kind = k_deliver then begin
+    let src = tag_a tag and dst = tag_b tag in
     let slot = t.processes.(dst) in
-    if slot.crashed then record t (Dropped { time = t.clock; src; dst })
-    else begin
+    if slot.crashed then begin
+      t.dropped <- t.dropped + 1;
+      if t.trace_enabled then record t (Dropped { time = t.clock.(0); src; dst })
+    end
+    else
       match slot.handler with
-      | None -> record t (Dropped { time = t.clock; src; dst })
+      | None ->
+        t.dropped <- t.dropped + 1;
+        if t.trace_enabled then
+          record t (Dropped { time = t.clock.(0); src; dst })
       | Some handler ->
         t.delivered <- t.delivered + 1;
-        record t (Delivered { time = t.clock; src; dst });
-        handler { engine = t; ctx_self = dst } ~src msg
+        if t.trace_enabled then
+          record t (Delivered { time = t.clock.(0); src; dst });
+        handler (ctx_of slot) ~src (Obj.obj payload : _)
+  end
+  else if kind = k_local then begin
+    let owner = tag_a tag in
+    if not t.processes.(owner).crashed then
+      (Obj.obj payload : unit -> unit) ()
+  end
+  else if kind = k_injected then begin
+    let owner = tag_a tag in
+    let slot = t.processes.(owner) in
+    if not slot.crashed then
+      (Obj.obj payload : _ context -> unit) (ctx_of slot)
+  end
+  else if kind = k_crash then begin
+    let pid = tag_a tag in
+    if not t.processes.(pid).crashed then begin
+      t.processes.(pid).crashed <- true;
+      record t (Crashed { time = t.clock.(0); pid })
     end
+  end
+  else begin
+    let pid = tag_a tag in
+    if t.processes.(pid).crashed then begin
+      t.processes.(pid).crashed <- false;
+      record t (Restored { time = t.clock.(0); pid })
+    end
+  end
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, payload) ->
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time = (Event_queue.unsafe_times t.queue).(0) in
+    let tag = Event_queue.next_tag t.queue in
+    let payload = Event_queue.pop_exn t.queue in
     (* The clock never runs backwards even if events were pushed with
        stale timestamps. *)
-    if time > t.clock then t.clock <- time;
-    dispatch t payload;
+    if time > t.clock.(0) then t.clock.(0) <- time;
+    dispatch t tag payload;
     true
+  end
 
 let run ?until ?(max_events = 10_000_000) t =
   let executed = ref 0 in
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | None -> continue := false
-    | Some time ->
-      (match until with
+    if Event_queue.is_empty t.queue then continue := false
+    else begin
+      let time = (Event_queue.unsafe_times t.queue).(0) in
+      match until with
       | Some horizon when time > horizon -> continue := false
       | Some _ | None ->
         incr executed;
         if !executed > max_events then raise (Event_limit_exceeded max_events);
-        ignore (step t))
-  done
+        let tag = Event_queue.next_tag t.queue in
+        let payload = Event_queue.pop_exn t.queue in
+        if time > t.clock.(0) then t.clock.(0) <- time;
+        dispatch t tag payload
+    end
+  done;
+  (* Simulated time covers the whole requested interval even when the
+     queue ran dry (or the next event lies beyond the horizon) before
+     reaching it — otherwise latency measurements against [now] would
+     be skewed by however far the clock lagged behind [until]. *)
+  match until with
+  | Some horizon when horizon > t.clock.(0) -> t.clock.(0) <- horizon
+  | Some _ | None -> ()
 
 let pending_events t = Event_queue.size t.queue
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
-let trace_events t = List.rev t.trace_rev
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+let events_executed t = t.executed
+
+let trace_events t = Array.to_list (Array.sub t.trace 0 t.trace_len)
 
 let pp_event ~name ppf = function
   | Sent { time; src; dst } ->

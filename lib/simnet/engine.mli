@@ -38,7 +38,9 @@ val create :
 (** {1 Topology} *)
 
 val reserve : 'msg t -> name:string -> pid
-(** Allocate a process id. The process is inert until {!set_handler}. *)
+(** Allocate a process id. The process is inert until {!set_handler}.
+    @raise Invalid_argument past 2{^20} - 1 processes (pids are packed
+    into the event queue's tag word). *)
 
 val set_handler :
   'msg t -> pid -> ('msg context -> src:pid -> 'msg -> unit) -> unit
@@ -96,6 +98,10 @@ exception Event_limit_exceeded of int
 val run : ?until:float -> ?max_events:int -> 'msg t -> unit
 (** Process events in timestamp order until the queue drains, or until
     simulated time would exceed [until] (remaining events stay queued).
+    When [until] is given, the clock advances to the horizon on return
+    even if the queue ran dry (or the next event lies beyond it)
+    earlier: [run ?until] simulates the {e whole} interval, so latency
+    measurements against {!now} are not skewed by a lagging clock.
     [max_events] (default 10 million) guards against non-quiescent
     protocols.
     @raise Event_limit_exceeded when the guard trips. *)
@@ -110,6 +116,17 @@ val pending_events : 'msg t -> int
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
 (** Delivered excludes messages dropped at a crashed destination. *)
+
+val messages_dropped : 'msg t -> int
+(** Messages that reached a crashed (or handler-less) destination. *)
+
+val messages_duplicated : 'msg t -> int
+(** Extra copies injected by the [duplication] channel model (each is
+    also counted in {!messages_sent}). *)
+
+val events_executed : 'msg t -> int
+(** Total events dispatched over the engine's lifetime — deliveries,
+    drops, local actions, injections and crash/restore transitions. *)
 
 type event =
   | Sent of { time : float; src : pid; dst : pid }

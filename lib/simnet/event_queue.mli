@@ -1,21 +1,80 @@
-(** A priority queue of timestamped events (binary min-heap).
+(** A priority queue of timestamped events.
 
-    Events with equal timestamps are delivered in insertion order (a
-    monotonically increasing sequence number breaks ties), which makes
-    simulations fully deterministic. *)
+    Struct-of-arrays binary min-heap: times live in a flat unboxed
+    [float array], so pushes and pops allocate nothing once the backing
+    arrays have grown to the queue's high-water mark. Events with equal
+    timestamps are delivered in insertion order (a monotonically
+    increasing sequence number breaks ties), which makes simulations
+    fully deterministic.
+
+    Each event also carries an [int] {e tag} — a caller-owned word of
+    payload that rides in an unboxed side array. {!Simnet.Engine} packs
+    the event kind and the endpoint pids into it so that its per-send
+    hot path allocates no wrapper records; callers that don't need it
+    use {!push} and get tag [0]. *)
 
 type 'a t
+
+exception Empty
+(** Raised by {!next_time}, {!next_tag} and {!pop_exn} on an empty
+    queue. *)
 
 val create : unit -> 'a t
 
 val push : 'a t -> time:float -> 'a -> unit
-(** @raise Invalid_argument on a NaN timestamp. *)
+(** [push q ~time payload] enqueues with tag [0].
+    @raise Invalid_argument on a NaN timestamp. *)
+
+val push_tagged : 'a t -> time:float -> tag:int -> 'a -> unit
+(** As {!push}, also storing [tag] alongside the payload. *)
+
+(** {1 Zero-boxing paths}
+
+    Floats crossing a function boundary are boxed without flambda, so
+    the engine's hot loop exchanges event times with the queue through
+    flat float arrays instead of arguments and results. Ordinary
+    callers should ignore this section. *)
+
+val inbox : 'a t -> float array
+(** A one-slot staging cell owned by the queue: store the event time
+    into index 0 (an unboxed float-array write), then call
+    {!push_inbox}. The array is stable across the queue's lifetime. *)
+
+val push_inbox : 'a t -> tag:int -> 'a -> unit
+(** As {!push_tagged}, taking the timestamp from [inbox q].(0).
+    @raise Invalid_argument on a NaN timestamp. *)
+
+val unsafe_times : 'a t -> float array
+(** The backing timestamp array; index 0 is the earliest event's time
+    while the queue is non-empty (check {!is_empty} first — the
+    contents of unused slots are meaningless). The array is replaced
+    when the queue grows: re-fetch after any push. *)
+
+(** {1 Allocation-free access to the earliest event} *)
+
+val next_time : 'a t -> float
+(** Timestamp of the earliest event. @raise Empty when empty. *)
+
+val next_tag : 'a t -> int
+(** Tag of the earliest event. @raise Empty when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the earliest event and return its payload. Read
+    {!next_time} / {!next_tag} {e before} popping.
+    @raise Empty when empty. *)
+
+(** {1 Option-returning conveniences} *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event, or [None] when empty. *)
+(** Remove and return the earliest event, or [None] when empty.
+    Allocates the returned tuple; the engine's hot path uses
+    {!pop_exn} instead. *)
 
 val peek_time : 'a t -> float option
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+(** Drop all pending events; the queue and its capacity remain usable.
+    Sequence numbering continues from where it was. *)

@@ -1,41 +1,57 @@
-type t = { mutable state : int64 }
+(* Splitmix-style generator on the native 63-bit int.
 
-let golden_gamma = 0x9e3779b97f4a7c15L
+   The state lives in a mutable immediate field, so advancing the
+   generator allocates nothing — unlike an [int64] state, where every
+   arithmetic step and every state store boxes (this module sits on the
+   per-send hot path of the simulator via [Delay.draw]). The mixing
+   constants are the splitmix64 ones truncated to 63 bits; the weakened
+   top bit costs a little avalanche quality at the high end, which the
+   double mix round restores well enough for simulation workloads. *)
 
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+type t = { mutable state : int }
 
-let create seed = { state = mix (Int64.of_int seed) }
+(* 0x9e3779b97f4a7c15 (the 64-bit golden gamma) mod 2^63. Addition
+   wraps mod 2^63 on the native int, which is exactly the cyclic-group
+   walk splitmix needs: the gamma is odd, so the state orbit still
+   visits every residue. *)
+let golden_gamma = 0x1e3779b97f4a7c15
 
-let int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let[@inline] mix z =
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  z lxor (z lsr 31)
 
-let split t =
-  let seed = int64 t in
-  { state = seed }
+let create seed = { state = mix seed }
+
+(* Next raw 63-bit output (may be negative: the sign bit carries random
+   bits too). *)
+let[@inline] next t =
+  let s = t.state + golden_gamma in
+  t.state <- s;
+  mix s
+
+let bits t = next t
+let int64 t = Int64.of_int (next t)
+
+let split t = { state = next t }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
-  (* Masking to 62 bits keeps the value non-negative; modulo bias is
+  (* Masking the sign bit keeps the value non-negative; modulo bias is
      negligible for the bounds used in simulations (<< 2^62). *)
-  let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  raw mod bound
+  (next t land max_int) mod bound
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
   lo + int t (hi - lo + 1)
 
-let float t bound =
-  let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+let[@inline] float t bound =
   (* 53 random bits scaled into [0, 1). *)
-  raw /. 9007199254740992.0 *. bound
+  float_of_int (next t land 0x1FFFFFFFFFFFFF) /. 9007199254740992.0 *. bound
 
-let bool t = Int64.logand (int64 t) 1L = 1L
+let bool t = next t land 1 = 1
 
-let exponential t ~mean =
+let[@inline] exponential t ~mean =
   let u = float t 1.0 in
   (* u = 0 would give infinity; nudge it. *)
   let u = if u <= 0. then 1e-300 else u in

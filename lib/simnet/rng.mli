@@ -1,10 +1,11 @@
-(** Deterministic pseudo-random number generation (splitmix64).
+(** Deterministic pseudo-random number generation.
 
     Every simulation draws all randomness from one of these generators so
     that an execution is a pure function of its seed: any failing test can
     be replayed exactly by re-running with the seed it printed. The
-    generator is the splitmix64 mixer, which is fast, passes BigCrush, and
-    supports cheap splitting into independent streams. *)
+    generator is a splitmix mixer on the native 63-bit int — fast,
+    allocation-free (the state is an immediate), and cheap to split into
+    independent streams. *)
 
 type t
 
@@ -15,8 +16,14 @@ val split : t -> t
 (** A new generator statistically independent of the parent; both the
     parent and the child advance deterministically afterwards. *)
 
+val bits : t -> int
+(** Next raw 63-bit output word; the sign bit carries random bits, so
+    the result may be negative. For callers that inline their own
+    scaling arithmetic (the simulator's send path does, to keep floats
+    unboxed); everyone else should use the typed draws below. *)
+
 val int64 : t -> int64
-(** Next raw 64-bit output. *)
+(** Next raw output, widened to [int64] (63 significant bits). *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound).

@@ -16,8 +16,23 @@ type t = {
   gossip : bool;
   cost : Cost.t;
   probe : Probe.t;
-  history : History.t
+  history : History.t;
+  (* One-entry encode cache, keyed by physical equality of the value.
+     Under chained MD-VALUE dispersal every member of D encodes the same
+     value (the simulator shares the bytes across deliveries), so the
+     cache turns d encodes per write into one. Safe because values are
+     never mutated after a write invokes, and fragments are themselves
+     treated as immutable (corruption copies — see Fragment.corrupt). *)
+  mutable encode_cache : (bytes * Erasure.Fragment.t array) option
 }
+
+let encode t value =
+  match t.encode_cache with
+  | Some (v, fragments) when v == value -> fragments
+  | Some _ | None ->
+    let fragments = Mds.encode t.code value in
+    t.encode_cache <- Some (value, fragments);
+    fragments
 
 let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     ?(error_prone = []) ?(disperse_step = 0.001) ?(md_mode = `Chained) ?(gossip = true)
@@ -69,7 +84,8 @@ let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     gossip;
     cost = Cost.create ~value_len;
     probe = Probe.create ();
-    history = History.create ()
+    history = History.create ();
+    encode_cache = None
   }
 
 let coordinate_of t ~pid =

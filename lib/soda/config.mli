@@ -44,8 +44,18 @@ type t = {
           forever. Used by the [ablation-gossip] benchmark. *)
   cost : Cost.t;
   probe : Probe.t;
-  history : History.t
+  history : History.t;
+  mutable encode_cache : (bytes * Erasure.Fragment.t array) option
+      (** One-entry cache for {!encode}, keyed by physical equality.
+          Not for direct use. *)
 }
+
+val encode : t -> bytes -> Erasure.Fragment.t array
+(** [Mds.encode t.code value] behind a one-entry physical-equality
+    cache. Under chained MD-VALUE dispersal every member of D encodes
+    the same value object, so the cache turns [d] encodes per write
+    into one. Callers must treat the returned fragments (shared across
+    servers) as immutable — which fragments are: corruption copies. *)
 
 val make :
   params:Params.t ->

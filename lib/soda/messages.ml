@@ -1,7 +1,14 @@
 module Tag = Protocol.Tag
 module Fragment = Erasure.Fragment
 
-type mid = { origin : int; seq : int }
+(* Packed as an immediate so MD deduplication tables hash an int rather
+   than a record: origin pid in the low 20 bits (the simulator's pid
+   cap), per-origin sequence number above. *)
+type mid = int
+
+let mid ~origin ~seq = (seq lsl 20) lor origin
+let mid_origin mid = mid land 0xFFFFF
+let mid_seq mid = mid lsr 20
 
 type meta =
   | Read_value of { rid : int; reader : int; tr : Tag.t }
@@ -52,13 +59,14 @@ let pp ppf = function
     Format.fprintf ppf "RELAY(rid=%d t=%a %a)" rid Tag.pp tag Fragment.pp
       fragment
   | Md_full { mid; op; tag; value } ->
-    Format.fprintf ppf "MD-FULL(mid=%d.%d op=%d t=%a |v|=%d)" mid.origin
-      mid.seq op Tag.pp tag (Bytes.length value)
+    Format.fprintf ppf "MD-FULL(mid=%d.%d op=%d t=%a |v|=%d)" (mid_origin mid)
+      (mid_seq mid) op Tag.pp tag (Bytes.length value)
   | Md_coded { mid; op; tag; fragment } ->
-    Format.fprintf ppf "MD-CODED(mid=%d.%d op=%d t=%a %a)" mid.origin mid.seq
-      op Tag.pp tag Fragment.pp fragment
+    Format.fprintf ppf "MD-CODED(mid=%d.%d op=%d t=%a %a)" (mid_origin mid)
+      (mid_seq mid) op Tag.pp tag Fragment.pp fragment
   | Md_meta { mid; meta } ->
-    Format.fprintf ppf "MD-META(mid=%d.%d %a)" mid.origin mid.seq pp_meta meta
+    Format.fprintf ppf "MD-META(mid=%d.%d %a)" (mid_origin mid) (mid_seq mid)
+      pp_meta meta
   | Repair_get { op } -> Format.fprintf ppf "REPAIR-GET(op=%d)" op
   | Repair_reply { op; tag; fragment } ->
     Format.fprintf ppf "REPAIR-REPLY(op=%d t=%a %a)" op Tag.pp tag Fragment.pp

@@ -18,7 +18,14 @@
 module Tag = Protocol.Tag
 module Fragment = Erasure.Fragment
 
-type mid = { origin : int; seq : int }
+type mid = private int
+(** Origin process and per-origin sequence number, packed into one
+    immediate (origin in the low 20 bits — the simulator's pid cap) so
+    the servers' deduplication tables key on a plain [int]. *)
+
+val mid : origin:int -> seq:int -> mid
+val mid_origin : mid -> int
+val mid_seq : mid -> int
 
 (** Payloads delivered by the MD-META primitive. [rid] is the unique id
     of the read operation (the paper's reader id extended with a

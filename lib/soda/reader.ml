@@ -4,6 +4,7 @@ module Params = Protocol.Params
 module History = Protocol.History
 module Mds = Erasure.Mds
 module Fragment = Erasure.Fragment
+module Int_tbl = Protocol.Int_tbl
 
 module TagMap = Map.Make (struct
   type t = Tag.t
@@ -13,7 +14,7 @@ end)
 
 type phase =
   | Idle
-  | Get of { rid : int; replies : (int, unit) Hashtbl.t; mutable best : Tag.t }
+  | Get of { rid : int; replies : Int_tbl.Set.t; mutable best : Tag.t }
   | Collect of {
       rid : int;
       tr : Tag.t;
@@ -41,7 +42,7 @@ let invoke t ctx ?on_done () =
       ~kind:History.Read ~at:(Engine.now_ctx ctx)
   in
   t.on_done <- on_done;
-  t.phase <- Get { rid; replies = Hashtbl.create 8; best = Tag.initial };
+  t.phase <- Get { rid; replies = Int_tbl.Set.create 8; best = Tag.initial };
   Array.iter
     (fun server -> Engine.send ctx ~dst:server (Messages.Read_get { rid }))
     t.config.Config.servers;
@@ -77,9 +78,9 @@ let try_decode t ctx ~rid ~tr ~tag fragments =
 let handler t ctx ~src msg =
   match (msg, t.phase) with
   | Messages.Read_get_reply { rid; tag }, Get g when g.rid = rid ->
-    Hashtbl.replace g.replies src ();
+    ignore (Int_tbl.Set.add g.replies src : bool);
     if Tag.( > ) tag g.best then g.best <- tag;
-    if Hashtbl.length g.replies >= Params.majority t.config.Config.params
+    if Int_tbl.Set.length g.replies >= Params.majority t.config.Config.params
     then begin
       let tr = g.best in
       t.phase <- Collect { rid; tr; acc = TagMap.empty };

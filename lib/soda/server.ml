@@ -5,6 +5,7 @@ module Cost = Protocol.Cost
 module Probe = Protocol.Probe
 module Mds = Erasure.Mds
 module Fragment = Erasure.Fragment
+module Int_tbl = Protocol.Int_tbl
 
 type registration = { reader : int; tr : Tag.t }
 
@@ -27,15 +28,18 @@ type t = {
   mutable tag : Tag.t;
   mutable fragment : Fragment.t;
   registered : (int, registration) Hashtbl.t; (* rid -> Rc entry *)
-  h : (int, (Tag.t * int, unit) Hashtbl.t) Hashtbl.t;
-      (* rid -> set of (tag, coordinate): the paper's H, keyed by read *)
-  md_delivered : (Messages.mid, unit) Hashtbl.t;
+  h : (int, Int_tbl.Set.t Int_tbl.Map.t) Hashtbl.t;
+      (* The paper's H — the set of (tag, coordinate) dispersals seen per
+         read — stored as rid -> Tag.pack tag -> coordinate set, so the
+         unregistration test (how many distinct coordinates dispersed
+         this tag?) is a table length instead of a fold over the set. *)
+  md_delivered : Int_tbl.Set.t;
   seq : int ref;
   mutable repair : repair_state option
 }
 
 let create config ~coordinate =
-  let fragments = Mds.encode config.Config.code config.Config.initial_value in
+  let fragments = Config.encode config config.Config.initial_value in
   let fragment = fragments.(coordinate) in
   Cost.storage_set config.Config.cost ~server:coordinate
     ~bytes:(Fragment.size fragment);
@@ -45,7 +49,7 @@ let create config ~coordinate =
     fragment;
     registered = Hashtbl.create 8;
     h = Hashtbl.create 8;
-    md_delivered = Hashtbl.create 64;
+    md_delivered = Int_tbl.Set.create 64;
     seq = ref 0;
     repair = None
   }
@@ -55,25 +59,49 @@ let repairing t = t.repair <> None
 let registered_reads t = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.registered []
 
 let history_entries t =
-  Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.h 0
+  Hashtbl.fold
+    (fun _ tags acc ->
+      Int_tbl.Map.fold
+        (fun _ coords acc -> acc + Int_tbl.Set.length coords)
+        tags acc)
+    t.h 0
 
-let h_set t rid =
+let h_tags t rid =
   match Hashtbl.find_opt t.h rid with
-  | Some set -> set
+  | Some tags -> tags
   | None ->
-    let set = Hashtbl.create 8 in
-    Hashtbl.add t.h rid set;
-    set
+    let tags = Int_tbl.Map.create ~dummy:(Int_tbl.Set.create 1) 8 in
+    Hashtbl.add t.h rid tags;
+    tags
 
-let h_add t rid entry = Hashtbl.replace (h_set t rid) entry ()
+let h_add t rid ~tag ~coordinate =
+  let tags = h_tags t rid in
+  let key = Tag.pack tag in
+  let coords =
+    match Int_tbl.Map.find_opt tags key with
+    | Some coords -> coords
+    | None ->
+      let coords = Int_tbl.Set.create 4 in
+      Int_tbl.Map.replace tags key coords;
+      coords
+  in
+  ignore (Int_tbl.Set.add coords coordinate : bool)
+
+let h_mem t rid ~tag ~coordinate =
+  match Hashtbl.find_opt t.h rid with
+  | None -> false
+  | Some tags -> (
+    match Int_tbl.Map.find_opt tags (Tag.pack tag) with
+    | None -> false
+    | Some coords -> Int_tbl.Set.mem coords coordinate)
 
 let h_count_tag t rid tag =
   match Hashtbl.find_opt t.h rid with
   | None -> 0
-  | Some set ->
-    Hashtbl.fold
-      (fun (tg, _) () acc -> if Tag.equal tg tag then acc + 1 else acc)
-      set 0
+  | Some tags -> (
+    match Int_tbl.Map.find_opt tags (Tag.pack tag) with
+    | None -> 0
+    | Some coords -> Int_tbl.Set.length coords)
 
 let unregister t ctx rid =
   Hashtbl.remove t.registered rid;
@@ -91,7 +119,7 @@ let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
   Probe.emit t.config.Config.probe
     (Probe.Relayed
        { rid; server = t.coordinate; tag; time = Engine.now_ctx ctx });
-  h_add t rid (tag, t.coordinate);
+  h_add t rid ~tag ~coordinate:t.coordinate;
   if t.config.Config.gossip then
     Md.meta_send ctx t.config ~seq:t.seq
       (Messages.Read_disperse { tag; server_index = t.coordinate; rid })
@@ -140,7 +168,7 @@ let maybe_finish_repair t ctx =
         if List.length frags >= t.config.Config.decode_threshold then begin
           match Erasure.Mds.decode t.config.Config.code frags with
           | value ->
-            let fragments = Mds.encode t.config.Config.code value in
+            let fragments = Config.encode t.config value in
             t.tag <- r.max_seen;
             t.fragment <- fragments.(t.coordinate);
             Cost.storage_set t.config.Config.cost ~server:t.coordinate
@@ -183,14 +211,14 @@ let rec schedule_repair_retry t ctx =
    the server starts fetching the current one. Until repair finishes it
    answers no quorum queries. *)
 let begin_repair t ctx ~op =
-  let fragments = Mds.encode t.config.Config.code t.config.Config.initial_value in
+  let fragments = Config.encode t.config t.config.Config.initial_value in
   t.tag <- Tag.initial;
   t.fragment <- fragments.(t.coordinate);
   Cost.storage_set t.config.Config.cost ~server:t.coordinate
     ~bytes:(Fragment.size t.fragment);
   Hashtbl.reset t.registered;
   Hashtbl.reset t.h;
-  Hashtbl.reset t.md_delivered;
+  Int_tbl.Set.reset t.md_delivered;
   t.repair <-
     Some
       { op;
@@ -243,12 +271,7 @@ let md_value_deliver t ctx ~op ~tag:tw ~fragment =
 
 (* Fig. 5, "On md-meta-deliver(READ-VALUE, (r, tr))". *)
 let on_read_value t ctx ~rid ~reader ~tr =
-  let tombstone = (Tag.initial, t.coordinate) in
-  let already_complete =
-    match Hashtbl.find_opt t.h rid with
-    | Some set -> Hashtbl.mem set tombstone
-    | None -> false
-  in
+  let already_complete = h_mem t rid ~tag:Tag.initial ~coordinate:t.coordinate in
   if already_complete then Hashtbl.remove t.h rid
   else begin
     let reg = { reader; tr } in
@@ -271,13 +294,13 @@ let on_read_complete t ctx ~rid =
   else
     (* completion raced ahead of the registration: leave a tombstone so
        the late READ-VALUE does not (re-)register this read *)
-    h_add t rid (Tag.initial, t.coordinate)
+    h_add t rid ~tag:Tag.initial ~coordinate:t.coordinate
 
 (* Fig. 5, "On md-meta-deliver(READ-DISPERSE, (t, s', r))"; the
    unregistration threshold is k for SODA and k + 2e for SODAerr
    (Fig. 6). *)
 let on_read_disperse t ctx ~tag ~server_index ~rid =
-  h_add t rid (tag, server_index);
+  h_add t rid ~tag ~coordinate:server_index;
   if Hashtbl.mem t.registered rid then
     if h_count_tag t rid tag >= t.config.Config.decode_threshold then
       unregister t ctx rid
@@ -293,16 +316,15 @@ let deliver_meta t ctx = function
    the chain and coded elements to everyone outside D, then delivers its
    own element; the ordering (relays before local delivery) is what makes
    the primitive uniform under crashes. *)
-let on_md_full t ctx ~mid ~op ~tag ~value =
-  if not (Hashtbl.mem t.md_delivered mid) then begin
-    Hashtbl.add t.md_delivered mid ();
+let on_md_full t ctx ~msg ~(mid : Messages.mid) ~op ~tag ~value =
+  if Int_tbl.Set.add t.md_delivered (mid :> int) then begin
     let config = t.config in
     let d = Config.d_size config in
-    let fragments = Mds.encode config.Config.code value in
+    let fragments = Config.encode config value in
     if t.coordinate < d then begin
       for j = t.coordinate + 1 to d - 1 do
-        Engine.send ctx ~dst:config.Config.servers.(j)
-          (Messages.Md_full { mid; op; tag; value });
+        (* forward the incoming message as-is: contents are identical *)
+        Engine.send ctx ~dst:config.Config.servers.(j) msg;
         Cost.comm config.Config.cost ~op ~bytes:(Bytes.length value)
       done;
       for j = d to Params.n config.Config.params - 1 do
@@ -315,23 +337,20 @@ let on_md_full t ctx ~mid ~op ~tag ~value =
     md_value_deliver t ctx ~op ~tag ~fragment:fragments.(t.coordinate)
   end
 
-let on_md_coded t ctx ~mid ~op ~tag ~fragment =
-  if not (Hashtbl.mem t.md_delivered mid) then begin
-    Hashtbl.add t.md_delivered mid ();
+let on_md_coded t ctx ~(mid : Messages.mid) ~op ~tag ~fragment =
+  if Int_tbl.Set.add t.md_delivered (mid :> int) then begin
     md_value_deliver t ctx ~op ~tag ~fragment
   end
 
 (* Server side of MD-META: members of D forward the payload to the rest
    of D and to everyone outside D, then deliver. *)
-let on_md_meta t ctx ~mid ~meta =
-  if not (Hashtbl.mem t.md_delivered mid) then begin
-    Hashtbl.add t.md_delivered mid ();
+let on_md_meta t ctx ~msg ~(mid : Messages.mid) ~meta =
+  if Int_tbl.Set.add t.md_delivered (mid :> int) then begin
     let config = t.config in
     let d = Config.d_size config in
     if t.coordinate < d then
       for j = t.coordinate + 1 to Params.n config.Config.params - 1 do
-        Engine.send ctx ~dst:config.Config.servers.(j)
-          (Messages.Md_meta { mid; meta })
+        Engine.send ctx ~dst:config.Config.servers.(j) msg
       done;
     deliver_meta t ctx meta
   end
@@ -355,10 +374,11 @@ let handler t ctx ~src msg =
     end
   | Messages.Repair_reply { op; tag; fragment } ->
     on_repair_reply t ctx ~src ~op ~tag ~fragment
-  | Messages.Md_full { mid; op; tag; value } -> on_md_full t ctx ~mid ~op ~tag ~value
+  | Messages.Md_full { mid; op; tag; value } ->
+    on_md_full t ctx ~msg ~mid ~op ~tag ~value
   | Messages.Md_coded { mid; op; tag; fragment } ->
     on_md_coded t ctx ~mid ~op ~tag ~fragment
-  | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~mid ~meta
+  | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~msg ~mid ~meta
   | Messages.Write_get_reply _ | Messages.Write_ack _
   | Messages.Read_get_reply _ | Messages.Relay _ ->
     (* client-bound messages; a server never receives these *)

@@ -3,16 +3,17 @@ module Tag = Protocol.Tag
 module Params = Protocol.Params
 module History = Protocol.History
 module Mds = Erasure.Mds
+module Int_tbl = Protocol.Int_tbl
 
 type phase =
   | Idle
   | Get of {
       op : int;
       value : bytes;
-      replies : (int, unit) Hashtbl.t;
+      replies : Int_tbl.Set.t;  (* coordinates heard from *)
       mutable best : Tag.t
     }
-  | Put of { op : int; acks : (int, unit) Hashtbl.t }
+  | Put of { op : int; acks : Int_tbl.Set.t }
 
 type t = {
   config : Config.t;
@@ -37,7 +38,7 @@ let invoke t ctx ~value ?on_done () =
   History.set_value history ~op value;
   t.on_done <- on_done;
   t.phase <-
-    Get { op; value; replies = Hashtbl.create 8; best = Tag.initial };
+    Get { op; value; replies = Int_tbl.Set.create 8; best = Tag.initial };
   Array.iter
     (fun server -> Engine.send ctx ~dst:server (Messages.Write_get { op }))
     t.config.Config.servers;
@@ -46,18 +47,18 @@ let invoke t ctx ~value ?on_done () =
 let handler t ctx ~src msg =
   match (msg, t.phase) with
   | Messages.Write_get_reply { op; tag }, Get g when g.op = op ->
-    Hashtbl.replace g.replies src ();
+    ignore (Int_tbl.Set.add g.replies src : bool);
     if Tag.( > ) tag g.best then g.best <- tag;
-    if Hashtbl.length g.replies >= Params.majority t.config.Config.params
+    if Int_tbl.Set.length g.replies >= Params.majority t.config.Config.params
     then begin
       let tw = Tag.next g.best ~w:(Engine.self ctx) in
       History.set_tag t.config.Config.history ~op tw;
-      t.phase <- Put { op; acks = Hashtbl.create 8 };
+      t.phase <- Put { op; acks = Int_tbl.Set.create 8 };
       Md.value_send ctx t.config ~seq:t.seq ~op ~tag:tw ~value:g.value
     end
   | Messages.Write_ack { op; tag = _ }, Put p when p.op = op ->
-    Hashtbl.replace p.acks src ();
-    if Hashtbl.length p.acks >= Mds.k t.config.Config.code then begin
+    ignore (Int_tbl.Set.add p.acks src : bool);
+    if Int_tbl.Set.length p.acks >= Mds.k t.config.Config.code then begin
       History.respond t.config.Config.history ~op ~at:(Engine.now_ctx ctx);
       t.phase <- Idle;
       match t.on_done with

@@ -407,6 +407,21 @@ let mds_tests =
         let code = Mds.replication ~n in
         let frags = Mds.encode code v in
         Bytes.equal v (Mds.decode code [ frags.(i) ]));
+    qtest "replication encode is one copy, not n"
+      QCheck2.Gen.(pair (int_range 1 20) bytes_gen)
+      (fun (n, v) ->
+        let frags = Mds.encode (Mds.replication ~n) v in
+        (* all fragments share the one framed buffer... *)
+        Array.for_all
+          (fun f -> Fragment.data f == Fragment.data frags.(0))
+          frags
+        (* ...and corruption still copies rather than garbling siblings *)
+        && (Array.length frags < 2
+           ||
+           let g = Fragment.corrupt frags.(1) ~seed:5 in
+           (not (Fragment.data g == Fragment.data frags.(0)))
+           && Fragment.equal frags.(0)
+                (Fragment.make ~index:0 ~data:(Fragment.data frags.(1)))));
     qtest "Mds round-trip across all codecs"
       QCheck2.Gen.(
         int_range 2 16 >>= fun n ->

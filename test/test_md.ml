@@ -41,7 +41,7 @@ let code rig = (Soda.Deployment.config rig.deployment).Soda.Config.code
 
 let received rig p = List.filter p (List.rev !(rig.inbox))
 
-let mid rig seq = { Soda.Messages.origin = rig.driver; seq }
+let mid rig seq = Soda.Messages.mid ~origin:rig.driver ~seq
 
 (* a full-value dispersal message as the writer would send it *)
 let md_full rig ~seq ~tag ~value =
@@ -49,19 +49,19 @@ let md_full rig ~seq ~tag ~value =
 
 let read_value ~rid ~reader ~tr =
   Soda.Messages.Md_meta
-    { mid = { Soda.Messages.origin = reader; seq = 7000 + rid };
+    { mid = Soda.Messages.mid ~origin:reader ~seq:(7000 + rid);
       meta = Soda.Messages.Read_value { rid; reader; tr }
     }
 
 let read_complete ~rid ~reader ~tr ~seq =
   Soda.Messages.Md_meta
-    { mid = { Soda.Messages.origin = reader; seq };
+    { mid = Soda.Messages.mid ~origin:reader ~seq;
       meta = Soda.Messages.Read_complete { rid; reader; tr }
     }
 
 let read_disperse ~origin ~seq ~tag ~server_index ~rid =
   Soda.Messages.Md_meta
-    { mid = { Soda.Messages.origin; seq };
+    { mid = Soda.Messages.mid ~origin ~seq;
       meta = Soda.Messages.Read_disperse { tag; server_index; rid }
     }
 

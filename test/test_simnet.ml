@@ -119,7 +119,104 @@ let queue_tests =
         let q = Event_queue.create () in
         Alcotest.check_raises "nan"
           (Invalid_argument "Event_queue.push: NaN time") (fun () ->
-            Event_queue.push q ~time:Float.nan ()))
+            Event_queue.push q ~time:Float.nan ()));
+    (* Model-based test: random interleavings of every queue operation
+       (both push paths, pops, clears) against a sorted-list reference.
+       The model keeps (time, seq, tag, payload) sorted stably by
+       (time, seq) — exactly the documented delivery order — and every
+       observation the queue offers (size, next_time, next_tag,
+       unsafe_times.(0), popped payload) is checked at each step. *)
+    (let op_gen =
+       QCheck2.Gen.(
+         frequency
+           [ ( 3,
+               map2
+                 (fun t tag -> `Push (t, tag))
+                 (float_bound_inclusive 100.) (int_range 0 1000) );
+             ( 2,
+               map2
+                 (fun t tag -> `Push_inbox (t, tag))
+                 (float_bound_inclusive 100.) (int_range 0 1000) );
+             (4, pure `Pop);
+             (1, pure `Clear)
+           ])
+     in
+     qtest ~count:300 "model: random op interleavings match a sorted list"
+       QCheck2.Gen.(list_size (int_range 0 200) op_gen)
+       (fun ops ->
+         let q = Event_queue.create () in
+         (* reference: (time, seq, tag, payload), sorted by (time, seq) *)
+         let model = ref [] in
+         let seq = ref 0 in
+         let insert (t, s, tag, p) =
+           (* s is the largest seq so far, so a time tie sorts after the
+              existing entries: insert after every t' <= t *)
+           let rec ins = function
+             | [] -> [ (t, s, tag, p) ]
+             | ((t', _, _, _) as hd) :: tl ->
+               if t' <= t then hd :: ins tl else (t, s, tag, p) :: hd :: tl
+           in
+           model := ins !model
+         in
+         let ok = ref true in
+         let check b = if not b then ok := false in
+         List.iter
+           (fun op ->
+             (match op with
+             | `Push (t, tag) ->
+               Event_queue.push_tagged q ~time:t ~tag !seq;
+               insert (t, !seq, tag, !seq);
+               incr seq
+             | `Push_inbox (t, tag) ->
+               (Event_queue.inbox q).(0) <- t;
+               Event_queue.push_inbox q ~tag !seq;
+               insert (t, !seq, tag, !seq);
+               incr seq
+             | `Pop -> (
+               match !model with
+               | [] ->
+                 check (Event_queue.is_empty q);
+                 check (Event_queue.pop q = None)
+               | (t, _, tag, p) :: tl ->
+                 check (Event_queue.next_time q = t);
+                 check (Event_queue.next_tag q = tag);
+                 check ((Event_queue.unsafe_times q).(0) = t);
+                 check (Event_queue.pop_exn q = p);
+                 model := tl)
+             | `Clear ->
+               Event_queue.clear q;
+               model := []);
+             check (Event_queue.size q = List.length !model);
+             check (Event_queue.is_empty q = (!model = [])))
+           ops;
+         (* drain what's left: full delivery order must match *)
+         List.iter
+           (fun (t, _, tag, p) ->
+             check (Event_queue.next_time q = t);
+             check (Event_queue.next_tag q = tag);
+             check (Event_queue.pop_exn q = p))
+           !model;
+         check (Event_queue.is_empty q);
+         !ok));
+    Alcotest.test_case "queue survives clear and reuse at capacity" `Quick
+      (fun () ->
+        let q = Event_queue.create () in
+        for round = 1 to 3 do
+          for i = 0 to 99 do
+            Event_queue.push_tagged q
+              ~time:(float_of_int ((i * 7919) mod 100))
+              ~tag:i i
+          done;
+          Alcotest.(check int) "filled" 100 (Event_queue.size q);
+          if round < 3 then Event_queue.clear q
+        done;
+        let last = ref neg_infinity in
+        while not (Event_queue.is_empty q) do
+          let t = Event_queue.next_time q in
+          Alcotest.(check bool) "monotone" true (t >= !last);
+          last := t;
+          ignore (Event_queue.pop_exn q : int)
+        done)
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -187,7 +284,12 @@ let engine_tests =
             Engine.send ctx ~dst:b (Ping 0));
         Engine.run engine;
         Alcotest.(check int) "six deliveries" 6 (List.length !log);
-        Alcotest.(check (float 1e-9)) "clock advanced" 6.0 (Engine.now engine));
+        Alcotest.(check (float 1e-9)) "clock advanced" 6.0 (Engine.now engine);
+        Alcotest.(check int) "sent counter" 6 (Engine.messages_sent engine);
+        Alcotest.(check int) "delivered counter" 6
+          (Engine.messages_delivered engine);
+        Alcotest.(check int) "nothing dropped" 0
+          (Engine.messages_dropped engine));
     Alcotest.test_case "crashed destination drops silently" `Quick (fun () ->
         let engine =
           Engine.create ~seed:1 ~trace:true ~delay:(Delay.constant 1.0) ()
@@ -207,7 +309,9 @@ let engine_tests =
             (function Engine.Dropped _ -> true | _ -> false)
             (Engine.trace_events engine)
         in
-        Alcotest.(check bool) "drop traced" true dropped);
+        Alcotest.(check bool) "drop traced" true dropped;
+        Alcotest.(check int) "drop counted" 1
+          (Engine.messages_dropped engine));
     Alcotest.test_case "crashed process stops sending and timers die" `Quick
       (fun () ->
         let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
@@ -279,8 +383,28 @@ let engine_tests =
         Engine.run ~until:5.0 engine;
         Alcotest.(check int) "not yet" 0 !received;
         Alcotest.(check int) "still queued" 1 (Engine.pending_events engine);
+        Alcotest.(check (float 1e-9)) "clock at horizon" 5.0
+          (Engine.now engine);
         Engine.run engine;
         Alcotest.(check int) "eventually" 1 !received);
+    Alcotest.test_case "run ~until advances the clock past a dry queue"
+      `Quick (fun () ->
+        (* the queue drains at t=1, but the horizon is 5: the engine
+           simulated the whole interval, so the clock must say so *)
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let a = Engine.reserve engine ~name:"a" in
+        Engine.set_handler engine a (fun _ ~src:_ (Ping _) -> ());
+        Engine.inject engine ~at:1.0 a (fun _ -> ());
+        Engine.run ~until:5.0 engine;
+        Alcotest.(check int) "drained" 0 (Engine.pending_events engine);
+        Alcotest.(check (float 1e-9)) "clock at horizon" 5.0
+          (Engine.now engine);
+        (* an already-empty queue still advances, and never backwards *)
+        Engine.run ~until:7.5 engine;
+        Alcotest.(check (float 1e-9)) "advanced again" 7.5 (Engine.now engine);
+        Engine.run ~until:2.0 engine;
+        Alcotest.(check (float 1e-9)) "never backwards" 7.5
+          (Engine.now engine));
     Alcotest.test_case "event limit guard" `Quick (fun () ->
         let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
         let a = Engine.reserve engine ~name:"a" in
