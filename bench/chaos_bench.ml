@@ -1,0 +1,51 @@
+(* The chaos matrix as a benchmark / CI gate, reported as JSON (one
+   object on stdout). Invoked as
+
+     dune exec bench/main.exe -- chaos            # full: 3 seeds/cell
+     dune exec bench/main.exe -- chaos --smoke    # CI: 1 seed/cell
+
+   Every cell of Harness.Chaos.matrix (loss x partitions x crashes)
+   runs SODA over the reliable-channel transport and must come back
+   live, atomic, trace-clean, and with zero abandoned sends. Any
+   failing (cell, seed) pair makes the whole experiment exit nonzero
+   and prints the replay command that reproduces it. *)
+
+module Chaos = Harness.Chaos
+
+let smoke = ref false
+
+let emit outcomes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"bench\":\"chaos\",";
+  Buffer.add_string buf (Printf.sprintf "\"smoke\":%b,\"results\":[" !smoke);
+  List.iteri
+    (fun i (o : Chaos.outcome) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"scenario\":%S,\"seed\":%d,\"ok\":%b,\"ops\":%d,\"sent\":%d,\"delivered\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d,\"duplicates_suppressed\":%d,\"abandoned\":%d,\"crashes\":%d,\"partitions\":%d,\"final_time\":%.1f}"
+           o.scenario.Chaos.name o.seed (Chaos.ok o) o.ops o.sent o.delivered
+           o.dropped o.lost o.retransmissions o.duplicates_suppressed
+           o.abandoned o.crash_events o.partition_events o.final_time))
+    outcomes;
+  Buffer.add_string buf "]}";
+  print_endline (Buffer.contents buf)
+
+let run () =
+  let seeds = if !smoke then [ 1 ] else [ 1; 2; 3 ] in
+  let outcomes =
+    List.concat_map
+      (fun scenario ->
+        List.map (fun seed -> Chaos.run ~trace:true scenario ~seed) seeds)
+      Chaos.matrix
+  in
+  emit outcomes;
+  let failures = List.filter (fun o -> not (Chaos.ok o)) outcomes in
+  List.iter
+    (fun (o : Chaos.outcome) ->
+      Printf.eprintf
+        "chaos: FAIL %s seed=%d — replay with: dune exec bin/replay.exe -- %s \
+         %d\n"
+        o.scenario.Chaos.name o.seed o.scenario.Chaos.name o.seed)
+    failures;
+  if failures <> [] then exit 1

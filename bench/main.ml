@@ -31,7 +31,10 @@ let experiments =
       "READ-DISPERSE gossip vs none" );
     ("micro", Micro.run, "Bechamel microbenchmarks");
     ("codec", Codec_bench.run, "codec kernel throughput, JSON (see --smoke)");
-    ("sim", Sim_bench.run, "simulator & checker events/sec, JSON (see --smoke)")
+    ("sim", Sim_bench.run, "simulator & checker events/sec, JSON (see --smoke)");
+    ( "chaos",
+      Chaos_bench.run,
+      "chaos matrix: SODA over lossy/partitioned links, JSON (see --smoke)" )
   ]
 
 let usage () =
@@ -52,6 +55,7 @@ let () =
     | "--smoke" :: rest ->
       Codec_bench.smoke := true;
       Sim_bench.smoke := true;
+      Chaos_bench.smoke := true;
       extract_flags acc rest
     | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc

@@ -11,11 +11,19 @@
      messages across random links until a hop budget is exhausted.
      Every delivery is one heap push + pop + dispatch, so events/sec
      here is the ceiling any protocol simulation can reach.
+   - "mesh-reliable": the same workload over the ack/retransmit channel
+     substrate at loss p = 0 — the retransmit layer's pure overhead.
+     Compare events_per_s and the sent/delivered inflation against
+     "mesh" to price `Reliable transport on a loss-free network.
    - "soda-soak": the default soak workload (SODA at n=25, f=12 with
      concurrent clients and staggered crashes) — events/sec and ops/sec
      as an experiment actually sees them.
    - "checker": Atomicity.check_tagged on a synthetic m-operation
-     history — wall milliseconds for the full Lemma 2.1 check. *)
+     history — wall milliseconds for the full Lemma 2.1 check.
+
+   Every point also reports the engine's message accounting (sent /
+   dropped / lost / retransmissions) so lossy runs can be told apart
+   from crash-lossy ones at a glance. *)
 
 module Engine = Simnet.Engine
 module Delay = Simnet.Delay
@@ -28,7 +36,13 @@ type point = {
   seconds : float;
   events_per_s : float;
   ops_per_s : float;
+  sent : int;
+  dropped : int;  (* messages to crashed processes *)
+  lost : int;  (* messages eaten by the link fault plane *)
+  retransmissions : int;
 }
+
+let no_traffic = (0, 0, 0, 0)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -54,8 +68,10 @@ let measure ~min_elapsed f =
 
 type mesh_msg = Hop of int
 
-let mesh_events ~procs ~messages ~hops =
-  let engine = Engine.create ~seed:42 ~delay:(Delay.uniform ~lo:0.1 ~hi:2.0) () in
+let mesh_events ?(transport = `Raw) ~procs ~messages ~hops () =
+  let engine =
+    Engine.create ~seed:42 ~transport ~delay:(Delay.uniform ~lo:0.1 ~hi:2.0) ()
+  in
   let pids =
     Array.init procs (fun i -> Engine.reserve engine ~name:(string_of_int i))
   in
@@ -72,20 +88,33 @@ let mesh_events ~procs ~messages ~hops =
         Engine.send ctx ~dst:pids.((m + 1) mod procs) (Hop hops))
   done;
   Engine.run engine;
-  Engine.messages_delivered engine
+  ( Engine.messages_delivered engine,
+    ( Engine.messages_sent engine,
+      Engine.messages_dropped engine,
+      Engine.messages_lost engine,
+      Engine.retransmissions engine ) )
 
-let mesh_point () =
+let mesh_point ?(transport = `Raw) ~probe () =
   let procs = 64 in
   let messages, hops = if !smoke then (100, 50) else (1_000, 500) in
   let min_elapsed = if !smoke then 0.05 else 1.0 in
+  let traffic = ref no_traffic in
   let seconds, delivered =
-    measure ~min_elapsed (fun () -> mesh_events ~procs ~messages ~hops)
+    measure ~min_elapsed (fun () ->
+        let d, t = mesh_events ~transport ~procs ~messages ~hops () in
+        traffic := t;
+        d)
   in
-  { probe = "mesh";
+  let sent, dropped, lost, retransmissions = !traffic in
+  { probe;
     size = delivered;
     seconds;
     events_per_s = float_of_int delivered /. seconds;
-    ops_per_s = 0.0
+    ops_per_s = 0.0;
+    sent;
+    dropped;
+    lost;
+    retransmissions
   }
 
 (* ------------------------------------------------------------------ *)
@@ -103,23 +132,35 @@ let soak_run ~ops_per_client () =
     Harness.Runner.run Harness.Runner.Soda
       (Harness.Workload.with_crashes w crashes)
   in
-  (r.Harness.Runner.messages_delivered, Harness.Workload.total_ops w)
+  ( r.Harness.Runner.messages_delivered,
+    Harness.Workload.total_ops w,
+    ( r.Harness.Runner.messages_sent,
+      r.Harness.Runner.messages_dropped,
+      r.Harness.Runner.messages_lost,
+      0 ) )
 
 let soak_point () =
   let ops_per_client = if !smoke then 2 else 8 in
   let min_elapsed = if !smoke then 0.05 else 1.0 in
   let ops = ref 0 in
+  let traffic = ref no_traffic in
   let seconds, delivered =
     measure ~min_elapsed (fun () ->
-        let d, o = soak_run ~ops_per_client () in
+        let d, o, t = soak_run ~ops_per_client () in
         ops := o;
+        traffic := t;
         d)
   in
+  let sent, dropped, lost, retransmissions = !traffic in
   { probe = "soda-soak";
     size = delivered;
     seconds;
     events_per_s = float_of_int delivered /. seconds;
-    ops_per_s = float_of_int !ops /. seconds
+    ops_per_s = float_of_int !ops /. seconds;
+    sent;
+    dropped;
+    lost;
+    retransmissions
   }
 
 (* ------------------------------------------------------------------ *)
@@ -168,11 +209,16 @@ let checker_point () =
         | Ok () -> m
         | Error _ -> failwith "sim bench: synthetic history rejected")
   in
+  let sent, dropped, lost, retransmissions = no_traffic in
   { probe = "checker";
     size = m;
     seconds;
     events_per_s = float_of_int m /. seconds;
-    ops_per_s = 0.0
+    ops_per_s = 0.0;
+    sent;
+    dropped;
+    lost;
+    retransmissions
   }
 
 (* ------------------------------------------------------------------ *)
@@ -186,10 +232,18 @@ let emit points =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"probe\":%S,\"size\":%d,\"seconds\":%.4f,\"events_per_s\":%.0f,\"ops_per_s\":%.1f}"
-           p.probe p.size p.seconds p.events_per_s p.ops_per_s))
+           "{\"probe\":%S,\"size\":%d,\"seconds\":%.4f,\"events_per_s\":%.0f,\"ops_per_s\":%.1f,\"sent\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d}"
+           p.probe p.size p.seconds p.events_per_s p.ops_per_s p.sent p.dropped
+           p.lost p.retransmissions))
     points;
   Buffer.add_string buf "]}";
   print_endline (Buffer.contents buf)
 
-let run () = emit [ mesh_point (); soak_point (); checker_point () ]
+let run () =
+  emit
+    [ mesh_point ~probe:"mesh" ();
+      mesh_point ~transport:(`Reliable Simnet.Channel.default)
+        ~probe:"mesh-reliable" ();
+      soak_point ();
+      checker_point ()
+    ]

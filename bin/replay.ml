@@ -1,0 +1,54 @@
+(* Seed replay: re-run one chaos-matrix cell at a given seed with the
+   event trace enabled and pretty-print everything the simulation saw,
+   so a failing (scenario, seed) pair reported by the QCheck matrix or
+   the chaos bench can be replayed deterministically and read line by
+   line.
+
+     dune exec bin/replay.exe -- loss20+part+crash 17
+     dune exec bin/replay.exe -- --quiet loss05 3      # verdict only
+
+   The event log goes to stdout (one line per network event), followed
+   by the outcome block: counters, the atomicity verdict, and the
+   lossy-model trace-check verdict. Exit status is 0 iff the run is OK
+   (live, atomic, trace-clean, no abandoned sends). *)
+
+let usage () =
+  prerr_endline "usage: replay.exe [--quiet] SCENARIO SEED";
+  prerr_endline "scenarios:";
+  List.iter
+    (fun s -> Printf.eprintf "  %s\n" s.Harness.Chaos.name)
+    Harness.Chaos.matrix;
+  exit 2
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let quiet, args =
+    match args with
+    | "--quiet" :: rest -> (true, rest)
+    | _ -> (false, args)
+  in
+  let scenario_name, seed =
+    match args with
+    | [ name; seed ] -> (
+      match int_of_string_opt seed with
+      | Some s -> (name, s)
+      | None ->
+        Printf.eprintf "replay: seed %S is not an integer\n" seed;
+        usage ())
+    | _ -> usage ()
+  in
+  let scenario =
+    match Harness.Chaos.find scenario_name with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "replay: unknown scenario %S\n" scenario_name;
+      usage ()
+  in
+  let outcome = Harness.Chaos.run ~trace:true scenario ~seed in
+  if not quiet then
+    List.iter
+      (fun e ->
+        Format.printf "%a@." (Simnet.Engine.pp_event ~name:outcome.name_of) e)
+      outcome.events;
+  Format.printf "%a@." Harness.Chaos.pp_outcome outcome;
+  exit (if Harness.Chaos.ok outcome then 0 else 1)

@@ -1,0 +1,163 @@
+module Engine = Simnet.Engine
+module Delay = Simnet.Delay
+module Params = Protocol.Params
+module History = Protocol.History
+module Atomicity = Protocol.Atomicity
+
+type scenario = {
+  name : string;
+  loss : float;
+  partitions : bool;
+  crashes : bool
+}
+
+let matrix =
+  List.concat_map
+    (fun loss ->
+      List.concat_map
+        (fun partitions ->
+          List.map
+            (fun crashes ->
+              let name =
+                Printf.sprintf "loss%02d%s%s"
+                  (int_of_float ((loss *. 100.) +. 0.5))
+                  (if partitions then "+part" else "")
+                  (if crashes then "+crash" else "")
+              in
+              { name; loss; partitions; crashes })
+            [ false; true ])
+        [ false; true ])
+    [ 0.05; 0.2; 0.4 ]
+
+let find name = List.find_opt (fun s -> s.name = name) matrix
+
+type outcome = {
+  scenario : scenario;
+  seed : int;
+  complete : bool;
+  atomic : (unit, string) result;
+  trace_ok : (unit, string) result;
+  ops : int;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  lost : int;
+  retransmissions : int;
+  duplicates_suppressed : int;
+  abandoned : int;
+  crash_events : int;
+  partition_events : int;
+  final_time : float;
+  events : Engine.event list;
+  name_of : int -> string
+}
+
+let ok o =
+  o.complete && o.atomic = Ok () && o.trace_ok = Ok () && o.abandoned = 0
+
+let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
+    ?(channel = Simnet.Channel.default) scenario ~seed =
+  let params = Params.make ~n ~f () in
+  let engine =
+    Engine.create ~seed ~trace ~transport:(`Reliable channel)
+      ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+  in
+  if scenario.loss > 0.0 then Engine.set_loss engine scenario.loss;
+  let initial_value = Workload.value ~len:value_len ~seed ~index:999 in
+  let d =
+    Soda.Deployment.deploy ~engine ~params ~initial_value ~num_writers:2
+      ~num_readers:2 ()
+  in
+  let schedule =
+    match (scenario.crashes, scenario.partitions) with
+    | false, false -> []
+    | true, false -> Nemesis.generate ~params ~seed ~horizon ()
+    | false, true ->
+      Nemesis.generate_mixed ~params ~seed ~horizon ~partition_fraction:1.0 ()
+    | true, true -> Nemesis.generate_mixed ~params ~seed ~horizon ()
+  in
+  (* gated: a crash waits until no server is still rebuilding, keeping
+     the effective fault count within the budget (see Nemesis.apply_gated) *)
+  Nemesis.apply_gated schedule d;
+  (* closed-loop clients: chaos can stall any single operation (e.g. a
+     partition eats the fast path until retransmissions cross the heal),
+     so each client issues its next operation only from the previous
+     one's completion callback *)
+  let value_index = ref 0 in
+  let rec write_loop w () =
+    if Engine.now engine < horizon then begin
+      let index = !value_index in
+      incr value_index;
+      Soda.Deployment.write d ~writer:w
+        ~at:(Engine.now engine +. 30.0)
+        ~on_done:(write_loop w)
+        (Workload.value ~len:value_len ~seed ~index)
+    end
+  in
+  let rec read_loop r () =
+    if Engine.now engine < horizon then
+      Soda.Deployment.read d ~reader:r
+        ~at:(Engine.now engine +. 30.0)
+        ~on_done:(fun _ -> read_loop r ())
+        ()
+  in
+  write_loop 0 ();
+  write_loop 1 ();
+  read_loop 0 ();
+  read_loop 1 ();
+  Engine.run engine;
+  let history = Soda.Deployment.history d in
+  let records = History.records history in
+  let atomic =
+    match Atomicity.check_tagged ~initial_value records with
+    | Ok () -> Ok ()
+    | Error v -> Error (Format.asprintf "%a" Atomicity.pp_violation v)
+  in
+  let events = Engine.trace_events engine in
+  let trace_ok =
+    if not trace then Ok ()
+    else
+      let faults = Engine.faults engine in
+      match
+        Simnet.Trace_check.check
+          ~lossy:(fun ~src ~dst -> Simnet.Link_faults.lossy faults ~src ~dst)
+          events
+      with
+      | Ok () -> Ok ()
+      | Error v -> Error (Format.asprintf "%a" Simnet.Trace_check.pp_violation v)
+  in
+  { scenario;
+    seed;
+    complete = History.all_complete history;
+    atomic;
+    trace_ok;
+    ops = List.length records;
+    sent = Engine.messages_sent engine;
+    delivered = Engine.messages_delivered engine;
+    dropped = Engine.messages_dropped engine;
+    lost = Engine.messages_lost engine;
+    retransmissions = Engine.retransmissions engine;
+    duplicates_suppressed = Engine.duplicates_suppressed engine;
+    abandoned = Engine.sends_abandoned engine;
+    crash_events = Nemesis.crash_count schedule;
+    partition_events = Nemesis.partition_count schedule;
+    final_time = Engine.now engine;
+    events;
+    name_of = Engine.name_of engine
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s seed=%d: %s@,\
+     ops=%d complete=%b atomic=%s trace=%s@,\
+     sent=%d delivered=%d dropped=%d lost=%d retransmitted=%d deduped=%d \
+     abandoned=%d@,\
+     crashes=%d partitions=%d final_time=%.1f@]"
+    o.scenario.name o.seed
+    (if ok o then "OK" else "FAIL")
+    o.ops o.complete
+    (match o.atomic with Ok () -> "ok" | Error e -> e)
+    (match o.trace_ok with Ok () -> "ok" | Error e -> e)
+    o.sent o.delivered o.dropped o.lost o.retransmissions
+    o.duplicates_suppressed o.abandoned o.crash_events o.partition_events
+    o.final_time

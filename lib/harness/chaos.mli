@@ -1,0 +1,68 @@
+(** The chaos matrix: SODA over an adversarial network, end to end.
+
+    Each scenario drives a SODA deployment with closed-loop client
+    traffic over the reliable-channel transport
+    ({!Simnet.Engine.create}[ ~transport]) while the fault plane loses
+    messages (drop probability [loss] on every link) and a nemesis
+    schedule injects partitions and/or crash-repair cycles, never
+    exceeding the [f] budget of simultaneously unavailable servers. The
+    run must retain {e liveness} (every invoked operation completes once
+    the network quiesces) and {e atomicity} (Lemma 2.1 over the
+    recorded history) — the paper's Thms 5.1–5.2 transported to a lossy
+    network via the retransmitting substrate.
+
+    The same scenarios back three entry points: the QCheck matrix in
+    [test/test_chaos.ml], the [bench/main.exe chaos] smoke/bench, and
+    the single-seed replay tool ([soda_replay]) for debugging a failing
+    seed with a full event trace. *)
+
+type scenario = {
+  name : string;  (** e.g. ["loss20+part+crash"] — unique within {!matrix} *)
+  loss : float;  (** per-transmission drop probability on every link *)
+  partitions : bool;
+  crashes : bool
+}
+
+val matrix : scenario list
+(** Loss p ∈ {0.05, 0.2, 0.4} × partitions on/off × crashes on/off:
+    12 cells. *)
+
+val find : string -> scenario option
+(** Look up a {!matrix} cell by name. *)
+
+type outcome = {
+  scenario : scenario;
+  seed : int;
+  complete : bool;  (** liveness: every invoked operation responded *)
+  atomic : (unit, string) result;
+  trace_ok : (unit, string) result;
+      (** lossy-model trace axioms ({!Simnet.Trace_check.check});
+          trivially [Ok] when the run was not traced *)
+  ops : int;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  lost : int;
+  retransmissions : int;
+  duplicates_suppressed : int;
+  abandoned : int;  (** sends that hit the retry cap — must be 0 *)
+  crash_events : int;
+  partition_events : int;
+  final_time : float;
+  events : Simnet.Engine.event list;  (** [[]] unless traced *)
+  name_of : int -> string
+}
+
+val ok : outcome -> bool
+(** Liveness, atomicity, trace axioms, and no abandoned sends. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line verdict + counters (no event log). *)
+
+val run :
+  ?trace:bool -> ?n:int -> ?f:int -> ?horizon:float -> ?value_len:int ->
+  ?channel:Simnet.Channel.config -> scenario -> seed:int -> outcome
+(** Execute one cell at one seed. Defaults: [n = 5], [f = 1],
+    [horizon = 600], [value_len = 64], [channel = Channel.default];
+    2 writers and 2 readers in closed loop. Deterministic: equal
+    arguments give bit-identical outcomes. *)

@@ -4,12 +4,22 @@ module Rng = Simnet.Rng
 type event =
   | Crash of { coordinate : int; at : float }
   | Repair of { coordinate : int; at : float }
+  | Partition of { coordinates : int list; at : float }
+  | Heal of { coordinates : int list; at : float }
 
 type t = event list
 
-let time_of = function Crash { at; _ } | Repair { at; _ } -> at
+let time_of = function
+  | Crash { at; _ } | Repair { at; _ } | Partition { at; _ } | Heal { at; _ } ->
+    at
 
-let generate ~params ~seed ~horizon ?mean_uptime ?mean_downtime () =
+(* Both generators share the interval machinery: per server, random
+   exponential uptime/downtime windows; a sweep accepts an interval only
+   while fewer than f accepted intervals overlap its start, enforcing
+   the <= f budget at every instant. [kind_of] then decides what fault
+   an accepted interval materialises as. *)
+let generate_intervals ~params ~seed ~horizon ?mean_uptime ?mean_downtime
+    ~kind_of () =
   if horizon <= 0. then invalid_arg "Nemesis.generate: non-positive horizon";
   let n = Params.n params and f = Params.f params in
   let mean_uptime =
@@ -19,8 +29,6 @@ let generate ~params ~seed ~horizon ?mean_uptime ?mean_downtime () =
     match mean_downtime with Some d -> d | None -> horizon /. 10.0
   in
   let rng = Rng.create seed in
-  (* walk time forward per server, merging candidate crash intervals;
-     enforce the global <= f budget with a sweep over interval overlaps *)
   let candidates = ref [] in
   for coordinate = 0 to n - 1 do
     let t = ref (Rng.exponential rng ~mean:mean_uptime) in
@@ -45,11 +53,32 @@ let generate ~params ~seed ~horizon ?mean_uptime ?mean_downtime () =
     sorted;
   let events =
     List.concat_map
-      (fun (coordinate, start, stop) ->
-        [ Crash { coordinate; at = start }; Repair { coordinate; at = stop } ])
+      (fun (coordinate, start, stop) -> kind_of ~coordinate ~start ~stop)
       !accepted
   in
   List.sort (fun a b -> Float.compare (time_of a) (time_of b)) events
+
+let generate ~params ~seed ~horizon ?mean_uptime ?mean_downtime () =
+  generate_intervals ~params ~seed ~horizon ?mean_uptime ?mean_downtime
+    ~kind_of:(fun ~coordinate ~start ~stop ->
+      [ Crash { coordinate; at = start }; Repair { coordinate; at = stop } ])
+    ()
+
+let generate_mixed ~params ~seed ~horizon ?mean_uptime ?mean_downtime
+    ?(partition_fraction = 0.5) () =
+  if partition_fraction < 0.0 || partition_fraction > 1.0 then
+    invalid_arg "Nemesis.generate_mixed: partition_fraction outside [0, 1]";
+  (* a dedicated stream for the crash-vs-partition coin so the interval
+     layout matches [generate] at the same seed *)
+  let coin = Rng.create (seed lxor 0x5DEECE66D) in
+  generate_intervals ~params ~seed ~horizon ?mean_uptime ?mean_downtime
+    ~kind_of:(fun ~coordinate ~start ~stop ->
+      if Rng.float coin 1.0 < partition_fraction then
+        [ Partition { coordinates = [ coordinate ]; at = start };
+          Heal { coordinates = [ coordinate ]; at = stop }
+        ]
+      else [ Crash { coordinate; at = start }; Repair { coordinate; at = stop } ])
+    ()
 
 let apply t deployment =
   List.iter
@@ -57,7 +86,61 @@ let apply t deployment =
       | Crash { coordinate; at } ->
         Soda.Deployment.crash_server deployment ~coordinate ~at
       | Repair { coordinate; at } ->
-        ignore (Soda.Deployment.repair_server deployment ~coordinate ~at))
+        ignore (Soda.Deployment.repair_server deployment ~coordinate ~at)
+      | Partition { coordinates; at } ->
+        Soda.Deployment.partition_servers deployment ~coordinates ~at
+      | Heal { coordinates; at } ->
+        Soda.Deployment.heal_servers deployment ~coordinates ~at)
+    t
+
+(* Applying a schedule at its literal timestamps can silently exceed the
+   fault budget: the schedule's Repair event only restores the process,
+   while the protocol-level repair (the state transfer rebuilding the
+   wiped element) takes longer under load and loss — and a server is as
+   good as faulty until it completes. Crash the next victim while a
+   previous one is still rebuilding and more than f elements can be
+   empty at once; with k = n - f that destroys committed data beyond
+   what any algorithm could recover (it is not a protocol bug, it is
+   budget-exceeding data loss). So the gated driver walks the schedule
+   as an event chain, shifting everything by the accumulated delay, and
+   holds each Crash back (re-checking every [poll] time units) until the
+   system reports no repair in flight — the discipline a real operator,
+   or a Jepsen-style nemesis, follows before taking the next machine
+   down. Fully deterministic: the gate reads simulation state only. *)
+let drive_gated ?(poll = 7.0) ~engine ~repairing ~apply t =
+  let module Engine = Simnet.Engine in
+  let pid = Engine.reserve engine ~name:"nemesis" in
+  let rec schedule ~shift = function
+    | [] -> ()
+    | ev :: rest ->
+      let at = Float.max (time_of ev +. shift) (Engine.now engine) in
+      Engine.inject engine ~at pid (fun _ctx -> attempt ~shift ev rest)
+  and attempt ~shift ev rest =
+    match ev with
+    | Crash _ when repairing () ->
+      Engine.inject engine
+        ~at:(Engine.now engine +. poll)
+        pid
+        (fun _ctx -> attempt ~shift:(shift +. poll) ev rest)
+    | Crash _ | Repair _ | Partition _ | Heal _ ->
+      apply ~at:(Engine.now engine) ev;
+      schedule ~shift rest
+  in
+  schedule ~shift:0.0 t
+
+let apply_gated ?poll t deployment =
+  drive_gated ?poll
+    ~engine:(Soda.Deployment.engine deployment)
+    ~repairing:(fun () -> Soda.Deployment.repairing deployment)
+    ~apply:(fun ~at -> function
+      | Crash { coordinate; _ } ->
+        Soda.Deployment.crash_server deployment ~coordinate ~at
+      | Repair { coordinate; _ } ->
+        ignore (Soda.Deployment.repair_server deployment ~coordinate ~at)
+      | Partition { coordinates; _ } ->
+        Soda.Deployment.partition_servers deployment ~coordinates ~at
+      | Heal { coordinates; _ } ->
+        Soda.Deployment.heal_servers deployment ~coordinates ~at)
     t
 
 let max_simultaneous_down t =
@@ -66,12 +149,26 @@ let max_simultaneous_down t =
     (fun acc event ->
       (match event with
       | Crash { coordinate; _ } -> Hashtbl.replace down coordinate ()
-      | Repair { coordinate; _ } -> Hashtbl.remove down coordinate);
+      | Repair { coordinate; _ } -> Hashtbl.remove down coordinate
+      | Partition { coordinates; _ } ->
+        List.iter (fun c -> Hashtbl.replace down c ()) coordinates
+      | Heal { coordinates; _ } ->
+        List.iter (fun c -> Hashtbl.remove down c) coordinates);
       max acc (Hashtbl.length down))
     0 t
 
 let crash_count t =
-  List.length (List.filter (function Crash _ -> true | Repair _ -> false) t)
+  List.length (List.filter (function Crash _ -> true | _ -> false) t)
+
+let partition_count t =
+  List.length (List.filter (function Partition _ -> true | _ -> false) t)
+
+let pp_coords ppf coordinates =
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "%d" c)
+    coordinates
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
@@ -81,6 +178,11 @@ let pp ppf t =
       | Crash { coordinate; at } ->
         Format.fprintf ppf "%.1f crash server %d@," at coordinate
       | Repair { coordinate; at } ->
-        Format.fprintf ppf "%.1f repair server %d@," at coordinate)
+        Format.fprintf ppf "%.1f repair server %d@," at coordinate
+      | Partition { coordinates; at } ->
+        Format.fprintf ppf "%.1f partition servers {%a}@," at pp_coords
+          coordinates
+      | Heal { coordinates; at } ->
+        Format.fprintf ppf "%.1f heal servers {%a}@," at pp_coords coordinates)
     t;
   Format.fprintf ppf "@]"

@@ -1,14 +1,23 @@
-(** Randomized fault schedules ("nemesis") with the crash budget
+(** Randomized fault schedules ("nemesis") with the fault budget
     respected at every instant.
 
     The paper's model allows up to [f] servers to be crashed; with the
     repair extension a server can return, freeing budget for the next
-    failure. A nemesis schedule is a random sequence of crash/repair
-    events over a time horizon such that at no point are more than [f]
-    servers simultaneously down — the strongest fault pressure under
-    which SODA must still be live and atomic. *)
+    failure. A nemesis schedule is a random sequence of fault events over
+    a time horizon such that at no point are more than [f] servers
+    simultaneously {e unavailable} — crashed, or cut off by a network
+    partition — the strongest fault pressure under which SODA must still
+    be live and atomic. Partitioned servers keep their state (no repair
+    is needed after a heal); clients are never isolated, so every client
+    always reaches the [n - f] available servers its quorums need. *)
 
-type event = Crash of { coordinate : int; at : float } | Repair of { coordinate : int; at : float }
+type event =
+  | Crash of { coordinate : int; at : float }
+  | Repair of { coordinate : int; at : float }
+  | Partition of { coordinates : int list; at : float }
+      (** Cut the named servers off from every other process (see
+          {!Soda.Deployment.partition_servers}). *)
+  | Heal of { coordinates : int list; at : float }
 
 type t = event list
 (** Chronological. *)
@@ -16,17 +25,65 @@ type t = event list
 val generate :
   params:Protocol.Params.t -> seed:int -> horizon:float ->
   ?mean_uptime:float -> ?mean_downtime:float -> unit -> t
-(** Exponentially distributed uptimes and downtimes per server (means
+(** Crash/repair schedules only (the historical generator).
+    Exponentially distributed uptimes and downtimes per server (means
     default to [horizon/3] and [horizon/10]), clipped so that at most
     [f] servers are ever down at once: a crash that would exceed the
     budget is skipped. Repairs are spaced at least a small recovery gap
     after their crash. *)
 
+val generate_mixed :
+  params:Protocol.Params.t -> seed:int -> horizon:float ->
+  ?mean_uptime:float -> ?mean_downtime:float ->
+  ?partition_fraction:float -> unit -> t
+(** As {!generate}, but each accepted fault window becomes a network
+    partition (isolating that server) with probability
+    [partition_fraction] (default 0.5) and a crash/repair pair
+    otherwise. Crashed and isolated servers share the single [f]
+    budget, so no instant ever has more than [f] servers unavailable to
+    a client — the combined schedule never cuts more than [f] servers
+    off a client majority.
+    @raise Invalid_argument on a fraction outside [0, 1]. *)
+
 val apply : t -> Soda.Deployment.t -> unit
-(** Schedule every event on a deployment. *)
+(** Schedule every event on a deployment at its literal timestamp.
+    Sufficient when nothing delays protocol-level repairs (no message
+    loss, light load); under heavier chaos prefer {!apply_gated}. *)
+
+val apply_gated : ?poll:float -> t -> Soda.Deployment.t -> unit
+(** Drive the schedule with the repair gate: every event fires at its
+    scheduled time shifted by the accumulated gating delay, and a
+    [Crash] is additionally held back (re-checked every [poll] time
+    units, default 7.0) until {!Soda.Deployment.repairing} is false.
+
+    Why the gate is necessary and not a kindness: the schedule's
+    [Repair] only restores the {e process}; the protocol-level repair —
+    rebuilding the wiped element from the others — takes longer under
+    load and loss, and the server is as good as faulty until it
+    completes. A literal-time [Crash] landing in that window can leave
+    more than [f] elements wiped at once, and with [k = n - f] that is
+    unrecoverable data loss no algorithm could prevent. The gate keeps
+    the {e effective} fault count (crashed + still-rebuilding) within
+    the budget the generators promise. Deterministic: the gate reads
+    simulation state only. *)
+
+val drive_gated :
+  ?poll:float ->
+  engine:'msg Simnet.Engine.t ->
+  repairing:(unit -> bool) ->
+  apply:(at:float -> event -> unit) ->
+  t ->
+  unit
+(** The gated driver behind {!apply_gated}, with the target abstracted:
+    [repairing] is the gate predicate and [apply] materialises one event
+    at the (shifted) time it fires. Use it to drive schedules into other
+    targets — e.g. machine-level faults on a {!Soda.Store} with
+    [repairing := Soda.Store.repairing]. *)
 
 val max_simultaneous_down : t -> int
-(** For tests: the largest number of servers down at any instant. *)
+(** For tests: the largest number of servers simultaneously crashed or
+    isolated at any instant. *)
 
 val crash_count : t -> int
+val partition_count : t -> int
 val pp : Format.formatter -> t -> unit

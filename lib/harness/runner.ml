@@ -20,6 +20,8 @@ type result = {
   initial_value : bytes;
   messages_sent : int;
   messages_delivered : int;
+  messages_dropped : int;
+  messages_lost : int;
   events_executed : int;
   final_time : float;
   crashed : int -> bool;
@@ -29,8 +31,10 @@ type result = {
 let initial_value_of (w : Workload.t) =
   Workload.value ~len:w.Workload.value_len ~seed:w.Workload.seed ~index:999_983
 
-let run_soda ~max_events (w : Workload.t) =
-  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+let run_soda ~max_events ~transport (w : Workload.t) =
+  let engine =
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+  in
   let initial_value = initial_value_of w in
   let d =
     Soda.Deployment.deploy ~engine ~params:w.Workload.params ~initial_value
@@ -60,14 +64,18 @@ let run_soda ~max_events (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    messages_dropped = Engine.messages_dropped engine;
+    messages_lost = Engine.messages_lost engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed;
     read_restarts = 0
   }
 
-let run_abd ~max_events (w : Workload.t) =
-  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+let run_abd ~max_events ~transport (w : Workload.t) =
+  let engine =
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+  in
   let initial_value = initial_value_of w in
   let d =
     Baselines.Abd.deploy ~engine ~params:w.Workload.params ~initial_value
@@ -92,14 +100,18 @@ let run_abd ~max_events (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    messages_dropped = Engine.messages_dropped engine;
+    messages_lost = Engine.messages_lost engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
     read_restarts = 0
   }
 
-let run_cas ~max_events ~gc_depth (w : Workload.t) =
-  let engine = Engine.create ~seed:w.Workload.seed ~delay:w.Workload.delay () in
+let run_cas ~max_events ~transport ~gc_depth (w : Workload.t) =
+  let engine =
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+  in
   let initial_value = initial_value_of w in
   let d =
     Baselines.Cas.deploy ~engine ~params:w.Workload.params ?gc_depth
@@ -125,17 +137,19 @@ let run_cas ~max_events ~gc_depth (w : Workload.t) =
     initial_value;
     messages_sent = Engine.messages_sent engine;
     messages_delivered = Engine.messages_delivered engine;
+    messages_dropped = Engine.messages_dropped engine;
+    messages_lost = Engine.messages_lost engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
     read_restarts = Baselines.Cas.read_restarts d
   }
 
-let run ?(max_events = 20_000_000) algorithm workload =
+let run ?(max_events = 20_000_000) ?(transport = `Raw) algorithm workload =
   match algorithm with
-  | Soda -> run_soda ~max_events workload
-  | Abd -> run_abd ~max_events workload
-  | Cas { gc_depth } -> run_cas ~max_events ~gc_depth workload
+  | Soda -> run_soda ~max_events ~transport workload
+  | Abd -> run_abd ~max_events ~transport workload
+  | Cas { gc_depth } -> run_cas ~max_events ~transport ~gc_depth workload
 
-let run_sweep ?max_events ?domains algorithm workloads =
-  Parallel.map ?domains (fun w -> run ?max_events algorithm w) workloads
+let run_sweep ?max_events ?transport ?domains algorithm workloads =
+  Parallel.map ?domains (fun w -> run ?max_events ?transport algorithm w) workloads

@@ -27,6 +27,12 @@ type result = {
   initial_value : bytes;
   messages_sent : int;
   messages_delivered : int;
+  messages_dropped : int;
+      (** Messages addressed to a crashed process (crash semantics, not
+          link faults). *)
+  messages_lost : int;
+      (** Transmissions eaten by the engine's fault plane; 0 unless the
+          workload ran over lossy links. *)
   events_executed : int;
       (** Every event the engine dispatched: deliveries, drops, local
           actions (e.g. dispersal steps), injections, crash/restores. *)
@@ -35,12 +41,21 @@ type result = {
   read_restarts : int  (** CASGC only; 0 elsewhere *)
 }
 
-val run : ?max_events:int -> algorithm -> Workload.t -> result
-(** @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
+val run :
+  ?max_events:int ->
+  ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  algorithm -> Workload.t -> result
+(** [transport] (default [`Raw]) selects the engine's channel substrate
+    — [`Reliable config] mounts the ack/retransmit layer so the same
+    workloads (for any of the algorithms, which all assume reliable
+    channels) can be driven over a lossy fault plane.
+    @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
     quiesce within [max_events] (default 20 million). *)
 
 val run_sweep :
-  ?max_events:int -> ?domains:int -> algorithm -> Workload.t list -> result list
+  ?max_events:int ->
+  ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  ?domains:int -> algorithm -> Workload.t list -> result list
 (** [run_sweep algorithm workloads] runs each workload independently,
     fanned out across OCaml 5 domains with {!Parallel.map} ([domains]
     defaults to {!Parallel.recommended_domains}). Each run owns a fresh

@@ -1,0 +1,109 @@
+type config = {
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  jitter : float;
+  max_retries : int
+}
+
+let default =
+  { rto = 5.0; backoff = 1.6; max_rto = 60.0; jitter = 0.1; max_retries = 50 }
+
+let validate c =
+  if not (c.rto > 0.0) then invalid_arg "Channel: rto must be > 0";
+  if not (c.backoff >= 1.0) then invalid_arg "Channel: backoff must be >= 1";
+  if not (c.max_rto >= c.rto) then invalid_arg "Channel: max_rto < rto";
+  if not (c.jitter >= 0.0) then invalid_arg "Channel: negative jitter";
+  if c.max_retries < 0 then invalid_arg "Channel: negative max_retries"
+
+let next_rto c rto = Float.min (rto *. c.backoff) c.max_rto
+
+let backoff_schedule c ~retries =
+  let rec go rto i acc =
+    if i >= retries then List.rev acc else go (next_rto c rto) (i + 1) (rto :: acc)
+  in
+  go c.rto 0 []
+
+(* Keys pack (src, dst, seq) into one int: pids are < 2^20 (the engine
+   enforces this) and seqs < 2^19, so (((src << 20) | dst) << 19) | seq
+   fits the 63-bit native int with a bit to spare. *)
+
+let max_seq = 0x7FFFF
+
+let link_key ~src ~dst = (src lsl 20) lor dst
+let entry_key ~src ~dst ~seq = (link_key ~src ~dst lsl 19) lor seq
+
+type entry = { payload : Obj.t; mutable tries : int; mutable rto : float }
+
+type t = {
+  config : config;
+  pending : (int, entry) Hashtbl.t;  (* sender: entry_key -> unacked send *)
+  seen : (int, unit) Hashtbl.t;  (* receiver: entry_key delivered already *)
+  next_seq : (int, int) Hashtbl.t;  (* link_key -> next sequence number *)
+  mutable retransmissions : int;
+  mutable duplicates_suppressed : int;
+  mutable abandoned : int
+}
+
+let create config =
+  validate config;
+  { config;
+    pending = Hashtbl.create 256;
+    seen = Hashtbl.create 256;
+    next_seq = Hashtbl.create 64;
+    retransmissions = 0;
+    duplicates_suppressed = 0;
+    abandoned = 0
+  }
+
+let config t = t.config
+
+let alloc_seq t ~src ~dst =
+  let k = link_key ~src ~dst in
+  let seq = match Hashtbl.find_opt t.next_seq k with Some s -> s | None -> 0 in
+  if seq > max_seq then
+    invalid_arg
+      (Printf.sprintf "Channel.alloc_seq: link %d->%d exhausted %d sequence numbers"
+         src dst (max_seq + 1));
+  Hashtbl.replace t.next_seq k (seq + 1);
+  seq
+
+let register t ~src ~dst ~seq payload =
+  Hashtbl.replace t.pending (entry_key ~src ~dst ~seq)
+    { payload; tries = 0; rto = t.config.rto };
+  t.config.rto
+
+let receive t ~src ~dst ~seq =
+  let k = entry_key ~src ~dst ~seq in
+  if Hashtbl.mem t.seen k then begin
+    t.duplicates_suppressed <- t.duplicates_suppressed + 1;
+    `Duplicate
+  end
+  else begin
+    Hashtbl.add t.seen k ();
+    `Fresh
+  end
+
+let ack t ~src ~dst ~seq = Hashtbl.remove t.pending (entry_key ~src ~dst ~seq)
+
+let on_timer t ~src ~dst ~seq =
+  let k = entry_key ~src ~dst ~seq in
+  match Hashtbl.find_opt t.pending k with
+  | None -> `Done
+  | Some entry ->
+    if entry.tries >= t.config.max_retries then begin
+      Hashtbl.remove t.pending k;
+      t.abandoned <- t.abandoned + 1;
+      `Give_up
+    end
+    else begin
+      entry.tries <- entry.tries + 1;
+      entry.rto <- next_rto t.config entry.rto;
+      t.retransmissions <- t.retransmissions + 1;
+      `Retransmit (entry.payload, entry.rto)
+    end
+
+let in_flight t = Hashtbl.length t.pending
+let retransmissions t = t.retransmissions
+let duplicates_suppressed t = t.duplicates_suppressed
+let abandoned t = t.abandoned

@@ -1,0 +1,95 @@
+(** Reliable-channel substrate: ack/retransmit bookkeeping.
+
+    SODA's proofs (Thms 5.1–5.2) and the CAS/ABD baselines assume
+    reliable point-to-point channels. Over the adversarial fault plane
+    ({!Link_faults}) that axiom no longer holds, so the engine can mount
+    this substrate under every process ([~transport:(`Reliable config)]):
+    each logical send is assigned a per-link sequence number, transmitted,
+    and retransmitted with exponential backoff (plus seeded jitter) until
+    the destination's ack arrives or the retry cap is hit; the receiver
+    side acknowledges every arrival and suppresses redelivery of
+    sequence numbers it has already handed to the protocol. Protocols run
+    unmodified — they keep calling [Engine.send] and receiving through
+    their installed handlers — and regain exactly-once delivery over any
+    loss schedule with drop probability < 1 and finite partitions (within
+    the retry budget).
+
+    This module owns the pure state machine — sequence allocation,
+    pending-send table, receiver dedup, backoff arithmetic, counters —
+    while {!Engine} owns scheduling, fault-plane checks and randomness.
+    Payloads are stored as [Obj.t] because they live inside the engine's
+    uniformly-typed queue; the engine is the only caller and casts them
+    back under the same discipline it uses for queued events. *)
+
+type config = {
+  rto : float;  (** initial retransmission timeout, > 0 *)
+  backoff : float;  (** timeout multiplier per retry, >= 1 *)
+  max_rto : float;  (** timeout cap, >= rto *)
+  jitter : float;
+      (** each scheduled retransmission is delayed by an extra uniform
+          draw in [0, jitter * timeout); >= 0. Jitter decorrelates the
+          retry storms of messages lost in the same partition window. *)
+  max_retries : int
+      (** retransmissions per message before the sender gives up, >= 0.
+          A give-up breaks the reliable abstraction and is counted in
+          {!abandoned}; size the cap so that the backoff schedule outlives
+          the longest fault window the harness injects. *)
+}
+
+val default : config
+(** [{ rto = 5.0; backoff = 1.6; max_rto = 60.0; jitter = 0.1;
+      max_retries = 50 }] — sized for the repo's delay models (transit
+    <= 2–10 time units) and nemesis partition windows. *)
+
+val validate : config -> unit
+(** @raise Invalid_argument on any field outside its documented range. *)
+
+val backoff_schedule : config -> retries:int -> float list
+(** The jitter-free timeout sequence: element [i] is the delay between
+    transmission [i] and [i+1]. Monotone non-decreasing, capped at
+    [max_rto] (regression-tested). *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val max_seq : int
+(** Sequence numbers are packed into the engine's event tag word; a link
+    that exhausts them raises. *)
+
+val alloc_seq : t -> src:int -> dst:int -> int
+(** Next sequence number on the directed link, from 0.
+    @raise Invalid_argument past {!max_seq}. *)
+
+val register : t -> src:int -> dst:int -> seq:int -> Obj.t -> float
+(** Record an unacked send and return the initial retransmission
+    timeout. *)
+
+val receive : t -> src:int -> dst:int -> seq:int -> [ `Fresh | `Duplicate ]
+(** Receiver side: [`Fresh] exactly once per (link, seq) — the caller
+    must deliver to the protocol handler on [`Fresh] and suppress on
+    [`Duplicate] (acking in both cases). *)
+
+val ack : t -> src:int -> dst:int -> seq:int -> unit
+(** Sender side: the destination confirmed receipt; the pending entry is
+    discharged and later retransmission timers become no-ops. Idempotent
+    (acks themselves ride the lossy network and may be duplicated). *)
+
+val on_timer : t -> src:int -> dst:int -> seq:int ->
+  [ `Done | `Give_up | `Retransmit of Obj.t * float ]
+(** Retransmission timer fired. [`Done]: already acked. [`Give_up]: the
+    retry cap is exhausted; the entry is dropped and counted. Otherwise
+    the payload to retransmit and the {e next} timeout (backed off,
+    jitter-free — the engine adds its seeded jitter). *)
+
+(** {1 Counters} *)
+
+val in_flight : t -> int
+(** Registered sends not yet acked or given up. *)
+
+val retransmissions : t -> int
+val duplicates_suppressed : t -> int
+
+val abandoned : t -> int
+(** Sends that hit the retry cap. *)

@@ -10,33 +10,44 @@ type pid = int
    unboxed tag word, and the queue's payload slot carries the message
    (or the local action's closure) directly:
 
-     bits 0-2   kind (k_* below)
-     bits 3-22  src pid (deliver) / owner pid (local, injected, control)
-     bits 23-42 dst pid (deliver only)
+     bits 0-3   kind (k_* below)
+     bits 4-23  src pid (deliver/data/ack/rexmit) / owner pid (local,
+                injected, control)
+     bits 24-43 dst pid (deliver/data/ack/rexmit only)
+     bits 44-62 channel sequence number (data/ack/rexmit only)
 
    The payload is an [Obj.t] whose real type is determined by the kind:
 
-     k_deliver  -> 'msg
+     k_deliver / k_data -> 'msg
      k_local    -> unit -> unit
      k_injected -> 'msg context -> unit
-     k_crash / k_restore -> unit (a dummy immediate)
+     k_control  -> unit -> unit (fault-plane transitions)
+     k_crash / k_restore / k_ack / k_rexmit -> unit (a dummy immediate)
 
-   The packing caps pids at 2^20 - 1; [reserve] enforces it. Pushes and
-   pops are consistent by construction ([dispatch] is the only reader),
-   so the [Obj.obj] casts below never see a payload of the wrong type. *)
+   The packing caps pids at 2^20 - 1 ([reserve] enforces it) and
+   reliable-channel sequence numbers at 2^19 - 1 per directed link
+   ([Channel.alloc_seq] enforces it). Pushes and pops are consistent by
+   construction ([dispatch] is the only reader), so the [Obj.obj] casts
+   below never see a payload of the wrong type. *)
 
 let k_deliver = 0
 let k_local = 1
 let k_injected = 2
 let k_crash = 3
 let k_restore = 4
+let k_control = 5
+let k_data = 6
+let k_ack = 7
+let k_rexmit = 8
 
 let max_pid = 0xFFFFF
 
-let pack ~kind ~a ~b = kind lor (a lsl 3) lor (b lsl 23)
-let tag_kind tag = tag land 7
-let tag_a tag = (tag lsr 3) land max_pid
-let tag_b tag = (tag lsr 23) land max_pid
+let pack ~kind ~a ~b = kind lor (a lsl 4) lor (b lsl 24)
+let pack_seq ~kind ~a ~b ~seq = pack ~kind ~a ~b lor (seq lsl 44)
+let tag_kind tag = tag land 15
+let tag_a tag = (tag lsr 4) land max_pid
+let tag_b tag = (tag lsr 24) land max_pid
+let tag_seq tag = (tag lsr 44) land Channel.max_seq
 
 let obj_unit = Obj.repr 0
 
@@ -69,6 +80,11 @@ and 'msg t = {
   delay_a : float;  (* constant value / lo / mean *)
   delay_b : float;  (* hi / cap *)
   duplication : float;
+  faults : Link_faults.t;
+  (* the reliable-channel substrate, or [None] for the raw transport;
+     classified once at creation so the send hot path pays a single
+     immediate comparison *)
+  channel : Channel.t option;
   (* simulated time, in a one-slot float array so per-event clock
      updates store unboxed (a [mutable float] field of this mixed
      record would box on every store) *)
@@ -76,6 +92,7 @@ and 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable lost : int;
   mutable duplicated : int;
   mutable executed : int;
   trace_enabled : bool;
@@ -89,12 +106,16 @@ and event =
   | Sent of { time : float; src : pid; dst : pid }
   | Delivered of { time : float; src : pid; dst : pid }
   | Dropped of { time : float; src : pid; dst : pid }
+  | Lost of { time : float; src : pid; dst : pid }
   | Crashed of { time : float; pid : pid }
   | Restored of { time : float; pid : pid }
+  | PartitionStart of { time : float; links : (pid * pid) list }
+  | PartitionHeal of { time : float; links : (pid * pid) list }
 
 exception Event_limit_exceeded of int
 
-let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0) ~delay () =
+let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0)
+    ?(transport = `Raw) ~delay () =
   if duplication < 0.0 || duplication >= 1.0 then
     invalid_arg "Engine.create: duplication must be in [0, 1)";
   let root_rng = Rng.create seed in
@@ -104,6 +125,11 @@ let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0) ~delay () =
     | Delay.Uniform_delay { lo; hi } -> (dk_uniform, lo, hi)
     | Delay.Exponential_delay { mean; cap } -> (dk_exponential, mean, cap)
     | Delay.Dynamic_delay -> (dk_dynamic, 0.0, 0.0)
+  in
+  let channel =
+    match transport with
+    | `Raw -> None
+    | `Reliable config -> Some (Channel.create config)
   in
   { processes = [||];
     nprocs = 0;
@@ -115,10 +141,13 @@ let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0) ~delay () =
     delay_a;
     delay_b;
     duplication;
+    faults = Link_faults.create ();
+    channel;
     clock = [| 0.0 |];
     sent = 0;
     delivered = 0;
     dropped = 0;
+    lost = 0;
     duplicated = 0;
     executed = 0;
     trace_enabled = trace;
@@ -179,54 +208,208 @@ let now_ctx ctx = ctx.engine.clock.(0)
 let rng t = t.root_rng
 let rng_ctx ctx = ctx.engine.root_rng
 
+(* ------------------------------------------------------------------ *)
+(* Fault plane *)
+
+let faults t = t.faults
+
+let set_loss t p = Link_faults.set_default_drop t.faults p
+
+let set_link_loss t ~src ~dst p =
+  check_pid t src ~where:"Engine.set_link_loss";
+  check_pid t dst ~where:"Engine.set_link_loss";
+  Link_faults.set_drop t.faults ~src ~dst p
+
+let check_links t links ~where =
+  List.iter
+    (fun (a, b) ->
+      check_pid t a ~where;
+      check_pid t b ~where)
+    links
+
+let push_control t ~at action =
+  Event_queue.push_tagged t.queue ~time:(Float.max at t.clock.(0))
+    ~tag:(pack ~kind:k_control ~a:0 ~b:0)
+    (Obj.repr (action : unit -> unit))
+
+let partition_at t ~links ~at =
+  check_links t links ~where:"Engine.partition_at";
+  push_control t ~at (fun () ->
+      Link_faults.cut_links t.faults links;
+      record t (PartitionStart { time = t.clock.(0); links }))
+
+let heal_at t ~links ~at =
+  check_links t links ~where:"Engine.heal_at";
+  push_control t ~at (fun () ->
+      Link_faults.heal_links t.faults links;
+      record t (PartitionHeal { time = t.clock.(0); links }))
+
+let delay_spike t ~links ~factor ~from_ ~until_ =
+  check_links t links ~where:"Engine.delay_spike";
+  if not (factor > 0.0) then
+    invalid_arg "Engine.delay_spike: non-positive factor";
+  if until_ < from_ then invalid_arg "Engine.delay_spike: until_ < from_";
+  push_control t ~at:from_ (fun () ->
+      Link_faults.spike_links t.faults links ~factor);
+  push_control t ~at:until_ (fun () ->
+      Link_faults.unspike_links t.faults links ~factor)
+
+(* Loss verdict for one physical transmission entering link src->dst.
+   Only meaningful when the plane is armed; the caller guards, so the
+   unarmed hot path never touches the hashtables (or the rng). *)
+let faults_lose t ~src ~dst =
+  Link_faults.partitioned t.faults ~src ~dst
+  ||
+  let p = Link_faults.drop_p t.faults ~src ~dst in
+  p > 0.0 && Rng.float t.net_rng 1.0 < p
+
+(* ------------------------------------------------------------------ *)
+(* Send paths *)
+
+(* Raw transport over an armed fault plane: the cold variant of the
+   inline fast path below, sharing its counters and trace discipline. *)
+let send_raw_faulty t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
+  if faults_lose t ~src ~dst then begin
+    t.lost <- t.lost + 1;
+    if t.trace_enabled then record t (Lost { time = t.clock.(0); src; dst })
+  end
+  else begin
+    let transit =
+      Delay.draw t.delay t.net_rng ~src ~dst
+      *. Link_faults.delay_factor t.faults ~src ~dst
+    in
+    (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
+    Event_queue.push_inbox t.queue
+      ~tag:(pack ~kind:k_deliver ~a:src ~b:dst)
+      (Obj.repr msg)
+  end
+
+(* One physical transmission of a reliable-channel data packet (first
+   copy, duplicate, or retransmission): subject to the fault plane like
+   any raw send, and traced as an ordinary [Sent]. *)
+let transmit_data t ~src ~dst ~seq payload =
+  t.sent <- t.sent + 1;
+  if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
+  if Link_faults.armed t.faults && faults_lose t ~src ~dst then begin
+    t.lost <- t.lost + 1;
+    if t.trace_enabled then record t (Lost { time = t.clock.(0); src; dst })
+  end
+  else begin
+    let transit =
+      Delay.draw t.delay t.net_rng ~src ~dst
+      *. Link_faults.delay_factor t.faults ~src ~dst
+    in
+    (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
+    Event_queue.push_inbox t.queue
+      ~tag:(pack_seq ~kind:k_data ~a:src ~b:dst ~seq)
+      payload
+  end
+
+(* Acks travel dst -> src but their tag keeps the data direction so the
+   sender side can find its pending entry without unpacking a payload. *)
+let transmit_ack t ~src ~dst ~seq =
+  t.sent <- t.sent + 1;
+  if t.trace_enabled then
+    record t (Sent { time = t.clock.(0); src = dst; dst = src });
+  if Link_faults.armed t.faults && faults_lose t ~src:dst ~dst:src then begin
+    t.lost <- t.lost + 1;
+    if t.trace_enabled then
+      record t (Lost { time = t.clock.(0); src = dst; dst = src })
+  end
+  else begin
+    let transit =
+      Delay.draw t.delay t.net_rng ~src:dst ~dst:src
+      *. Link_faults.delay_factor t.faults ~src:dst ~dst:src
+    in
+    (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
+    Event_queue.push_inbox t.queue
+      ~tag:(pack_seq ~kind:k_ack ~a:src ~b:dst ~seq)
+      obj_unit
+  end
+
+let schedule_rexmit t ch ~src ~dst ~seq ~rto =
+  let cfg = Channel.config ch in
+  let jitter =
+    if cfg.Channel.jitter > 0.0 then
+      rto *. cfg.Channel.jitter *. Rng.float t.net_rng 1.0
+    else 0.0
+  in
+  Event_queue.push_tagged t.queue
+    ~time:(t.clock.(0) +. rto +. jitter)
+    ~tag:(pack_seq ~kind:k_rexmit ~a:src ~b:dst ~seq)
+    obj_unit
+
+let send_reliable t ch ~src ~dst msg =
+  let seq = Channel.alloc_seq ch ~src ~dst in
+  let payload = Obj.repr msg in
+  let rto = Channel.register ch ~src ~dst ~seq payload in
+  transmit_data t ~src ~dst ~seq payload;
+  (* at-least-once physical channels: the first copy may be duplicated;
+     the receiver-side dedup absorbs it like any retransmission *)
+  if t.duplication > 0.0 && Rng.float t.net_rng 1.0 < t.duplication then begin
+    t.duplicated <- t.duplicated + 1;
+    transmit_data t ~src ~dst ~seq payload
+  end;
+  schedule_rexmit t ch ~src ~dst ~seq ~rto
+
 let send ctx ~dst msg =
   let t = ctx.engine in
   check_pid t dst ~where:"Engine.send";
   let src = ctx.ctx_self in
-  (* The transit sampling below is [Delay.draw] with bit-identical
-     arithmetic, specialised on the pre-classified distribution so every
-     intermediate float stays in a register (a [Delay.draw] call boxes
-     each one: [Rng.float], the exponential's [u], its result, the
-     draw). [dk_dynamic] keeps the general path. *)
-  let transit =
-    let k = t.delay_kind in
-    if k = dk_constant then t.delay_a
-    else if k = dk_exponential then begin
-      let u =
-        float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
-        /. 9007199254740992.0 *. 1.0
+  match t.channel with
+  | Some ch -> send_reliable t ch ~src ~dst msg
+  | None ->
+    if Link_faults.armed t.faults then send_raw_faulty t ~src ~dst msg
+    else begin
+      (* The transit sampling below is [Delay.draw] with bit-identical
+         arithmetic, specialised on the pre-classified distribution so
+         every intermediate float stays in a register (a [Delay.draw]
+         call boxes each one: [Rng.float], the exponential's [u], its
+         result, the draw). [dk_dynamic] keeps the general path. *)
+      let transit =
+        let k = t.delay_kind in
+        if k = dk_constant then t.delay_a
+        else if k = dk_exponential then begin
+          let u =
+            float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
+            /. 9007199254740992.0 *. 1.0
+          in
+          let u = if u <= 0. then 1e-300 else u in
+          let d = -.t.delay_a *. log u in
+          let d = if d > t.delay_b then t.delay_b else d in
+          if d < Delay.epsilon then Delay.epsilon else d
+        end
+        else if k = dk_uniform then begin
+          let d =
+            t.delay_a
+            +. float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
+               /. 9007199254740992.0
+               *. (t.delay_b -. t.delay_a)
+          in
+          if d < Delay.epsilon then Delay.epsilon else d
+        end
+        else Delay.draw t.delay t.net_rng ~src ~dst
       in
-      let u = if u <= 0. then 1e-300 else u in
-      let d = -.t.delay_a *. log u in
-      let d = if d > t.delay_b then t.delay_b else d in
-      if d < Delay.epsilon then Delay.epsilon else d
+      t.sent <- t.sent + 1;
+      if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
+      let tag = pack ~kind:k_deliver ~a:src ~b:dst in
+      (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
+      Event_queue.push_inbox t.queue ~tag (Obj.repr msg);
+      (* at-least-once channels: optionally deliver a duplicate copy at an
+         independent delay (counted as its own send so traces stay
+         coherent) *)
+      if t.duplication > 0.0 && Rng.float t.net_rng 1.0 < t.duplication then begin
+        let transit' = Delay.draw t.delay t.net_rng ~src ~dst in
+        t.sent <- t.sent + 1;
+        t.duplicated <- t.duplicated + 1;
+        if t.trace_enabled then
+          record t (Sent { time = t.clock.(0); src; dst });
+        (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit';
+        Event_queue.push_inbox t.queue ~tag (Obj.repr msg)
+      end
     end
-    else if k = dk_uniform then begin
-      let d =
-        t.delay_a
-        +. float_of_int (Rng.bits t.net_rng land 0x1FFFFFFFFFFFFF)
-           /. 9007199254740992.0
-           *. (t.delay_b -. t.delay_a)
-      in
-      if d < Delay.epsilon then Delay.epsilon else d
-    end
-    else Delay.draw t.delay t.net_rng ~src ~dst
-  in
-  t.sent <- t.sent + 1;
-  if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
-  let tag = pack ~kind:k_deliver ~a:src ~b:dst in
-  (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit;
-  Event_queue.push_inbox t.queue ~tag (Obj.repr msg);
-  (* at-least-once channels: optionally deliver a duplicate copy at an
-     independent delay (counted as its own send so traces stay coherent) *)
-  if t.duplication > 0.0 && Rng.float t.net_rng 1.0 < t.duplication then begin
-    let transit' = Delay.draw t.delay t.net_rng ~src ~dst in
-    t.sent <- t.sent + 1;
-    t.duplicated <- t.duplicated + 1;
-    if t.trace_enabled then record t (Sent { time = t.clock.(0); src; dst });
-    (Event_queue.inbox t.queue).(0) <- t.clock.(0) +. transit';
-    Event_queue.push_inbox t.queue ~tag (Obj.repr msg)
-  end
 
 let schedule_local ctx ~delay action =
   let t = ctx.engine in
@@ -258,6 +441,9 @@ let restore_at t pid at =
 let is_crashed t pid =
   check_pid t pid ~where:"Engine.is_crashed";
   t.processes.(pid).crashed
+
+let channel_exn t =
+  match t.channel with Some ch -> ch | None -> assert false
 
 let dispatch t tag payload =
   t.executed <- t.executed + 1;
@@ -299,12 +485,62 @@ let dispatch t tag payload =
       record t (Crashed { time = t.clock.(0); pid })
     end
   end
-  else begin
+  else if kind = k_restore then begin
     let pid = tag_a tag in
     if t.processes.(pid).crashed then begin
       t.processes.(pid).crashed <- false;
       record t (Restored { time = t.clock.(0); pid })
     end
+  end
+  else if kind = k_control then (Obj.obj payload : unit -> unit) ()
+  else if kind = k_data then begin
+    (* a reliable-channel data packet arrived at dst *)
+    let src = tag_a tag and dst = tag_b tag and seq = tag_seq tag in
+    let slot = t.processes.(dst) in
+    match slot.handler with
+    | Some handler when not slot.crashed ->
+      if t.trace_enabled then
+        record t (Delivered { time = t.clock.(0); src; dst });
+      let ch = channel_exn t in
+      (* ack before running the handler so the ack's delay draw is not
+         interleaved with the handler's own sends *)
+      transmit_ack t ~src ~dst ~seq;
+      (match Channel.receive ch ~src ~dst ~seq with
+      | `Duplicate -> ()
+      | `Fresh ->
+        t.delivered <- t.delivered + 1;
+        handler (ctx_of slot) ~src (Obj.obj payload : _))
+    | Some _ | None ->
+      (* no ack: the sender's retransmissions keep probing, so a message
+         in flight to a crashed-then-restored process is eventually
+         delivered — the channel rides out the crash window *)
+      t.dropped <- t.dropped + 1;
+      if t.trace_enabled then record t (Dropped { time = t.clock.(0); src; dst })
+  end
+  else if kind = k_ack then begin
+    (* tag holds the data direction: the ack physically arrives at src *)
+    let src = tag_a tag and dst = tag_b tag and seq = tag_seq tag in
+    if t.processes.(src).crashed then begin
+      t.dropped <- t.dropped + 1;
+      if t.trace_enabled then
+        record t (Dropped { time = t.clock.(0); src = dst; dst = src })
+    end
+    else if t.trace_enabled then
+      record t (Delivered { time = t.clock.(0); src = dst; dst = src });
+    (* discharge the pending entry even if the sender is crashed: the
+       channel state lives in the network interface, not in the
+       process's volatile memory *)
+    Channel.ack (channel_exn t) ~src ~dst ~seq
+  end
+  else begin
+    (* k_rexmit: retransmission timer *)
+    let src = tag_a tag and dst = tag_b tag and seq = tag_seq tag in
+    let ch = channel_exn t in
+    match Channel.on_timer ch ~src ~dst ~seq with
+    | `Done | `Give_up -> ()
+    | `Retransmit (payload, rto) ->
+      transmit_data t ~src ~dst ~seq payload;
+      schedule_rexmit t ch ~src ~dst ~seq ~rto
   end
 
 let step t =
@@ -350,10 +586,34 @@ let pending_events t = Event_queue.size t.queue
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
+let messages_lost t = t.lost
 let messages_duplicated t = t.duplicated
 let events_executed t = t.executed
 
+let retransmissions t =
+  match t.channel with Some ch -> Channel.retransmissions ch | None -> 0
+
+let duplicates_suppressed t =
+  match t.channel with Some ch -> Channel.duplicates_suppressed ch | None -> 0
+
+let sends_abandoned t =
+  match t.channel with Some ch -> Channel.abandoned ch | None -> 0
+
+let channel_in_flight t =
+  match t.channel with Some ch -> Channel.in_flight ch | None -> 0
+
+let reliable_transport t = Option.is_some t.channel
+
 let trace_events t = Array.to_list (Array.sub t.trace 0 t.trace_len)
+
+let pp_links ~name ppf links =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%s->%s" (name a) (name b))
+    links;
+  Format.fprintf ppf "]"
 
 let pp_event ~name ppf = function
   | Sent { time; src; dst } ->
@@ -363,7 +623,16 @@ let pp_event ~name ppf = function
   | Dropped { time; src; dst } ->
     Format.fprintf ppf "%.3f  %s -> %s  dropped (dst crashed)" time (name src)
       (name dst)
+  | Lost { time; src; dst } ->
+    Format.fprintf ppf "%.3f  %s -> %s  lost (link fault)" time (name src)
+      (name dst)
   | Crashed { time; pid } ->
     Format.fprintf ppf "%.3f  %s  CRASH" time (name pid)
   | Restored { time; pid } ->
     Format.fprintf ppf "%.3f  %s  RESTORED" time (name pid)
+  | PartitionStart { time; links } ->
+    Format.fprintf ppf "%.3f  PARTITION start (%d links) %a" time
+      (List.length links) (pp_links ~name) links
+  | PartitionHeal { time; links } ->
+    Format.fprintf ppf "%.3f  PARTITION heal (%d links) %a" time
+      (List.length links) (pp_links ~name) links

@@ -2,19 +2,36 @@
 
     An engine hosts a set of {e processes} (servers and clients alike in
     the paper's model) exchanging messages of a single type ['msg] over
-    reliable point-to-point channels. Each send draws an independent
-    transit delay from the engine's {!Delay.t} model, so messages on the
-    same channel may be reordered — exactly the asynchronous model of the
-    paper (Section II).
+    point-to-point channels. Each send draws an independent transit delay
+    from the engine's {!Delay.t} model, so messages on the same channel
+    may be reordered — exactly the asynchronous model of the paper
+    (Section II).
+
+    Channels are reliable by default (the paper's axiom). An adversarial
+    {e fault plane} ({!Link_faults}) can break that: per-directed-link
+    drop probabilities, partitions (link sets blackholed over an
+    interval), and delay spikes, all scheduled at absolute simulated
+    times and applied to each physical transmission at its send instant.
+    Mounting the reliable-channel substrate
+    ([~transport:(`Reliable config)], see {!Channel}) restores
+    exactly-once delivery on top of a lossy plane via acks,
+    exponential-backoff retransmission and receiver-side dedup — without
+    any change to the protocols, which keep using {!send} and their
+    installed handlers.
 
     Crash failures: a crashed process stops receiving messages and its
     pending local actions are discarded; messages already in flight to it
     are silently dropped at delivery time. Senders are allowed to crash
     after a message is placed in the channel — delivery depends only on
-    the destination being alive, matching the model in the paper.
+    the destination being alive, matching the model in the paper. Under
+    the reliable transport an unacked message keeps being retransmitted
+    (the channel state lives in the network interface, not the process's
+    volatile memory), so a message to a crashed-then-restored process is
+    eventually delivered if the retry budget outlives the crash window.
 
-    Determinism: executions are a pure function of the seed. Event ties
-    are broken by insertion order. *)
+    Determinism: executions are a pure function of the seed, including
+    every fault-plane coin flip and retransmission timer. Event ties are
+    broken by insertion order. *)
 
 type pid = int
 (** Process identifier, dense from 0 in registration order. *)
@@ -25,15 +42,21 @@ type 'msg context
 (** Capabilities handed to a process while it is handling an event. *)
 
 val create :
-  ?seed:int -> ?trace:bool -> ?duplication:float -> delay:Delay.t -> unit ->
-  'msg t
+  ?seed:int -> ?trace:bool -> ?duplication:float ->
+  ?transport:[ `Raw | `Reliable of Channel.config ] ->
+  delay:Delay.t -> unit -> 'msg t
 (** [create ~delay ()] builds an empty simulation. [seed] defaults to 0;
     [trace] (default false) records an event log retrievable with
     {!trace_events}; [duplication] (default 0, must be < 1) is the
-    probability that a message is delivered twice at independent delays
+    probability that a message is transmitted twice at independent delays
     — an at-least-once channel model, stricter than the paper's, under
-    which the protocols' deduplication must make every step idempotent.
-    @raise Invalid_argument on an out-of-range [duplication]. *)
+    which the protocols' deduplication must make every step idempotent
+    (under [`Reliable] the duplicate carries the same sequence number and
+    is absorbed by the channel's own dedup). [transport] (default
+    [`Raw]) selects the channel substrate: [`Reliable config] mounts the
+    ack/retransmit layer of {!Channel} under every process.
+    @raise Invalid_argument on an out-of-range [duplication] or an
+    invalid channel config. *)
 
 (** {1 Topology} *)
 
@@ -57,9 +80,13 @@ val now_ctx : 'msg context -> float
 val rng_ctx : 'msg context -> Rng.t
 
 val send : 'msg context -> dst:pid -> 'msg -> unit
-(** Place a message in the channel to [dst]; it will be delivered after a
-    model-drawn delay iff [dst] has not crashed by then. Sending to self
-    is allowed and also goes through the channel. *)
+(** Place a message in the channel to [dst]. Raw transport: it is
+    delivered after a model-drawn delay iff the link does not lose it
+    and [dst] has not crashed by then. Reliable transport: it is
+    assigned a sequence number and retransmitted until acked or the
+    retry cap is hit, and delivered to the protocol handler at most
+    once. Sending to self is allowed and also goes through the
+    channel. *)
 
 val schedule_local : 'msg context -> delay:float -> (unit -> unit) -> unit
 (** Run a local action on this process after [delay] sim-time units,
@@ -87,9 +114,48 @@ val restore_at : 'msg t -> pid -> float -> unit
     receives messages again. The process's OCaml-side state is whatever
     the automaton object still holds — protocol layers model the loss of
     volatile state themselves (cf. [Soda.Server.begin_repair]). Local
-    actions and deliveries scheduled while it was crashed stay lost. *)
+    actions and deliveries scheduled while it was crashed stay lost
+    (raw transport) or keep being retransmitted (reliable transport). *)
 
 val is_crashed : 'msg t -> pid -> bool
+
+(** {1 Fault plane}
+
+    All fault scheduling is processed through the event queue, so fault
+    windows are totally ordered with message events and executions stay
+    a pure function of the seed. A never-configured fault plane costs
+    the send hot path one boolean load. *)
+
+val faults : 'msg t -> Link_faults.t
+(** The engine's fault plane, for direct configuration and for building
+    the [lossy] predicate of {!Trace_check.check}. *)
+
+val set_loss : 'msg t -> float -> unit
+(** Drop probability applied immediately to every link (overridable per
+    link with {!set_link_loss}). Each physical transmission — including
+    reliable-transport retransmissions and acks — is lost independently
+    with this probability. @raise Invalid_argument outside [0, 1]. *)
+
+val set_link_loss : 'msg t -> src:pid -> dst:pid -> float -> unit
+
+val partition_at : 'msg t -> links:(pid * pid) list -> at:float -> unit
+(** Blackhole the directed [links] from simulated time [at] until a
+    matching {!heal_at}: every message entering a cut link is lost (and
+    counted in {!messages_lost}). Overlapping partitions stack per link.
+    Emits a [PartitionStart] trace event when it activates.
+    @raise Invalid_argument on an unknown pid. *)
+
+val heal_at : 'msg t -> links:(pid * pid) list -> at:float -> unit
+(** Undo one partition layer on [links] at time [at]; emits
+    [PartitionHeal]. Messages lost while the partition was up are gone
+    (raw) or retransmitted (reliable transport). *)
+
+val delay_spike : 'msg t ->
+  links:(pid * pid) list -> factor:float -> from_:float -> until_:float -> unit
+(** Multiply transit delays on [links] by [factor] during
+    [[from_, until_]]. Overlapping spikes compound.
+    @raise Invalid_argument on a non-positive factor or an inverted
+    interval. *)
 
 (** {1 Execution} *)
 
@@ -114,11 +180,23 @@ val pending_events : 'msg t -> int
 (** {1 Statistics and traces} *)
 
 val messages_sent : 'msg t -> int
+(** Physical transmissions: protocol sends, duplicates, and — under the
+    reliable transport — retransmissions and acks. *)
+
 val messages_delivered : 'msg t -> int
-(** Delivered excludes messages dropped at a crashed destination. *)
+(** Messages handed to a protocol handler. Excludes drops at a crashed
+    destination, fault-plane losses, and (reliable transport) duplicate
+    arrivals suppressed by the channel's dedup. *)
 
 val messages_dropped : 'msg t -> int
-(** Messages that reached a crashed (or handler-less) destination. *)
+(** Messages that reached a crashed (or handler-less) destination.
+    Distinct from {!messages_lost}: a drop happens at delivery time
+    because of the {e endpoint}'s state, a loss at send time because of
+    the {e link}'s. *)
+
+val messages_lost : 'msg t -> int
+(** Physical transmissions eaten by the fault plane (drop probability or
+    an active partition). *)
 
 val messages_duplicated : 'msg t -> int
 (** Extra copies injected by the [duplication] channel model (each is
@@ -126,14 +204,43 @@ val messages_duplicated : 'msg t -> int
 
 val events_executed : 'msg t -> int
 (** Total events dispatched over the engine's lifetime — deliveries,
-    drops, local actions, injections and crash/restore transitions. *)
+    drops, local actions, injections, crash/restore transitions,
+    fault-plane control events and retransmission timers. *)
+
+(** {2 Reliable-transport counters (0 on the raw transport)} *)
+
+val retransmissions : 'msg t -> int
+val duplicates_suppressed : 'msg t -> int
+
+val sends_abandoned : 'msg t -> int
+(** Sends that hit the channel's retry cap — each is a breach of the
+    reliable abstraction; a chaos harness should assert this stays 0. *)
+
+val channel_in_flight : 'msg t -> int
+(** Registered sends not yet acked or abandoned (e.g. messages destined
+    to a process that stayed crashed). *)
+
+val reliable_transport : 'msg t -> bool
+(** [true] iff the engine was created with [~transport:(`Reliable _)].
+    Protocol layers use this to arm recovery behaviour (e.g. client
+    retries) that only makes sense when sends are retransmitted. *)
 
 type event =
   | Sent of { time : float; src : pid; dst : pid }
+      (** One physical transmission (including retransmissions and, on
+          the reliable transport, acks — an ack from the data's receiver
+          appears as a [Sent] in the reverse direction). *)
   | Delivered of { time : float; src : pid; dst : pid }
+      (** Physical arrival at a live destination. On the reliable
+          transport this includes duplicate data packets (suppressed
+          before the handler) and acks. *)
   | Dropped of { time : float; src : pid; dst : pid }
+  | Lost of { time : float; src : pid; dst : pid }
+      (** The fault plane ate a transmission on this link. *)
   | Crashed of { time : float; pid : pid }
   | Restored of { time : float; pid : pid }
+  | PartitionStart of { time : float; links : (pid * pid) list }
+  | PartitionHeal of { time : float; links : (pid * pid) list }
 
 val trace_events : 'msg t -> event list
 (** Chronological event log; empty unless [trace] was set. *)

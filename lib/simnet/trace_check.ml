@@ -6,15 +6,25 @@ let time_of = function
   | Engine.Sent { time; _ }
   | Engine.Delivered { time; _ }
   | Engine.Dropped { time; _ }
+  | Engine.Lost { time; _ }
   | Engine.Crashed { time; _ }
-  | Engine.Restored { time; _ } ->
+  | Engine.Restored { time; _ }
+  | Engine.PartitionStart { time; _ }
+  | Engine.PartitionHeal { time; _ } ->
     time
 
-let check events =
+let no_loss ~src:_ ~dst:_ = false
+
+let check ?(lossy = no_loss) events =
   let exception Bad of violation in
   (* outstanding sends per (src, dst) channel *)
   let in_flight : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
   let crashed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* lossy-model state: per-directed-link active partition layers, and
+     per canonical link-set an up/down bit for the alternation axiom *)
+  let cut : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let active_sets : ((int * int) list, unit) Hashtbl.t = Hashtbl.create 16 in
+  let canon links = List.sort_uniq compare links in
   let last_time = ref neg_infinity in
   let fail what index = raise (Bad { what; index }) in
   let consume ~index ~src ~dst =
@@ -51,6 +61,21 @@ let check events =
             fail
               (Printf.sprintf "message to live process %d dropped" dst)
               index
+        | Engine.Lost { src; dst; _ } ->
+          consume ~index ~src ~dst;
+          (* the lossy-model axiom: a loss needs an active cause on its
+             link — a partition covering it, or a configured nonzero
+             drop probability *)
+          let partitioned =
+            match Hashtbl.find_opt cut (src, dst) with
+            | Some r -> !r > 0
+            | None -> false
+          in
+          if not (partitioned || lossy ~src ~dst) then
+            fail
+              (Printf.sprintf
+                 "message on %d->%d lost without an active link fault" src dst)
+              index
         | Engine.Crashed { pid; _ } ->
           if Hashtbl.mem crashed pid then
             fail (Printf.sprintf "process %d crashed twice" pid) index;
@@ -58,7 +83,29 @@ let check events =
         | Engine.Restored { pid; _ } ->
           if not (Hashtbl.mem crashed pid) then
             fail (Printf.sprintf "live process %d restored" pid) index;
-          Hashtbl.remove crashed pid)
+          Hashtbl.remove crashed pid
+        | Engine.PartitionStart { links; _ } ->
+          let key = canon links in
+          if Hashtbl.mem active_sets key then
+            fail "partition started twice without a heal" index;
+          Hashtbl.add active_sets key ();
+          List.iter
+            (fun link ->
+              match Hashtbl.find_opt cut link with
+              | Some r -> incr r
+              | None -> Hashtbl.add cut link (ref 1))
+            links
+        | Engine.PartitionHeal { links; _ } ->
+          let key = canon links in
+          if not (Hashtbl.mem active_sets key) then
+            fail "heal of a partition that was not active" index;
+          Hashtbl.remove active_sets key;
+          List.iter
+            (fun link ->
+              match Hashtbl.find_opt cut link with
+              | Some r when !r > 0 -> decr r
+              | Some _ | None -> fail "partition link count underflow" index)
+            links)
       events;
     Ok ()
   with Bad v -> Error v
@@ -69,6 +116,13 @@ let delivered_ratio events =
     (function
       | Engine.Sent _ -> incr sent
       | Engine.Delivered _ -> incr delivered
-      | Engine.Dropped _ | Engine.Crashed _ | Engine.Restored _ -> ())
+      | Engine.Dropped _ | Engine.Lost _ | Engine.Crashed _
+      | Engine.Restored _ | Engine.PartitionStart _ | Engine.PartitionHeal _ ->
+        ())
     events;
   if !sent = 0 then 1.0 else float_of_int !delivered /. float_of_int !sent
+
+let lost_count events =
+  List.fold_left
+    (fun acc -> function Engine.Lost _ -> acc + 1 | _ -> acc)
+    0 events

@@ -3,6 +3,7 @@
     Used as a meta-test of the simulator itself (and available to debug
     protocol runs): given the event log of a traced execution, verify
     that the engine really implemented the paper's channel and crash
+    semantics — or, when a fault plane was configured, the lossy model's
     semantics. *)
 
 type violation = {
@@ -12,17 +13,30 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
-val check : Engine.event list -> (unit, violation) result
+val check :
+  ?lossy:(src:int -> dst:int -> bool) ->
+  Engine.event list -> (unit, violation) result
 (** Verifies, over the whole trace:
     - timestamps are non-decreasing;
-    - every delivery or drop is matched to an earlier unconsumed send on
-      the same (src, dst) channel, and each send is consumed at most
-      once;
+    - every delivery, drop or loss is matched to an earlier unconsumed
+      send on the same (src, dst) channel, and each send is consumed at
+      most once;
     - no process is delivered a message after it crashed (unless restored
       in between), and drops only happen at crashed destinations;
     - a process crashes (resp. is restored) only when alive (resp.
-      crashed). *)
+      crashed);
+    - a [Lost] event has an active cause: either a partition covering
+      its link at that point of the trace, or [lossy ~src ~dst] (the
+      caller's knowledge of configured drop probabilities — build it
+      from {!Link_faults.lossy}; defaults to "no link is lossy", which
+      is exactly the old reliable-model check on fault-free traces);
+    - partitions strictly alternate start/heal per canonical link-set,
+      and a heal never underflows a link's active-partition count. *)
 
 val delivered_ratio : Engine.event list -> float
 (** Fraction of sends that were eventually delivered (1.0 in crash-free
-    executions once quiescent). *)
+    executions once quiescent; lower under crashes or an armed fault
+    plane). *)
+
+val lost_count : Engine.event list -> int
+(** Number of [Lost] events in the trace. *)

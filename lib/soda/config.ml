@@ -14,6 +14,7 @@ type t = {
   disperse_step : float;
   md_mode : [ `Chained | `Direct ];
   gossip : bool;
+  client_retry : float option;
   cost : Cost.t;
   probe : Probe.t;
   history : History.t;
@@ -36,7 +37,7 @@ let encode t value =
 
 let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     ?(error_prone = []) ?(disperse_step = 0.001) ?(md_mode = `Chained) ?(gossip = true)
-    ?(systematic = false) () =
+    ?client_retry ?(systematic = false) () =
   let n = Params.n params in
   if Array.length servers <> n then
     invalid_arg "Config.make: need exactly n server pids";
@@ -82,6 +83,7 @@ let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     disperse_step;
     md_mode;
     gossip;
+    client_retry;
     cost = Cost.create ~value_len;
     probe = Probe.create ();
     history = History.create ();

@@ -42,6 +42,19 @@ type t = {
           ORCAS-B's behaviour — no announcements are sent and only
           READ-COMPLETE unregisters, so a crashed reader is relayed to
           forever. Used by the [ablation-gossip] benchmark. *)
+  client_retry : float option;
+      (** When [Some interval], clients re-issue the pending phase of a
+          stalled operation every [interval] time units: a writer/reader
+          in its get phase re-polls the servers, a reader in its collect
+          phase re-broadcasts READ-VALUE. Needed under crash-repair
+          chaos, where [Server.begin_repair] wipes reader registrations
+          (the crash lost them) — without re-registration a long-lived
+          read could permanently fall below the decode threshold.
+          Retries assume the reliable transport (re-sends are deduped by
+          receivers and all replies are idempotent, but over a raw
+          lossy network they would be pointless); [Deployment.deploy]
+          arms them exactly when the engine's transport is reliable.
+          [None] (the default) leaves the paper's retry-free clients. *)
   cost : Cost.t;
   probe : Probe.t;
   history : History.t;
@@ -66,6 +79,7 @@ val make :
   ?disperse_step:float ->
   ?md_mode:[ `Chained | `Direct ] ->
   ?gossip:bool ->
+  ?client_retry:float ->
   ?systematic:bool ->
   unit ->
   t

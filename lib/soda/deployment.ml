@@ -14,6 +14,11 @@ type t = {
   reader_pids : int array
 }
 
+(* Clients re-poll a stalled phase at this interval. Fault-free
+   operations finish in well under ten time units, so retries only ever
+   fire for operations genuinely stuck behind a crash window. *)
+let client_retry_interval = 80.0
+
 let deploy ~engine ~params ?initial_value ?value_len ?error_prone
     ?disperse_step ?md_mode ?gossip ?systematic ~num_writers ~num_readers () =
   if num_writers < 0 || num_readers < 0 then
@@ -23,9 +28,17 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
     Array.init n (fun i ->
         Engine.reserve engine ~name:(Printf.sprintf "server%d" i))
   in
+  (* client retries are armed exactly when sends are retransmitted: over
+     the raw transport they could not mask losses anyway, and leaving
+     them off keeps raw runs identical to the paper's retry-free
+     clients *)
+  let client_retry =
+    if Engine.reliable_transport engine then Some client_retry_interval
+    else None
+  in
   let config =
     Config.make ~params ~servers:server_pids ?initial_value ?value_len
-      ?error_prone ?disperse_step ?md_mode ?gossip ?systematic ()
+      ?error_prone ?disperse_step ?md_mode ?gossip ?client_retry ?systematic ()
   in
   let servers =
     Array.init n (fun coordinate -> Server.create config ~coordinate)
@@ -78,8 +91,45 @@ let repair_server t ~coordinate ~at =
       Server.begin_repair t.servers.(coordinate) ctx ~op);
   op
 
+(* All links between the isolated servers and every other process of
+   the deployment, both directions, in a deterministic order (so
+   partition and heal name the same link-set and traces satisfy the
+   alternation axiom). *)
+let isolation_links t ~coordinates =
+  let isolated = Array.make (Array.length t.config.Config.servers) false in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Array.length isolated then
+        invalid_arg "Deployment: partition coordinate out of range";
+      isolated.(c) <- true)
+    coordinates;
+  let inside =
+    List.map (fun c -> t.config.Config.servers.(c)) (List.sort_uniq compare coordinates)
+  in
+  let outside = ref [] in
+  Array.iteri
+    (fun c pid -> if not isolated.(c) then outside := pid :: !outside)
+    t.config.Config.servers;
+  Array.iter (fun pid -> outside := pid :: !outside) t.writer_pids;
+  Array.iter (fun pid -> outside := pid :: !outside) t.reader_pids;
+  let outside = List.rev !outside in
+  List.concat_map
+    (fun inner -> List.concat_map (fun outer -> [ (inner, outer); (outer, inner) ]) outside)
+    inside
+
+let partition_servers t ~coordinates ~at =
+  Engine.partition_at t.engine ~links:(isolation_links t ~coordinates) ~at
+
+let heal_servers t ~coordinates ~at =
+  Engine.heal_at t.engine ~links:(isolation_links t ~coordinates) ~at
+
 let crash_writer t ~writer ~at = Engine.crash_at t.engine t.writer_pids.(writer) at
 let crash_reader t ~reader ~at = Engine.crash_at t.engine t.reader_pids.(reader) at
+let engine t = t.engine
+
+let repairing t =
+  Array.exists (fun s -> Server.repairing s) t.servers
+
 let history t = t.config.Config.history
 let cost t = t.config.Config.cost
 let probe t = t.config.Config.probe

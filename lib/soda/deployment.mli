@@ -68,7 +68,35 @@ val repair_server : t -> coordinate:int -> at:float -> int
     accumulate [decode_threshold] elements (bounded retries give up
     otherwise, leaving the server silently degraded but safe). *)
 
+val partition_servers : t -> coordinates:int list -> at:float -> unit
+(** Blackhole, from time [at], every link between the named servers and
+    the rest of the deployment (other servers and all clients), in both
+    directions — the isolated group keeps its state but neither hears
+    nor is heard until the matching {!heal_servers}. Under the raw
+    transport messages into the cut are lost; under the reliable
+    transport ([Engine.create ~transport:(`Reliable _)]) they are
+    retransmitted and arrive after the heal. As long as at most [f]
+    servers are crashed or isolated at once, SODA's quorums never need
+    the cut links, so liveness and atomicity must survive (the chaos
+    suite checks exactly this).
+    @raise Invalid_argument on an out-of-range coordinate. *)
+
+val heal_servers : t -> coordinates:int list -> at:float -> unit
+(** Schedule the heal of a {!partition_servers} with the same
+    coordinate set. Partition/heal pairs must alternate per set (the
+    trace checker enforces this). *)
+
 (** {1 Observation} *)
+
+val engine : t -> Messages.t Simnet.Engine.t
+(** The engine the deployment was built on. *)
+
+val repairing : t -> bool
+(** [true] while any server of the deployment is mid-repair (its element
+    has been wiped and not yet recovered). A nemesis must not take
+    another server down while this holds: with [k = n - f], wiping more
+    than [f] elements at once can destroy committed data beyond what any
+    algorithm could recover (see {!Harness.Nemesis.apply_gated}). *)
 
 val history : t -> History.t
 val cost : t -> Cost.t

@@ -32,6 +32,35 @@ type t = {
 let create config = { config; phase = Idle; seq = ref 0; on_done = None }
 let busy t = t.phase <> Idle
 
+(* Re-issue the pending phase of a stalled read (armed only when
+   [Config.client_retry] is set, i.e. over the reliable transport). The
+   get phase re-polls the servers; the collect phase re-broadcasts
+   READ-VALUE, which re-registers the read at servers whose crash-repair
+   cycle wiped the registration — without that, every wiped server is
+   one relay source lost forever and a long-lived read can permanently
+   fall below the decode threshold. All re-sends are idempotent at the
+   receivers: replies are folded through sets and max-tag updates, and
+   duplicate registrations are [Hashtbl.replace]. *)
+let rec schedule_retry t ctx ~rid =
+  match t.config.Config.client_retry with
+  | None -> ()
+  | Some interval ->
+    Engine.schedule_local ctx ~delay:interval (fun () ->
+        match t.phase with
+        | Get g when g.rid = rid ->
+          Array.iter
+            (fun server ->
+              Engine.send ctx ~dst:server (Messages.Read_get { rid }))
+            t.config.Config.servers;
+          schedule_retry t ctx ~rid
+        | Collect c when c.rid = rid ->
+          Md.meta_send ctx t.config ~seq:t.seq
+            (Messages.Read_value { rid; reader = Engine.self ctx; tr = c.tr });
+          schedule_retry t ctx ~rid
+        | Idle | Get _ | Collect _ ->
+          (* the read completed (or a newer one started): stop *)
+          ())
+
 let invoke t ctx ?on_done () =
   (match t.phase with
   | Idle -> ()
@@ -46,6 +75,7 @@ let invoke t ctx ?on_done () =
   Array.iter
     (fun server -> Engine.send ctx ~dst:server (Messages.Read_get { rid }))
     t.config.Config.servers;
+  schedule_retry t ctx ~rid;
   rid
 
 let complete t ctx ~rid ~tr ~tag ~value =

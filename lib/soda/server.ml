@@ -19,7 +19,12 @@ type repair_state = {
   mutable max_seen : Tag.t;
   repliers : (int, unit) Hashtbl.t; (* coordinates heard from *)
   collected : (Tag.t * int, Fragment.t) Hashtbl.t;
-  mutable attempts : int
+  mutable attempts : int;
+  mutable deferred : (int * Messages.t) list
+      (* quorum queries (Write_get / Read_get / Repair_get) that arrived
+         mid-repair, newest first. Over the reliable transport the
+         channel has already acked them, so silently ignoring them would
+         lose them forever — they are answered in [finish_repair]. *)
 }
 
 type t = {
@@ -136,16 +141,46 @@ let local_disk_read t ~rid =
 (* Repair extension (paper's future work (ii)) *)
 
 let repair_retry_interval = 40.0
-let repair_max_attempts = 6
+
+(* Generous: repair rounds are cheap and a server that exhausts its
+   budget is mute forever (its [repair] state never clears), so the cap
+   exists only to let the simulation quiesce in degenerate schedules. *)
+let repair_max_attempts = 50
+
+let answer_query t ctx ~src = function
+  | Messages.Write_get { op } ->
+    Engine.send ctx ~dst:src (Messages.Write_get_reply { op; tag = t.tag })
+  | Messages.Read_get { rid } ->
+    Engine.send ctx ~dst:src (Messages.Read_get_reply { rid; tag = t.tag })
+  | Messages.Repair_get { op } ->
+    let fragment = local_disk_read t ~rid:op in
+    Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
+    Engine.send ctx ~dst:src
+      (Messages.Repair_reply { op; tag = t.tag; fragment })
+  | _ -> ()
 
 let finish_repair t ctx =
   match t.repair with
   | None -> ()
-  | Some _ ->
+  | Some r ->
     t.repair <- None;
     Probe.emit t.config.Config.probe
       (Probe.Repaired
-         { server = t.coordinate; tag = t.tag; time = Engine.now_ctx ctx })
+         { server = t.coordinate; tag = t.tag; time = Engine.now_ctx ctx });
+    (* Reads that registered while the repair was in flight had their
+       local relay withheld (the stored element was untrusted, see
+       [on_read_value]); send it now, or a reader counting on this
+       server for its kth element would wait forever. *)
+    Hashtbl.iter
+      (fun rid reg ->
+        if Tag.( >= ) t.tag reg.tr then
+          relay_to_reader t ctx ~rid ~reg ~tag:t.tag
+            ~fragment:(local_disk_read t ~rid))
+      t.registered;
+    (* Answer the quorum queries that were deferred mid-repair, in
+       arrival order, with the freshly recovered tag. *)
+    List.iter (fun (src, msg) -> answer_query t ctx ~src msg)
+      (List.rev r.deferred)
 
 (* Repair completes once n-1-f peers have answered and the server holds
    (or can decode) an element for the highest tag among the replies. *)
@@ -225,7 +260,8 @@ let begin_repair t ctx ~op =
         max_seen = Tag.initial;
         repliers = Hashtbl.create 8;
         collected = Hashtbl.create 16;
-        attempts = 0
+        attempts = 0;
+        deferred = []
       };
   Probe.emit t.config.Config.probe
     (Probe.Repair_started { server = t.coordinate; time = Engine.now_ctx ctx });
@@ -271,9 +307,12 @@ let md_value_deliver t ctx ~op ~tag:tw ~fragment =
 
 (* Fig. 5, "On md-meta-deliver(READ-VALUE, (r, tr))". *)
 let on_read_value t ctx ~rid ~reader ~tr =
+  (* The tombstone left by a READ-COMPLETE that raced ahead is kept (not
+     consumed): clients over the reliable transport re-broadcast
+     READ-VALUE until the read returns, and a spent tombstone would let
+     a late retry re-register a finished read as a ghost. *)
   let already_complete = h_mem t rid ~tag:Tag.initial ~coordinate:t.coordinate in
-  if already_complete then Hashtbl.remove t.h rid
-  else begin
+  if not already_complete then begin
     let reg = { reader; tr } in
     Hashtbl.replace t.registered rid reg;
     Probe.emit t.config.Config.probe
@@ -290,11 +329,11 @@ let on_read_value t ctx ~rid ~reader ~tr =
 
 (* Fig. 5, "On md-meta-deliver(READ-COMPLETE, (r, tr))". *)
 let on_read_complete t ctx ~rid =
-  if Hashtbl.mem t.registered rid then unregister t ctx rid
-  else
-    (* completion raced ahead of the registration: leave a tombstone so
-       the late READ-VALUE does not (re-)register this read *)
-    h_add t rid ~tag:Tag.initial ~coordinate:t.coordinate
+  if Hashtbl.mem t.registered rid then unregister t ctx rid;
+  (* leave a tombstone either way — whether completion raced ahead of
+     the registration or a READ-VALUE retry is still in flight, a copy
+     arriving after this point must not (re-)register the read *)
+  h_add t rid ~tag:Tag.initial ~coordinate:t.coordinate
 
 (* Fig. 5, "On md-meta-deliver(READ-DISPERSE, (t, s', r))"; the
    unregistration threshold is k for SODA and k + 2e for SODAerr
@@ -357,21 +396,15 @@ let on_md_meta t ctx ~msg ~(mid : Messages.mid) ~meta =
 
 let handler t ctx ~src msg =
   match msg with
-  | Messages.Write_get { op } ->
-    (* a repairing server may hold a stale tag: it abstains from quorum
-       duties (clients tolerate its silence like a crash) *)
-    if t.repair = None then
-      Engine.send ctx ~dst:src (Messages.Write_get_reply { op; tag = t.tag })
-  | Messages.Read_get { rid } ->
-    if t.repair = None then
-      Engine.send ctx ~dst:src (Messages.Read_get_reply { rid; tag = t.tag })
-  | Messages.Repair_get { op } ->
-    if t.repair = None then begin
-      let fragment = local_disk_read t ~rid:op in
-      Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
-      Engine.send ctx ~dst:src
-        (Messages.Repair_reply { op; tag = t.tag; fragment })
-    end
+  | Messages.Write_get _ | Messages.Read_get _ | Messages.Repair_get _ -> (
+    (* a repairing server may hold a stale tag, so it must not answer
+       quorum queries with it. It cannot silently drop them either: over
+       the reliable transport the channel has already acked the query,
+       so the sender will never retransmit — the query is deferred and
+       answered when the repair completes. *)
+    match t.repair with
+    | None -> answer_query t ctx ~src msg
+    | Some r -> r.deferred <- (src, msg) :: r.deferred)
   | Messages.Repair_reply { op; tag; fragment } ->
     on_repair_reply t ctx ~src ~op ~tag ~fragment
   | Messages.Md_full { mid; op; tag; value } ->

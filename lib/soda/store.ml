@@ -46,6 +46,8 @@ let repair_server t ~coordinate ~at =
     (fun (_, d) -> ignore (Deployment.repair_server d ~coordinate ~at))
     t.registers
 
+let repairing t = List.exists (fun (_, d) -> Deployment.repairing d) t.registers
+
 let history t ~obj = Deployment.history (find t ~obj)
 
 let total_storage t =

@@ -57,6 +57,10 @@ val repair_server : t -> coordinate:int -> at:float -> unit
 
 (** {1 Observation} *)
 
+val repairing : t -> bool
+(** [true] while any server of any object is mid-repair (machine-level:
+    see {!Deployment.repairing}). *)
+
 val history : t -> obj:string -> History.t
 
 val total_storage : t -> float

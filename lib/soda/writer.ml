@@ -25,6 +25,27 @@ type t = {
 let create config = { config; phase = Idle; seq = ref 0; on_done = None }
 let busy t = t.phase <> Idle
 
+(* Re-poll the servers while the write is stuck in its get phase (armed
+   only when [Config.client_retry] is set, i.e. over the reliable
+   transport). The put phase needs no retry: the MD dispersal is
+   retransmitted by the channel and every server acknowledges on
+   delivery, so the k acks always arrive. Re-sent Write_gets are
+   idempotent at both ends — servers answer statelessly and replies are
+   folded through a coordinate set and a max-tag update. *)
+let rec schedule_retry t ctx ~op =
+  match t.config.Config.client_retry with
+  | None -> ()
+  | Some interval ->
+    Engine.schedule_local ctx ~delay:interval (fun () ->
+        match t.phase with
+        | Get g when g.op = op ->
+          Array.iter
+            (fun server ->
+              Engine.send ctx ~dst:server (Messages.Write_get { op }))
+            t.config.Config.servers;
+          schedule_retry t ctx ~op
+        | Idle | Get _ | Put _ -> ())
+
 let invoke t ctx ~value ?on_done () =
   (match t.phase with
   | Idle -> ()
@@ -42,6 +63,7 @@ let invoke t ctx ~value ?on_done () =
   Array.iter
     (fun server -> Engine.send ctx ~dst:server (Messages.Write_get { op }))
     t.config.Config.servers;
+  schedule_retry t ctx ~op;
   op
 
 let handler t ctx ~src msg =

@@ -1,0 +1,235 @@
+(* The reliable-channel substrate: exactly-once delivery over lossy
+   links, and the backoff state machine itself.
+
+   The headline properties drive a real engine with
+   [~transport:(`Reliable _)]: for any loss schedule with drop
+   probability p < 1 and any finite partition window, every logical
+   send is handed to the destination handler exactly once within a
+   finite number of retransmissions — the channel axiom SODA's proofs
+   assume, rebuilt on top of an adversarial network. *)
+
+module Engine = Simnet.Engine
+module Delay = Simnet.Delay
+module Channel = Simnet.Channel
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A generous retry budget: at p = 0.6 a data+ack round trip succeeds
+   with probability 0.16, so 200 retries push the per-message failure
+   probability below 1e-9 — any abandon is a real bug, not bad luck. *)
+let patient = { Channel.default with max_retries = 200 }
+
+type msg = Ping of int
+
+(* [procs] processes; message [i] goes from process [i mod procs] to a
+   pseudo-random destination. Returns the per-id delivery counts and
+   the engine for counter assertions. *)
+let run_lossy ~seed ~loss ~procs ~messages ?(duplication = 0.0)
+    ?partition_window () =
+  let engine =
+    Engine.create ~seed ~duplication ~transport:(`Reliable patient)
+      ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+  in
+  if loss > 0.0 then Engine.set_loss engine loss;
+  let pids =
+    Array.init procs (fun i -> Engine.reserve engine ~name:(string_of_int i))
+  in
+  let delivered = Hashtbl.create 64 in
+  Array.iter
+    (fun pid ->
+      Engine.set_handler engine pid (fun _ctx ~src:_ (Ping id) ->
+          Hashtbl.replace delivered id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt delivered id))))
+    pids;
+  (match partition_window with
+  | None -> ()
+  | Some (from_, until_) ->
+    (* cut every link into process 0 — the classic single-victim
+       partition; everything must still arrive after the heal *)
+    let links =
+      List.concat_map
+        (fun src -> if src = 0 then [] else [ (src, 0); (0, src) ])
+        (List.init procs Fun.id)
+    in
+    Engine.partition_at engine ~links ~at:from_;
+    Engine.heal_at engine ~links ~at:until_);
+  for id = 0 to messages - 1 do
+    let src = pids.(id mod procs) in
+    Engine.inject engine ~at:(float_of_int (id mod 17)) src (fun ctx ->
+        let dst = pids.((id * 7) mod procs) in
+        Engine.send ctx ~dst (Ping id))
+  done;
+  Engine.run engine;
+  (delivered, engine)
+
+let exactly_once ~messages delivered =
+  let ok = ref true in
+  for id = 0 to messages - 1 do
+    if Hashtbl.find_opt delivered id <> Some 1 then ok := false
+  done;
+  !ok && Hashtbl.length delivered = messages
+
+let delivery_tests =
+  [ qtest ~count:40 "exactly-once over arbitrary loss (p <= 0.6)"
+      QCheck2.Gen.(
+        int_range 0 100_000 >>= fun seed ->
+        float_range 0.0 0.6 >>= fun loss ->
+        int_range 2 8 >>= fun procs ->
+        int_range 5 60 >|= fun messages -> (seed, loss, procs, messages))
+      (fun (seed, loss, procs, messages) ->
+        let delivered, engine = run_lossy ~seed ~loss ~procs ~messages () in
+        exactly_once ~messages delivered
+        && Engine.sends_abandoned engine = 0
+        && Engine.channel_in_flight engine = 0);
+    qtest ~count:30 "exactly-once through a finite partition"
+      QCheck2.Gen.(
+        int_range 0 100_000 >>= fun seed ->
+        float_range 0.0 0.3 >>= fun loss ->
+        float_range 1.0 40.0 >>= fun from_ ->
+        float_range 10.0 120.0 >|= fun width -> (seed, loss, from_, width))
+      (fun (seed, loss, from_, width) ->
+        let messages = 30 in
+        let delivered, engine =
+          run_lossy ~seed ~loss ~procs:4 ~messages
+            ~partition_window:(from_, from_ +. width) ()
+        in
+        exactly_once ~messages delivered
+        && Engine.sends_abandoned engine = 0
+        && Engine.channel_in_flight engine = 0);
+    qtest ~count:30 "exactly-once under channel-level duplication"
+      QCheck2.Gen.(
+        int_range 0 100_000 >>= fun seed ->
+        float_range 0.0 0.4 >>= fun loss ->
+        float_range 0.0 0.5 >|= fun duplication -> (seed, loss, duplication))
+      (fun (seed, loss, duplication) ->
+        let messages = 40 in
+        let delivered, engine =
+          run_lossy ~seed ~loss ~procs:5 ~messages ~duplication ()
+        in
+        exactly_once ~messages delivered
+        && Engine.sends_abandoned engine = 0);
+    qtest ~count:30 "lossy runs retransmit but deliver no extras"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let messages = 40 in
+        let delivered, engine =
+          run_lossy ~seed ~loss:0.4 ~procs:4 ~messages ()
+        in
+        exactly_once ~messages delivered
+        && Engine.messages_lost engine > 0
+        && Engine.retransmissions engine >= Engine.messages_lost engine / 2)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* backoff arithmetic *)
+
+let config_gen =
+  QCheck2.Gen.(
+    float_range 0.1 10.0 >>= fun rto ->
+    float_range 1.0 3.0 >>= fun backoff ->
+    float_range 0.0 100.0 >>= fun extra ->
+    int_range 0 60 >|= fun retries ->
+    ( { Channel.default with rto; backoff; max_rto = rto +. extra },
+      retries ))
+
+let rec monotone = function
+  | a :: (b :: _ as rest) -> a <= b && monotone rest
+  | _ -> true
+
+let backoff_tests =
+  [ qtest ~count:200 "backoff delays are monotone non-decreasing up to cap"
+      config_gen
+      (fun (c, retries) ->
+        let s = Channel.backoff_schedule c ~retries in
+        List.length s = retries
+        && monotone s
+        && List.for_all (fun d -> d >= c.Channel.rto && d <= c.Channel.max_rto) s);
+    Alcotest.test_case "default schedule reaches its cap and stays" `Quick
+      (fun () ->
+        let s = Channel.backoff_schedule Channel.default ~retries:50 in
+        Alcotest.(check bool) "monotone" true (monotone s);
+        Alcotest.(check (float 1e-9)) "capped" Channel.default.Channel.max_rto
+          (List.nth s 49);
+        Alcotest.(check (float 1e-9)) "starts at rto"
+          Channel.default.Channel.rto (List.hd s));
+    Alcotest.test_case "validate rejects bad configs" `Quick (fun () ->
+        let bad f = try f (); false with Invalid_argument _ -> true in
+        Alcotest.(check bool) "rto" true
+          (bad (fun () -> Channel.validate { Channel.default with rto = 0.0 }));
+        Alcotest.(check bool) "backoff" true
+          (bad (fun () ->
+               Channel.validate { Channel.default with backoff = 0.9 }));
+        Alcotest.(check bool) "max_rto" true
+          (bad (fun () ->
+               Channel.validate { Channel.default with max_rto = 1.0 }));
+        Alcotest.(check bool) "jitter" true
+          (bad (fun () ->
+               Channel.validate { Channel.default with jitter = -0.1 }));
+        Alcotest.(check bool) "max_retries" true
+          (bad (fun () ->
+               Channel.validate { Channel.default with max_retries = -1 })))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the pure state machine, driven by hand *)
+
+let sm_tests =
+  [ Alcotest.test_case "receive is fresh once, duplicate after" `Quick
+      (fun () ->
+        let t = Channel.create Channel.default in
+        Alcotest.(check bool) "fresh" true
+          (Channel.receive t ~src:1 ~dst:2 ~seq:0 = `Fresh);
+        Alcotest.(check bool) "dup" true
+          (Channel.receive t ~src:1 ~dst:2 ~seq:0 = `Duplicate);
+        Alcotest.(check bool) "other link fresh" true
+          (Channel.receive t ~src:2 ~dst:1 ~seq:0 = `Fresh);
+        Alcotest.(check int) "counted" 1 (Channel.duplicates_suppressed t));
+    Alcotest.test_case "ack discharges and is idempotent" `Quick (fun () ->
+        let t = Channel.create Channel.default in
+        let seq = Channel.alloc_seq t ~src:1 ~dst:2 in
+        let (_ : float) =
+          Channel.register t ~src:1 ~dst:2 ~seq (Obj.repr "x")
+        in
+        Alcotest.(check int) "in flight" 1 (Channel.in_flight t);
+        Channel.ack t ~src:1 ~dst:2 ~seq;
+        Channel.ack t ~src:1 ~dst:2 ~seq;
+        Alcotest.(check int) "discharged" 0 (Channel.in_flight t);
+        Alcotest.(check bool) "timer is a no-op" true
+          (Channel.on_timer t ~src:1 ~dst:2 ~seq = `Done));
+    Alcotest.test_case "on_timer backs off then gives up" `Quick (fun () ->
+        let c = { Channel.default with max_retries = 3 } in
+        let t = Channel.create c in
+        let seq = Channel.alloc_seq t ~src:1 ~dst:2 in
+        let (_ : float) =
+          Channel.register t ~src:1 ~dst:2 ~seq (Obj.repr "x")
+        in
+        let rtos = ref [] in
+        let rec drive () =
+          match Channel.on_timer t ~src:1 ~dst:2 ~seq with
+          | `Retransmit (_, rto) ->
+            rtos := rto :: !rtos;
+            drive ()
+          | `Give_up -> ()
+          | `Done -> Alcotest.fail "unexpected `Done"
+        in
+        drive ();
+        Alcotest.(check int) "retries" 3 (List.length !rtos);
+        Alcotest.(check bool) "monotone" true (monotone (List.rev !rtos));
+        Alcotest.(check int) "abandoned" 1 (Channel.abandoned t);
+        Alcotest.(check int) "in flight" 0 (Channel.in_flight t));
+    Alcotest.test_case "sequence numbers are per directed link" `Quick
+      (fun () ->
+        let t = Channel.create Channel.default in
+        Alcotest.(check int) "1->2 first" 0 (Channel.alloc_seq t ~src:1 ~dst:2);
+        Alcotest.(check int) "1->2 second" 1 (Channel.alloc_seq t ~src:1 ~dst:2);
+        Alcotest.(check int) "2->1 independent" 0
+          (Channel.alloc_seq t ~src:2 ~dst:1))
+  ]
+
+let () =
+  Alcotest.run "channel"
+    [ ("delivery", delivery_tests);
+      ("backoff", backoff_tests);
+      ("state-machine", sm_tests)
+    ]
