@@ -112,7 +112,7 @@ module Server = struct
             | None -> cutoff);
         TagMap.iter
           (fun tag e ->
-            if Tag.( < ) tag cutoff && e.fragment <> None then begin
+            if Tag.( < ) tag cutoff && Option.is_some e.fragment then begin
               e.fragment <- None;
               Probe.emit t.config.probe
                 (Probe.Gc
@@ -145,7 +145,7 @@ module Server = struct
     | Messages.Pre { op; tag; fragment } ->
       if not (below_floor t tag) then begin
         let e = find_or_insert t tag in
-        if e.fragment = None then begin
+        if Option.is_none e.fragment then begin
           e.fragment <- Some fragment;
           sync_storage t
         end
@@ -326,7 +326,13 @@ module Reader = struct
         Hashtbl.length c.replies >= quorum t.config
         && Hashtbl.length c.fragments >= k
       then begin
-        let frags = Hashtbl.fold (fun _ f acc -> f :: acc) c.fragments [] in
+        (* D3: materialized sorted by fragment index so the decoder input
+           order is schedule-independent. *)
+        let[@lint.allow "D3"] frags =
+          Hashtbl.fold (fun i f acc -> (i, f) :: acc) c.fragments []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          |> List.map snd
+        in
         let value = Mds.decode t.config.code frags in
         History.set_tag t.config.history ~op:rid c.tag;
         History.set_value t.config.history ~op:rid value;

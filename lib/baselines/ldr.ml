@@ -39,14 +39,12 @@ let store_quorum config = config.f + 1
 
 module Directory = struct
   type t = {
-    config : config;
     mutable tag : Tag.t;
     mutable locations : int list
   }
 
   let create config =
-    { config;
-      tag = Tag.initial;
+    { tag = Tag.initial;
       locations = Array.to_list config.replicas
     }
 

@@ -193,7 +193,9 @@ let parallel_rows ?(domains = 1) ?(min_chunk = default_min_chunk) ~n f =
   else begin
     let chunk = (n + domains - 1) / domains in
     let failures = Array.make domains None in
-    let worker d () =
+    (* E1: each domain's exception is captured in [failures] and
+       re-raised after the join below — nothing is swallowed. *)
+    let[@lint.allow "E1"] worker d () =
       let lo = d * chunk in
       let len = min chunk (n - lo) in
       if len > 0 then

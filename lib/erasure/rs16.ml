@@ -1,4 +1,3 @@
-module Gf16 = Galois.Gf16
 module Matrix16 = Galois.Matrix16
 
 type t = { n : int; k : int; generator : Matrix16.t }

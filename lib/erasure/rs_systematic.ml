@@ -1,4 +1,3 @@
-module Gf = Galois.Gf
 module Matrix = Galois.Matrix
 
 type t = { n : int; k : int; generator : Matrix.t }

@@ -27,7 +27,9 @@ let mul_slow a b =
 
 (* exp_table.(i) = alpha^i for i in [0, 509]; doubled so that
    mul can index [log a + log b] without a modulo. *)
-let exp_table, log_table =
+(* R1: filled once at module initialization, read-only afterwards —
+   safe to read from any domain. *)
+let[@lint.allow "R1"] (exp_table, log_table) =
   let exp_table = Array.make 510 0 in
   let log_table = Array.make 256 (-1) in
   let x = ref 1 in
@@ -85,7 +87,8 @@ let to_string a = Format.asprintf "%a" pp a
    they are built eagerly at module initialization: [mul_table] is a
    pure array read and therefore safe to call from any domain. *)
 
-let all_tables =
+(* R1: built eagerly at module initialization and never written again. *)
+let[@lint.allow "R1"] all_tables =
   Array.init order (fun c -> Bytes.init order (fun x -> Char.chr (mul c x)))
 
 let mul_table c =

@@ -26,7 +26,9 @@ let mul_slow a b =
 
 (* exp_table.(i) = alpha^i for i in [0, 2*65535 - 1]; doubled so mul can
    index [log a + log b] without a modulo. *)
-let exp_table, log_table =
+(* R1: filled once at module initialization, read-only afterwards —
+   safe to read from any domain. *)
+let[@lint.allow "R1"] (exp_table, log_table) =
   let exp_table = Array.make (2 * group_order) 0 in
   let log_table = Array.make order (-1) in
   let x = ref 1 in
@@ -84,10 +86,11 @@ let pp ppf a = Format.fprintf ppf "0x%04x" a
    by linearity of GF(2^16) multiplication over XOR. Two 256-entry int
    arrays per coefficient, one load each per symbol.
 
-   Tables are cached per coefficient on first use. The cache is NOT
-   safe against concurrent first-time fills from multiple domains;
-   callers that shard work across domains must obtain the tables they
-   need in the coordinating domain first (the erasure codecs do). *)
+   Tables are cached per coefficient on first use. A mutex serializes
+   the check-and-fill so concurrent first-time requests from multiple
+   domains are safe; table construction is setup cost (once per
+   coefficient), never part of the per-symbol inner loop, so the lock
+   is off the hot path. *)
 
 type mul_tables = { lo : int array; hi : int array }
 
@@ -96,18 +99,28 @@ let build_tables c =
     hi = Array.init 256 (fun x -> mul c (x lsl 8))
   }
 
-let tables_cache : mul_tables option array = Array.make order None
+(* R1: all reads and writes happen under [tables_mutex] below. *)
+let[@lint.allow "R1"] tables_cache : mul_tables option array =
+  Array.make order None
+
+let[@lint.allow "R1"] tables_mutex = Mutex.create ()
 
 let mul_tables c =
   if c < 0 || c > field_mask then
     invalid_arg (Printf.sprintf "Gf16.mul_tables: %d out of range [0, 65535]" c)
-  else
-    match tables_cache.(c) with
-    | Some t -> t
-    | None ->
-      let t = build_tables c in
-      tables_cache.(c) <- Some t;
-      t
+  else begin
+    Mutex.lock tables_mutex;
+    let t =
+      match tables_cache.(c) with
+      | Some t -> t
+      | None ->
+        let t = build_tables c in
+        tables_cache.(c) <- Some t;
+        t
+    in
+    Mutex.unlock tables_mutex;
+    t
+  end
 
 (* [off] and [len] count 16-bit symbols; buffers hold big-endian symbols
    as the codecs lay them out. *)

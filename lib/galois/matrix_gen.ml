@@ -44,7 +44,9 @@ module Make (F : Field.S) = struct
     if i < 0 || i >= m.rows then invalid_arg "Matrix.row: out of bounds";
     Array.sub m.data (i * m.cols) m.cols
 
-  let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+  let equal a b =
+    a.rows = b.rows && a.cols = b.cols
+    && Array.for_all2 F.equal a.data b.data
 
   let mul a b =
     if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";

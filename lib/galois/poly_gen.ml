@@ -14,8 +14,10 @@ module Make (F : Field.S) = struct
     done;
     Array.sub a 0 (!d + 1)
 
-  let zero : t = [||]
-  let one : t = [| F.one |]
+  (* R1: arrays, but treated as immutable values — every operation
+     allocates fresh output and never mutates its inputs. *)
+  let[@lint.allow "R1"] zero : t = [||]
+  let[@lint.allow "R1"] one : t = [| F.one |]
   let constant (c : F.t) = c
   let of_coeffs a = normalize a
   let of_list l = normalize (Array.of_list l)
@@ -36,7 +38,8 @@ module Make (F : Field.S) = struct
     if i < 0 then invalid_arg "Poly.coeff: negative index";
     if i >= Array.length p then F.zero else p.(i)
 
-  let equal (p : t) (q : t) = p = q
+  let equal (p : t) (q : t) =
+    Array.length p = Array.length q && Array.for_all2 F.equal p q
 
   let add (p : t) (q : t) : t =
     let n = max (Array.length p) (Array.length q) in

@@ -53,7 +53,8 @@ type outcome = {
 }
 
 let ok o =
-  o.complete && o.atomic = Ok () && o.trace_ok = Ok () && o.abandoned = 0
+  o.complete && Result.is_ok o.atomic && Result.is_ok o.trace_ok
+  && o.abandoned = 0
 
 let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     ?(channel = Simnet.Channel.default) scenario ~seed =

@@ -33,7 +33,7 @@ type summary = {
 
 let summarize (r : Runner.result) =
   let records = History.records r.Runner.history in
-  let completed = List.filter (fun o -> o.History.responded_at <> None) records in
+  let completed = List.filter (fun o -> Option.is_some o.History.responded_at) records in
   let of_kind kind =
     List.filter (fun o -> o.History.kind = kind) completed
   in
@@ -113,7 +113,7 @@ let reads_with_delta_w (r : Runner.result) =
   | Some _ ->
     History.records r.Runner.history
     |> List.filter_map (fun o ->
-           if o.History.kind = History.Read && o.History.responded_at <> None
+           if o.History.kind = History.Read && Option.is_some o.History.responded_at
            then
              match delta_w r ~rid:o.History.op with
              | Some dw ->

@@ -30,7 +30,9 @@ let map ?domains f inputs =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else begin
-          let outcome =
+          (* E1: the catch-all transports the exception to the joining
+             domain, where [reraise] rethrows it — nothing is swallowed. *)
+          let[@lint.allow "E1"] outcome =
             match f items.(i) with
             | value -> Value value
             | exception e -> Raised e

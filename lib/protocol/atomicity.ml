@@ -29,7 +29,7 @@ end)
 let check_p2 records =
   List.fold_left
     (fun acc w ->
-      if w.History.kind = History.Write && w.History.tag <> None then begin
+      if w.History.kind = History.Write && Option.is_some w.History.tag then begin
         let tag = tag_of w in
         (match TagMap.find_opt tag acc with
         | Some other ->
@@ -173,12 +173,12 @@ let p1_sweep completed =
 
 let check_with ~p1 ?(initial_value = Bytes.empty) records =
   let completed =
-    List.filter (fun r -> r.History.responded_at <> None) records
+    List.filter (fun r -> Option.is_some r.History.responded_at) records
   in
   (* Every completed operation must expose a tag and a value. *)
   let missing =
     List.find_opt
-      (fun r -> r.History.tag = None || r.History.value = None)
+      (fun r -> Option.is_none r.History.tag || Option.is_none r.History.value)
       completed
   in
   match missing with
@@ -203,7 +203,7 @@ let check_tagged_quadratic ?initial_value records =
 let linearizable_by_value ~initial_value records =
   let ops =
     records
-    |> List.filter (fun r -> r.History.responded_at <> None)
+    |> List.filter (fun r -> Option.is_some r.History.responded_at)
     |> Array.of_list
   in
   let m = Array.length ops in

@@ -47,10 +47,12 @@ let respond t ~op ~at =
   r.responded_at <- Some at
 
 let records t = List.rev t.rev_records
-let completed t = List.filter (fun r -> r.responded_at <> None) (records t)
-let incomplete t = List.filter (fun r -> r.responded_at = None) (records t)
+let completed t = List.filter (fun r -> Option.is_some r.responded_at) (records t)
+let incomplete t = List.filter (fun r -> Option.is_none r.responded_at) (records t)
 let size t = t.count
-let all_complete t = List.for_all (fun r -> r.responded_at <> None) t.rev_records
+
+let all_complete t =
+  List.for_all (fun r -> Option.is_some r.responded_at) t.rev_records
 
 let pp_kind ppf = function
   | Write -> Format.pp_print_string ppf "write"

@@ -29,7 +29,10 @@ type t = {
 
 let encode t value =
   match t.encode_cache with
-  | Some (v, fragments) when v == value -> fragments
+  (* P1: physical equality is the cache key by design (see the field
+     comment above) — structural comparison of the payload bytes would
+     defeat the point. *)
+  | Some (v, fragments) when ((v == value) [@lint.allow "P1"]) -> fragments
   | Some _ | None ->
     let fragments = Mds.encode t.code value in
     t.encode_cache <- Some (value, fragments);

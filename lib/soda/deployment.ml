@@ -79,7 +79,13 @@ let crash_server t ~coordinate ~at =
    client operation's; the counter is atomic so deployments driven from
    different domains (Harness.Parallel sweeps) never collide *)
 let repair_op_base = 1_000_000
-let repair_counter = Atomic.make 0
+
+(* R1: process-global by design — repair op ids must be unique across
+   every deployment in the process, and the atomic increment is
+   domain-safe. The ids only label repair rounds (they never order
+   protocol decisions), so cross-domain interleaving cannot perturb a
+   single-engine replay. *)
+let[@lint.allow "R1"] repair_counter = Atomic.make 0
 
 let repair_server t ~coordinate ~at =
   let pid = t.config.Config.servers.(coordinate) in

@@ -30,7 +30,7 @@ type t = {
 }
 
 let create config = { config; phase = Idle; seq = ref 0; on_done = None }
-let busy t = t.phase <> Idle
+let busy t = match t.phase with Idle -> false | Get _ | Collect _ -> true
 
 (* Re-issue the pending phase of a stalled read (armed only when
    [Config.client_retry] is set, i.e. over the reliable transport). The
@@ -99,7 +99,13 @@ let complete t ctx ~rid ~tr ~tag ~value =
    further relays (more elements can only help the decoder). *)
 let try_decode t ctx ~rid ~tr ~tag fragments =
   if Hashtbl.length fragments >= t.config.Config.decode_threshold then begin
-    let frags = Hashtbl.fold (fun _ f acc -> f :: acc) fragments [] in
+    (* D3: materialized sorted by fragment index so the decoder input
+       order is schedule-independent (bit-identical replay). *)
+    let[@lint.allow "D3"] frags =
+      Hashtbl.fold (fun c f acc -> (c, f) :: acc) fragments []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map snd
+    in
     match Mds.decode t.config.Config.code frags with
     | value -> complete t ctx ~rid ~tr ~tag ~value
     | exception Mds.Decode_failure _ -> ()

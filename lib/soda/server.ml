@@ -3,7 +3,6 @@ module Tag = Protocol.Tag
 module Params = Protocol.Params
 module Cost = Protocol.Cost
 module Probe = Protocol.Probe
-module Mds = Erasure.Mds
 module Fragment = Erasure.Fragment
 module Int_tbl = Protocol.Int_tbl
 
@@ -60,16 +59,33 @@ let create config ~coordinate =
   }
 
 let stored_tag t = t.tag
-let repairing t = t.repair <> None
-let registered_reads t = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.registered []
+let repairing t = Option.is_some t.repair
 
-let history_entries t =
+(* D3: the fold's arbitrary order is erased by the sort before the list
+   can reach a caller. *)
+let[@lint.allow "D3"] registered_reads t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun rid _ acc -> rid :: acc) t.registered [])
+
+(* D3: commutative integer sum — iteration order cannot change the
+   result. *)
+let[@lint.allow "D3"] history_entries t =
   Hashtbl.fold
     (fun _ tags acc ->
       Int_tbl.Map.fold
         (fun _ coords acc -> acc + Int_tbl.Set.length coords)
         tags acc)
     t.h 0
+
+(* Registered reads in ascending rid order. Relays (and the READ-DISPERSE
+   gossip they trigger) are message sends, so their emission order is part
+   of the trace: iterating the registration table directly would make
+   traces — and under the reliable transport, retransmission schedules —
+   depend on Hashtbl's nondeterministic iteration order (D3). *)
+let[@lint.allow "D3"] registered_sorted t =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun rid reg acc -> (rid, reg) :: acc) t.registered [])
 
 let h_tags t rid =
   match Hashtbl.find_opt t.h rid with
@@ -171,12 +187,12 @@ let finish_repair t ctx =
        local relay withheld (the stored element was untrusted, see
        [on_read_value]); send it now, or a reader counting on this
        server for its kth element would wait forever. *)
-    Hashtbl.iter
-      (fun rid reg ->
+    List.iter
+      (fun (rid, reg) ->
         if Tag.( >= ) t.tag reg.tr then
           relay_to_reader t ctx ~rid ~reg ~tag:t.tag
             ~fragment:(local_disk_read t ~rid))
-      t.registered;
+      (registered_sorted t);
     (* Answer the quorum queries that were deferred mid-repair, in
        arrival order, with the freshly recovered tag. *)
     List.iter (fun (src, msg) -> answer_query t ctx ~src msg)
@@ -194,11 +210,16 @@ let maybe_finish_repair t ctx =
     if Hashtbl.length r.repliers >= needed_repliers then begin
       if Tag.( >= ) t.tag r.max_seen then finish_repair t ctx
       else begin
-        let frags =
+        (* D3: materialized as (coordinate, fragment) pairs and sorted, so
+           the decoder sees replies in a schedule-independent order. *)
+        let[@lint.allow "D3"] frags =
           Hashtbl.fold
-            (fun (tag, _) fragment acc ->
-              if Tag.equal tag r.max_seen then fragment :: acc else acc)
+            (fun (tag, coordinate) fragment acc ->
+              if Tag.equal tag r.max_seen then (coordinate, fragment) :: acc
+              else acc)
             r.collected []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          |> List.map snd
         in
         if List.length frags >= t.config.Config.decode_threshold then begin
           match Erasure.Mds.decode t.config.Config.code frags with
@@ -284,11 +305,11 @@ let on_repair_reply t ctx ~src ~op ~tag ~fragment =
 (* Fig. 5, "On md-value-deliver(tw, c's)": relay to registered readers,
    adopt the element if its tag is newer, acknowledge the writer. *)
 let md_value_deliver t ctx ~op ~tag:tw ~fragment =
-  Hashtbl.iter
-    (fun rid reg ->
+  List.iter
+    (fun (rid, reg) ->
       if Tag.( >= ) tw reg.tr then
         relay_to_reader t ctx ~rid ~reg ~tag:tw ~fragment)
-    t.registered;
+    (registered_sorted t);
   if Tag.( > ) tw t.tag then begin
     t.tag <- tw;
     t.fragment <- fragment;
@@ -322,7 +343,7 @@ let on_read_value t ctx ~rid ~reader ~tr =
        initial state): relaying it could let a reader assemble k old
        elements, so the local relay is withheld until repair finishes;
        concurrent writes still relay normally *)
-    if t.repair = None && Tag.( >= ) t.tag tr then
+    if Option.is_none t.repair && Tag.( >= ) t.tag tr then
       relay_to_reader t ctx ~rid ~reg ~tag:t.tag
         ~fragment:(local_disk_read t ~rid)
   end

@@ -2,15 +2,12 @@ module Params = Protocol.Params
 module History = Protocol.History
 module Cost = Protocol.Cost
 
-type t = {
-  registers : (string * Deployment.t) list; (* in creation order *)
-  n : int
-}
+type t = { registers : (string * Deployment.t) list (* in creation order *) }
 
 let create ~engine ~params ~objects ?value_len ?error_prone ~num_writers
     ~num_readers () =
-  if objects = [] then invalid_arg "Store.create: no objects";
-  let sorted = List.sort_uniq compare objects in
+  if List.is_empty objects then invalid_arg "Store.create: no objects";
+  let sorted = List.sort_uniq String.compare objects in
   if List.length sorted <> List.length objects then
     invalid_arg "Store.create: duplicate object names";
   let registers =
@@ -21,7 +18,7 @@ let create ~engine ~params ~objects ?value_len ?error_prone ~num_writers
             ~num_writers ~num_readers () ))
       objects
   in
-  { registers; n = Params.n params }
+  { registers }
 
 let objects t = List.map fst t.registers
 

@@ -1,0 +1,97 @@
+(* soda-lint end-to-end: run the linter over the fixture library and
+   assert the exact diagnostic set — one finding per rule, at the line
+   the fixture plants it, and nothing from the [@lint.allow] file.
+
+   The test runs unsandboxed (see test/dune) so the relative paths below
+   resolve inside _build/default. *)
+
+let lint_exe = "../tools/lint/soda_lint.exe"
+let fixtures_dir = "../tools/lint/fixtures"
+
+type finding = { file : string; line : int; rule : string }
+
+let finding_compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+let pp_finding ppf f = Format.fprintf ppf "%s:%d [%s]" f.file f.line f.rule
+
+let finding_t = Alcotest.testable pp_finding (fun a b -> finding_compare a b = 0)
+
+(* "<path>:<line>:<col>: [<RULE>] <msg>" *)
+let parse_line line =
+  match (String.index_opt line '[', String.split_on_char ':' line) with
+  | Some i, path :: ln :: _ -> (
+    match (String.index_from_opt line i ']', int_of_string_opt ln) with
+    | Some j, Some n ->
+      Some
+        { file = Filename.basename path;
+          line = n;
+          rule = String.sub line (i + 1) (j - i - 1)
+        }
+    | _ -> None)
+  | _ -> None
+
+let lint_output =
+  lazy
+    (let cmd =
+       Printf.sprintf "%s --all-rules %s 2>/dev/null" lint_exe fixtures_dir
+     in
+     let ic = Unix.open_process_in cmd in
+     let rec read acc =
+       match input_line ic with
+       | line -> read (line :: acc)
+       | exception End_of_file -> List.rev acc
+     in
+     let lines = read [] in
+     let status = Unix.close_process_in ic in
+     (lines, status))
+
+let expected =
+  [ { file = "bad_d1.ml"; line = 2; rule = "D1" };
+    { file = "bad_d2.ml"; line = 2; rule = "D2" };
+    { file = "bad_d3.ml"; line = 3; rule = "D3" };
+    { file = "bad_e1.ml"; line = 2; rule = "E1" };
+    { file = "bad_p1.ml"; line = 4; rule = "P1" };
+    { file = "bad_p2.ml"; line = 2; rule = "P2" };
+    { file = "bad_r1.ml"; line = 2; rule = "R1" }
+  ]
+
+let test_diagnostic_set () =
+  let lines, _ = Lazy.force lint_output in
+  let found = List.filter_map parse_line lines |> List.sort finding_compare in
+  Alcotest.(check (list finding_t))
+    "one finding per rule, at the planted location" expected found
+
+let test_exit_code () =
+  let _, status = Lazy.force lint_output in
+  match status with
+  | Unix.WEXITED 1 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "expected exit 1, got exit %d" n
+  | _ -> Alcotest.fail "linter killed by signal"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_suppression () =
+  let lines, _ = Lazy.force lint_output in
+  List.iter
+    (fun line ->
+      if contains ~sub:"good_allow" line then
+        Alcotest.failf "suppressed fixture leaked a diagnostic: %s" line)
+    lines
+
+let () =
+  Alcotest.run "soda-lint"
+    [ ( "fixtures",
+        [ Alcotest.test_case "diagnostic set" `Quick test_diagnostic_set;
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "allow suppression" `Quick test_suppression
+        ] )
+    ]

@@ -1,0 +1,2 @@
+(* D1 fixture: wall-clock read. *)
+let now () = Unix.gettimeofday ()

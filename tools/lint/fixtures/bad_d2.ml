@@ -1,0 +1,2 @@
+(* D2 fixture: global Random state. *)
+let roll () = Random.int 6

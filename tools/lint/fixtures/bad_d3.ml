@@ -1,0 +1,3 @@
+(* D3 fixture: Hashtbl iteration order reaching a result. *)
+let keys (tbl : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

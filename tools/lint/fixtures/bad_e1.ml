@@ -1,0 +1,2 @@
+(* E1 fixture: catch-all exception handler. *)
+let swallow f = try f () with _ -> ()

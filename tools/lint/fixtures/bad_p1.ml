@@ -1,0 +1,4 @@
+(* P1 fixture: polymorphic compare at a non-immediate (record) type. *)
+type pair = { left : int; right : int }
+
+let same (x : pair) (y : pair) = x = y

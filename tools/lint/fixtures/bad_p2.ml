@@ -1,0 +1,2 @@
+(* P2 fixture: stdout write from a library. *)
+let hello () = print_endline "hello"

@@ -1,0 +1,4 @@
+(* R1 fixture: top-level mutable state. *)
+let counter = ref 0
+
+let bump () = incr counter

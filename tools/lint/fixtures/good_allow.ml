@@ -1,0 +1,3 @@
+(* Suppression fixture: [@lint.allow] must silence the rule, so this
+   file contributes zero diagnostics (and one suppression). *)
+let[@lint.allow "D2"] roll () = Random.int 6
