@@ -38,7 +38,8 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--csv DIR] [--smoke] [experiment...]";
+  print_endline
+    "usage: main.exe [--csv DIR] [--smoke] [--out FILE] [experiment...]";
   print_endline "experiments:";
   List.iter
     (fun (name, _, doc) -> Printf.printf "  %-16s %s\n" name doc)
@@ -47,7 +48,9 @@ let usage () =
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   (* --csv DIR: additionally write every table as CSV into DIR;
-     --smoke: shrink the codec benchmark to a CI-sized quota *)
+     --smoke: shrink the codec benchmark to a CI-sized quota;
+     --out FILE: write the JSON benches' output to FILE as well (meant
+     for a single JSON experiment per invocation — codec or sim) *)
   let rec extract_flags acc = function
     | "--csv" :: dir :: rest ->
       Harness.Report.set_csv_dir (Some dir);
@@ -56,6 +59,10 @@ let () =
       Codec_bench.smoke := true;
       Sim_bench.smoke := true;
       Chaos_bench.smoke := true;
+      extract_flags acc rest
+    | "--out" :: path :: rest ->
+      Codec_bench.out := Some path;
+      Sim_bench.out := Some path;
       extract_flags acc rest
     | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc

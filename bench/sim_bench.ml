@@ -30,6 +30,10 @@ module Delay = Simnet.Delay
 
 let smoke = ref false
 
+(* [--out FILE]: also write the JSON object to FILE (stable schema, see
+   BENCH_sim.json at the repo root for the committed baseline). *)
+let out : string option ref = ref None
+
 type point = {
   probe : string;
   size : int;  (* events for sims, ops for the checker *)
@@ -237,7 +241,15 @@ let emit points =
            p.lost p.retransmissions))
     points;
   Buffer.add_string buf "]}";
-  print_endline (Buffer.contents buf)
+  let json = Buffer.contents buf in
+  print_endline json;
+  match !out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc
 
 let run () =
   emit

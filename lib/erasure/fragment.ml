@@ -1,13 +1,44 @@
-type t = { index : int; data : bytes }
+(* A fragment is a view: [len] payload bytes starting at [off] in
+   [buf]. Codecs encode all n fragments into one backing buffer and
+   hand out views, so an encode allocates one payload buffer instead of
+   n, and nothing between the encoder and the decoder copies payload
+   bytes (messages and server stores hold the fragment itself). The
+   price is that [data] on a proper sub-view must copy — the kernel
+   paths avoid it by reading [buf]/[off]/[len] directly. *)
+
+type t = { index : int; buf : bytes; off : int; len : int }
 
 let make ~index ~data =
   if index < 0 then invalid_arg "Fragment.make: negative index";
-  { index; data }
+  { index; buf = data; off = 0; len = Bytes.length data }
+
+let view ~index ~buf ~off ~len =
+  if index < 0 then invalid_arg "Fragment.view: negative index";
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Fragment.view: range [%d, %d) outside %d-byte buffer"
+         off (off + len) (Bytes.length buf));
+  { index; buf; off; len }
 
 let index f = f.index
-let data f = f.data
-let size f = Bytes.length f.data
-let equal a b = a.index = b.index && Bytes.equal a.data b.data
+let buf f = f.buf
+let off f = f.off
+let size f = f.len
+
+(* Whole-buffer views return the backing buffer itself — replication
+   relies on this to share one framed buffer across all n fragments. *)
+let data f =
+  if f.off = 0 && f.len = Bytes.length f.buf then f.buf
+  else Bytes.sub f.buf f.off f.len
+
+let equal a b =
+  a.index = b.index && a.len = b.len
+  &&
+  let rec eq i =
+    i >= a.len
+    || Bytes.get a.buf (a.off + i) = Bytes.get b.buf (b.off + i) && eq (i + 1)
+  in
+  eq 0
 
 let corrupt f ~seed =
   (* splitmix64-style mixing; mask forced non-zero so that every byte is
@@ -19,7 +50,7 @@ let corrupt f ~seed =
     let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
     (state, Int64.logxor z (Int64.shift_right_logical z 31))
   in
-  let data = Bytes.copy f.data in
+  let data = Bytes.sub f.buf f.off f.len in
   let state = ref (Int64.of_int ((seed * 0x1000193) lxor f.index)) in
   for i = 0 to Bytes.length data - 1 do
     let state', z = mix !state in
@@ -28,7 +59,6 @@ let corrupt f ~seed =
     let mask = if mask = 0 then 0x5a else mask in
     Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor mask))
   done;
-  { f with data }
+  { index = f.index; buf = data; off = 0; len = Bytes.length data }
 
-let pp ppf f =
-  Format.fprintf ppf "fragment[%d](%d bytes)" f.index (Bytes.length f.data)
+let pp ppf f = Format.fprintf ppf "fragment[%d](%d bytes)" f.index f.len

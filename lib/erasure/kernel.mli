@@ -42,6 +42,24 @@ val row_tables16 : Galois.Gf16.t array -> table16 array
     tables; call in the coordinating domain before {!parallel_rows} —
     first-time construction must not race. *)
 
+type wtable = Galois.Gf.wtable
+(** Word-sweep (chunk) tables for one GF(2{^8}) coefficient; see
+    {!Galois.Wops}. *)
+
+type wtable16 = Galois.Gf16.wtable
+(** Word-sweep tables for one GF(2{^16}) coefficient. *)
+
+val row_wtables : Galois.Gf.t array -> wtable array
+(** Chunk tables for every coefficient of a row (cached globally,
+    mutex-guarded — build in the coordinating domain to keep
+    construction out of the sharded region). Zero coefficients get a
+    table too (never read: the row loops skip them). *)
+
+val row_wtables16 : Galois.Gf16.t array -> wtable16 array
+(** GF(2{^16}) chunk tables for a row. Each first-time build costs one
+    field multiply per element — reserve for coefficient sets that are
+    reused (generator rows) or sweeps long enough to amortize. *)
+
 val split_cols : k:int -> bps:int -> Bytes.t -> Bytes.t array
 (** [split_cols ~k ~bps framed] transposes a stripe-major framed buffer
     (each stripe = [k] symbols of [bps] bytes) into [k] column-contiguous
@@ -54,6 +72,33 @@ val merge_cols : k:int -> bps:int -> Bytes.t array -> Bytes.t
 (** Inverse of {!split_cols}: interleave [k] equal-length column buffers
     back into one stripe-major buffer.
     @raise Invalid_argument on ragged or miscounted columns. *)
+
+val split_cols_into : k:int -> bps:int -> Bytes.t -> dst:Bytes.t -> doff:int -> unit
+(** [split_cols_into ~k ~bps framed ~dst ~doff] is {!split_cols}
+    transposing into a caller-supplied backing buffer: column [j]
+    occupies [doff + j*stripes*bps, doff + (j+1)*stripes*bps) of [dst].
+    The zero-copy encode path points fragment views at these ranges.
+    @raise Invalid_argument if the framed buffer is not a whole number
+    of stripes or the columns exceed [dst]. *)
+
+val merge_cols_sub :
+  k:int ->
+  bps:int ->
+  bufs:Bytes.t array ->
+  offs:int array ->
+  col_len:int ->
+  lo:int ->
+  len:int ->
+  dst:Bytes.t ->
+  doff:int ->
+  unit
+(** [merge_cols_sub ~k ~bps ~bufs ~offs ~col_len ~lo ~len ~dst ~doff]
+    interleaves byte range [lo, lo+len) of the virtual stripe-major
+    layout — whose column [j] is the [col_len]-byte view at
+    [offs.(j)] of [bufs.(j)] — directly into [dst] at [doff]. Decode
+    uses it to extract the value (skipping header and padding) without
+    materializing the framed buffer.
+    @raise Invalid_argument on ragged views or out-of-range spans. *)
 
 val apply_row :
   coeffs:Galois.Gf.t array ->
@@ -68,6 +113,25 @@ val apply_row :
     [Bytes.blit], and the range is zero-filled if every coefficient is
     zero (so [dst] may be a fresh [Bytes.create]). *)
 
+val apply_row_v :
+  coeffs:Galois.Gf.t array ->
+  wtables:wtable array ->
+  srcs:Bytes.t array ->
+  soffs:int array ->
+  dst:Bytes.t ->
+  doff:int ->
+  off:int ->
+  len:int ->
+  unit
+(** View-aware word-sliced row application:
+    [dst.[doff+off+i] <- sum_j coeffs.(j) * srcs.(j).[soffs.(j)+off+i]]
+    for [i] in [0, len). [wtables] must be [row_wtables coeffs]
+    (prebuilt by the caller, keeping table construction out of
+    {!parallel_rows} shards). Zero coefficients are skipped, a leading
+    unit is a blit, a trailing unit an 8-byte-wide xor, and an all-zero
+    row zero-fills. This is {!apply_row} generalized to views over
+    shared backing buffers. *)
+
 val apply_row16 :
   coeffs:Galois.Gf16.t array ->
   tables:table16 array ->
@@ -79,6 +143,35 @@ val apply_row16 :
 (** GF(2{^16}) row application; [off]/[len] count 16-bit symbols and
     [tables] must be [row_tables16 coeffs] (precomputed by the caller so
     the sweep itself is domain-safe). *)
+
+val apply_row16_v :
+  coeffs:Galois.Gf16.t array ->
+  tables:table16 array ->
+  srcs:Bytes.t array ->
+  soffs:int array ->
+  dst:Bytes.t ->
+  doff:int ->
+  off:int ->
+  len:int ->
+  unit
+(** View-aware GF(2{^16}) row application on {e split} tables; all
+    offsets and [len] are in bytes ([len] even). For one-shot
+    coefficient sets (decode submatrices over small fragments) where
+    building chunk tables would cost more than the sweep. *)
+
+val apply_row16_w :
+  coeffs:Galois.Gf16.t array ->
+  wtables:wtable16 array ->
+  srcs:Bytes.t array ->
+  soffs:int array ->
+  dst:Bytes.t ->
+  doff:int ->
+  off:int ->
+  len:int ->
+  unit
+(** View-aware GF(2{^16}) row application on chunk tables (8 bytes per
+    load); offsets and [len] in bytes ([len] even). For reused
+    coefficient sets (generator rows) and long sweeps. *)
 
 val parallel_rows :
   ?domains:int -> ?min_chunk:int -> n:int -> (lo:int -> len:int -> unit) -> unit

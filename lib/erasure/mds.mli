@@ -61,6 +61,25 @@ val decode : ?domains:int -> t -> Fragment.t list -> bytes
     @raise Insufficient_fragments
     @raise Decode_failure *)
 
+val update :
+  ?domains:int ->
+  t ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** [update t ~fragments ~value ~pos patch] returns the value with
+    [patch] written at [pos] together with fragments identical to
+    [encode] of that patched value. [fragments] must be all [n]
+    fragments of [value] (any order, distinct indices). The linear
+    codecs (Vandermonde, systematic, GF(2{^16}), replication) maintain
+    parity incrementally — work proportional to the patch, not the
+    value; the BCH-form codecs fall back to a full re-encode. Inputs are
+    never mutated.
+    @raise Invalid_argument if the patch leaves the value's bounds or
+    the fragment set is malformed. *)
+
 val fragment_size : t -> value_len:int -> int
 (** Size in bytes of each fragment for a value of [value_len] bytes. *)
 

@@ -13,23 +13,30 @@ let n t = t.n
 let k t = t.k
 
 (* one stripe = k 16-bit symbols = 2k bytes; Splitter's framing at
-   "dimension 2k" gives exactly the padding we need. Encode/decode run
-   row-major with the split-table GF(2^16) kernel; split tables are
-   built in this domain, before any parallel sharding. *)
+   "dimension 2k" gives exactly the padding we need. Encode runs
+   row-major on the word-sliced chunk-table kernel into a single
+   backing buffer (generator coefficients recur across calls, so their
+   chunk tables amortize and are prebuilt here, before any parallel
+   sharding); fragments are views into the backing. *)
 
 let encode ?domains t value =
   let framed = Splitter.frame ~k:(2 * t.k) value in
   let stripes = Bytes.length framed / (2 * t.k) in
-  let cols = Kernel.split_cols ~k:t.k ~bps:2 framed in
-  let outputs = Array.init t.n (fun _ -> Bytes.create (2 * stripes)) in
+  let frag_bytes = 2 * stripes in
+  let cols_buf = Bytes.create (t.k * frag_bytes) in
+  Kernel.split_cols_into ~k:t.k ~bps:2 framed ~dst:cols_buf ~doff:0;
+  let srcs = Array.make t.k cols_buf in
+  let soffs = Array.init t.k (fun j -> j * frag_bytes) in
+  let backing = Bytes.create (t.n * frag_bytes) in
   let rows = Array.init t.n (Matrix16.row t.generator) in
-  let tables = Array.map Kernel.row_tables16 rows in
+  let wtables = Array.map Kernel.row_wtables16 rows in
   Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
       for i = 0 to t.n - 1 do
-        Kernel.apply_row16 ~coeffs:rows.(i) ~tables:tables.(i) ~srcs:cols
-          ~dst:outputs.(i) ~off:lo ~len
+        Kernel.apply_row16_w ~coeffs:rows.(i) ~wtables:wtables.(i) ~srcs ~soffs
+          ~dst:backing ~doff:(i * frag_bytes) ~off:(2 * lo) ~len:(2 * len)
       done);
-  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+  Array.init t.n (fun i ->
+      Fragment.view ~index:i ~buf:backing ~off:(i * frag_bytes) ~len:frag_bytes)
 
 let select_distinct t frags =
   let seen = Hashtbl.create 64 in
@@ -58,19 +65,47 @@ let select_distinct t frags =
     selected;
   selected
 
+(* Decode submatrix coefficients are arbitrary 16-bit values, so a
+   128 KiB chunk table per coefficient (65536 field multiplies to
+   build) only pays off on long sweeps; below this fragment size the
+   split-table kernel wins and, just as important, the chunk-table
+   cache can't be flooded by small randomized decodes. *)
+let wtable_threshold = 1 lsl 20
+
 let decode ?domains t frags =
   let selected = select_distinct t frags in
-  let stripes = Fragment.size selected.(0) / 2 in
+  let frag_bytes = Fragment.size selected.(0) in
+  let stripes = frag_bytes / 2 in
   let indices = Array.map Fragment.index selected in
   let sub = Matrix16.select_rows t.generator indices in
   let inverse = Matrix16.invert sub in
   let inv_rows = Array.init t.k (Matrix16.row inverse) in
-  let tables = Array.map Kernel.row_tables16 inv_rows in
-  let datas = Array.map Fragment.data selected in
-  let cols = Array.init t.k (fun _ -> Bytes.create (2 * stripes)) in
-  Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
-      for j = 0 to t.k - 1 do
-        Kernel.apply_row16 ~coeffs:inv_rows.(j) ~tables:tables.(j) ~srcs:datas
-          ~dst:cols.(j) ~off:lo ~len
-      done);
-  Splitter.unframe (Kernel.merge_cols ~k:t.k ~bps:2 cols)
+  let srcs = Array.map Fragment.buf selected in
+  let soffs = Array.map Fragment.off selected in
+  let cols_buf = Bytes.create (t.k * frag_bytes) in
+  if frag_bytes >= wtable_threshold then begin
+    let wtables = Array.map Kernel.row_wtables16 inv_rows in
+    Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+        for j = 0 to t.k - 1 do
+          Kernel.apply_row16_w ~coeffs:inv_rows.(j) ~wtables:wtables.(j) ~srcs
+            ~soffs ~dst:cols_buf ~doff:(j * frag_bytes) ~off:(2 * lo)
+            ~len:(2 * len)
+        done)
+  end
+  else begin
+    let tables = Array.map Kernel.row_tables16 inv_rows in
+    Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+        for j = 0 to t.k - 1 do
+          Kernel.apply_row16_v ~coeffs:inv_rows.(j) ~tables:tables.(j) ~srcs
+            ~soffs ~dst:cols_buf ~doff:(j * frag_bytes) ~off:(2 * lo)
+            ~len:(2 * len)
+        done)
+  end;
+  let bufs = Array.make t.k cols_buf in
+  let offs = Array.init t.k (fun j -> j * frag_bytes) in
+  Splitter.extract ~k:t.k ~bps:2 ~bufs ~offs ~col_len:frag_bytes
+
+let update ?domains t ~fragments ~value ~pos patch =
+  Rs_update.update16 ?domains ~n:t.n ~k:t.k
+    ~rows:(Array.init t.n (Matrix16.row t.generator))
+    ~fragments ~value ~pos patch

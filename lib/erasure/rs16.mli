@@ -26,3 +26,14 @@ val decode : ?domains:int -> t -> Fragment.t list -> bytes
 (** Reconstructs from any [k] distinct-index fragments. [?domains] as in
     {!encode}.
     @raise Insufficient_fragments with fewer than [k]. *)
+
+val update :
+  ?domains:int ->
+  t ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** Incremental re-encode of a patched value; see
+    {!Rs_update.update16}. *)

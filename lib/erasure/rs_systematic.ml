@@ -17,25 +17,32 @@ let make ~n ~k =
 let n t = t.n
 let k t = t.k
 
+(* Single-backing encode: the top k generator rows are the identity, so
+   transposing the framed value straight into the front of the backing
+   buffer yields the k systematic fragments in place; only the parity
+   rows sweep, reading the data columns out of the same backing. All n
+   fragments are views into it. *)
 let encode ?domains t value =
   let framed = Splitter.frame ~k:t.k value in
   let stripes = Bytes.length framed / t.k in
-  (* The top k generator rows are the identity, so the k transposed
-     columns ARE the systematic fragments — no further copying. *)
-  let cols = Kernel.split_cols ~k:t.k ~bps:1 framed in
-  let outputs =
-    Array.init t.n (fun i -> if i < t.k then cols.(i) else Bytes.create stripes)
-  in
+  let backing = Bytes.create (t.n * stripes) in
+  Kernel.split_cols_into ~k:t.k ~bps:1 framed ~dst:backing ~doff:0;
+  let srcs = Array.make t.k backing in
+  let soffs = Array.init t.k (fun j -> j * stripes) in
   let parity_rows =
     Array.init (t.n - t.k) (fun i -> Matrix.row t.generator (t.k + i))
   in
+  let wtables = Array.map Kernel.row_wtables parity_rows in
   Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
       Array.iteri
         (fun i coeffs ->
-          Kernel.apply_row ~coeffs ~srcs:cols ~dst:outputs.(t.k + i) ~off:lo
-            ~len)
+          Kernel.apply_row_v ~coeffs ~wtables:wtables.(i) ~srcs ~soffs
+            ~dst:backing
+            ~doff:((t.k + i) * stripes)
+            ~off:lo ~len)
         parity_rows);
-  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+  Array.init t.n (fun i ->
+      Fragment.view ~index:i ~buf:backing ~off:(i * stripes) ~len:stripes)
 
 let select_distinct t frags =
   let seen = Array.make t.n false in
@@ -70,28 +77,39 @@ let decode ?domains t frags =
   let all_systematic =
     Array.for_all (fun f -> Fragment.index f < t.k) selected
   in
-  let framed =
-    if all_systematic then begin
-      (* fast path: the fragments are the columns, merely re-interleave *)
-      let cols = Array.make t.k Bytes.empty in
-      Array.iter
-        (fun f -> cols.(Fragment.index f) <- Fragment.data f)
-        selected;
-      Kernel.merge_cols ~k:t.k ~bps:1 cols
-    end
-    else begin
-      let indices = Array.map Fragment.index selected in
-      let sub = Matrix.select_rows t.generator indices in
-      let inverse = Matrix.invert sub in
-      let inv_rows = Array.init t.k (Matrix.row inverse) in
-      let datas = Array.map Fragment.data selected in
-      let cols = Array.init t.k (fun _ -> Bytes.create stripes) in
-      Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
-          for j = 0 to t.k - 1 do
-            Kernel.apply_row ~coeffs:inv_rows.(j) ~srcs:datas ~dst:cols.(j)
-              ~off:lo ~len
-          done);
-      Kernel.merge_cols ~k:t.k ~bps:1 cols
-    end
-  in
-  Splitter.unframe framed
+  if all_systematic then begin
+    (* Fast path: the fragment views ARE the data columns — extract the
+       value straight out of them, no decode sweep and no framed
+       buffer. *)
+    let bufs = Array.make t.k Bytes.empty in
+    let offs = Array.make t.k 0 in
+    Array.iter
+      (fun f ->
+        bufs.(Fragment.index f) <- Fragment.buf f;
+        offs.(Fragment.index f) <- Fragment.off f)
+      selected;
+    Splitter.extract ~k:t.k ~bps:1 ~bufs ~offs ~col_len:stripes
+  end
+  else begin
+    let indices = Array.map Fragment.index selected in
+    let sub = Matrix.select_rows t.generator indices in
+    let inverse = Matrix.invert sub in
+    let inv_rows = Array.init t.k (Matrix.row inverse) in
+    let wtables = Array.map Kernel.row_wtables inv_rows in
+    let srcs = Array.map Fragment.buf selected in
+    let soffs = Array.map Fragment.off selected in
+    let cols_buf = Bytes.create (t.k * stripes) in
+    Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
+        for j = 0 to t.k - 1 do
+          Kernel.apply_row_v ~coeffs:inv_rows.(j) ~wtables:wtables.(j) ~srcs
+            ~soffs ~dst:cols_buf ~doff:(j * stripes) ~off:lo ~len
+        done);
+    let bufs = Array.make t.k cols_buf in
+    let offs = Array.init t.k (fun j -> j * stripes) in
+    Splitter.extract ~k:t.k ~bps:1 ~bufs ~offs ~col_len:stripes
+  end
+
+let update ?domains t ~fragments ~value ~pos patch =
+  Rs_update.update ?domains ~n:t.n ~k:t.k
+    ~rows:(Array.init t.n (Matrix.row t.generator))
+    ~fragments ~value ~pos patch

@@ -33,3 +33,13 @@ val decode : ?domains:int -> t -> Fragment.t list -> bytes
 (** Reconstructs from any [k] distinct-index fragments; all-systematic
     inputs take the copy-only fast path. [?domains] as in {!encode}.
     @raise Insufficient_fragments with fewer than [k] distinct indices. *)
+
+val update :
+  ?domains:int ->
+  t ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** Incremental re-encode of a patched value; see {!Rs_update.update}. *)

@@ -1,0 +1,154 @@
+(* Incremental parity maintenance shared by the linear Reed-Solomon
+   codecs.
+
+   Encoding is linear over the framed bytes, so
+   [enc(new) = enc(old) xor enc(delta)], and a patch that rewrites value
+   bytes [pos, pos + |patch|) produces a delta that is zero outside the
+   stripes covering framed range
+   [header + pos, header + pos + |patch|) — the length header is
+   unchanged because the patch stays inside the value. An update
+   therefore sweeps only the |patch|-sized span of every fragment
+   instead of re-encoding the whole value. *)
+
+let check_patch ~fname ~value ~pos patch =
+  if pos < 0 || pos + Bytes.length patch > Bytes.length value then
+    invalid_arg
+      (Printf.sprintf "%s: patch range [%d, %d) outside value of %d bytes"
+         fname pos
+         (pos + Bytes.length patch)
+         (Bytes.length value))
+
+let check_fragments ~fname ~n ~frag_bytes fragments =
+  if Array.length fragments <> n then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d fragments, got %d" fname n
+         (Array.length fragments));
+  let seen = Array.make n false in
+  Array.iter
+    (fun f ->
+      let i = Fragment.index f in
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg (Printf.sprintf "%s: bad or duplicate index %d" fname i);
+      seen.(i) <- true;
+      if Fragment.size f <> frag_bytes then
+        invalid_arg
+          (Printf.sprintf "%s: fragment size %d, expected %d" fname
+             (Fragment.size f) frag_bytes))
+    fragments
+
+let patched_value ~value ~pos patch =
+  let v = Bytes.copy value in
+  Bytes.blit patch 0 v pos (Bytes.length patch);
+  v
+
+(* Copy every current fragment payload into one fresh backing buffer
+   (fragment [i] at [i * frag_bytes]) so the delta sweeps mutate private
+   storage and the inputs stay valid. *)
+let gather_backing ~n ~frag_bytes fragments =
+  let backing = Bytes.create (n * frag_bytes) in
+  Array.iter
+    (fun f ->
+      Bytes.blit (Fragment.buf f) (Fragment.off f) backing
+        (Fragment.index f * frag_bytes)
+        frag_bytes)
+    fragments;
+  backing
+
+let views ~n ~frag_bytes backing =
+  Array.init n (fun i ->
+      Fragment.view ~index:i ~buf:backing ~off:(i * frag_bytes) ~len:frag_bytes)
+
+(* Stripe-major delta over stripes [s0, s1): old value xor patch inside
+   the patched range, zero elsewhere (header and padding unchanged). *)
+let build_delta ~row_bytes ~s0 ~s1 ~f0 ~value ~pos patch =
+  let delta = Bytes.make ((s1 - s0) * row_bytes) '\000' in
+  for i = 0 to Bytes.length patch - 1 do
+    Bytes.set delta
+      (f0 + i - (s0 * row_bytes))
+      (Char.chr
+         (Char.code (Bytes.get value (pos + i))
+         lxor Char.code (Bytes.get patch i)))
+  done;
+  delta
+
+let update ?domains ~n ~k ~rows ~fragments ~value ~pos patch =
+  let fname = "Rs_update.update" in
+  check_patch ~fname ~value ~pos patch;
+  let stripes = Splitter.stripe_count ~k ~value_len:(Bytes.length value) in
+  check_fragments ~fname ~n ~frag_bytes:stripes fragments;
+  let new_value = patched_value ~value ~pos patch in
+  let plen = Bytes.length patch in
+  if plen = 0 then (new_value, fragments)
+  else begin
+    let f0 = Splitter.header_len + pos in
+    let s0 = f0 / k and s1 = ((f0 + plen) + k - 1) / k in
+    let m = s1 - s0 in
+    let delta = build_delta ~row_bytes:k ~s0 ~s1 ~f0 ~value ~pos patch in
+    let dcols = Bytes.create (k * m) in
+    Kernel.split_cols_into ~k ~bps:1 delta ~dst:dcols ~doff:0;
+    let backing = gather_backing ~n ~frag_bytes:stripes fragments in
+    let wtables = Array.map Kernel.row_wtables rows in
+    Kernel.parallel_rows ?domains ~n:m (fun ~lo ~len ->
+        for i = 0 to n - 1 do
+          let coeffs = rows.(i) in
+          let doff = (i * stripes) + s0 + lo in
+          for j = 0 to k - 1 do
+            let c = coeffs.(j) in
+            if not (Galois.Gf.is_zero c) then
+              if Galois.Gf.equal c Galois.Gf.one then
+                Galois.Wops.xor_into ~src:dcols ~soff:((j * m) + lo)
+                  ~dst:backing ~doff ~len
+              else
+                Galois.Gf.muladd_buf_w
+                  wtables.(i).(j)
+                  ~src:dcols ~soff:((j * m) + lo) ~dst:backing ~doff ~len
+          done
+        done);
+    (new_value, views ~n ~frag_bytes:stripes backing)
+  end
+
+(* GF(2^16) variant: one stripe is [k] two-byte symbols. Patch sweeps
+   are short, so the split-table kernels win over building 128 KiB
+   chunk tables per decode-arbitrary coefficient. *)
+let update16 ?domains ~n ~k ~rows ~fragments ~value ~pos patch =
+  let fname = "Rs_update.update16" in
+  check_patch ~fname ~value ~pos patch;
+  let row_bytes = 2 * k in
+  let stripes =
+    Splitter.stripe_count ~k:row_bytes ~value_len:(Bytes.length value)
+  in
+  let frag_bytes = 2 * stripes in
+  check_fragments ~fname ~n ~frag_bytes fragments;
+  let new_value = patched_value ~value ~pos patch in
+  let plen = Bytes.length patch in
+  if plen = 0 then (new_value, fragments)
+  else begin
+    let f0 = Splitter.header_len + pos in
+    let s0 = f0 / row_bytes and s1 = ((f0 + plen) + row_bytes - 1) / row_bytes in
+    let m = s1 - s0 in
+    let delta = build_delta ~row_bytes ~s0 ~s1 ~f0 ~value ~pos patch in
+    let dcols = Bytes.create (k * m * 2) in
+    Kernel.split_cols_into ~k ~bps:2 delta ~dst:dcols ~doff:0;
+    let backing = gather_backing ~n ~frag_bytes fragments in
+    let tables = Array.map Kernel.row_tables16 rows in
+    Kernel.parallel_rows ?domains ~n:m (fun ~lo ~len ->
+        for i = 0 to n - 1 do
+          let coeffs = rows.(i) in
+          let doff = (i * frag_bytes) + (2 * (s0 + lo)) in
+          for j = 0 to k - 1 do
+            let c = coeffs.(j) in
+            if not (Galois.Gf16.is_zero c) then
+              if Galois.Gf16.equal c Galois.Gf16.one then
+                Galois.Wops.xor_into ~src:dcols
+                  ~soff:((j * m * 2) + (2 * lo))
+                  ~dst:backing ~doff ~len:(2 * len)
+              else
+                Galois.Gf16.muladd_buf_v
+                  tables.(i).(j)
+                  ~src:dcols
+                  ~soff:((j * m * 2) + (2 * lo))
+                  ~dst:backing ~doff ~len:(2 * len)
+          done
+        done);
+    (new_value, views ~n ~frag_bytes backing)
+  end

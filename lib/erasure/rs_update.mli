@@ -1,0 +1,43 @@
+(** Incremental parity maintenance for the linear Reed-Solomon codecs.
+
+    Reed-Solomon encoding is linear over the framed bytes:
+    [enc(new) = enc(old) xor enc(delta)]. When a write replaces a byte
+    range of an already-encoded value, only the stripes covering that
+    range change, so every fragment can be patched with a sweep
+    proportional to the patch size instead of re-encoding the whole
+    value. See DESIGN.md, "Word-sliced kernels & zero-copy framing". *)
+
+val update :
+  ?domains:int ->
+  n:int ->
+  k:int ->
+  rows:Galois.Gf.t array array ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** [update ~n ~k ~rows ~fragments ~value ~pos patch] returns
+    [(new_value, new_fragments)] where [new_value] is [value] with
+    [patch] written at [pos] and [new_fragments] equals a fresh
+    [encode new_value] under the generator whose rows are [rows]
+    (GF(2{^8}), one byte per symbol). [fragments] must be all [n]
+    fragments of [value] with distinct indices; inputs are not
+    mutated — the result fragments are views into one fresh backing
+    buffer, ordered by index.
+    @raise Invalid_argument if the patch leaves [value]'s bounds or the
+    fragment set is malformed. *)
+
+val update16 :
+  ?domains:int ->
+  n:int ->
+  k:int ->
+  rows:Galois.Gf16.t array array ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** GF(2{^16}) variant of {!update}: symbols are 2 bytes, fragments
+    [2 * stripes] bytes. Patch sweeps use the split-table kernels (short
+    spans don't amortize chunk tables). *)

@@ -11,23 +11,32 @@ let make ~n ~k =
 let n t = t.n
 let k t = t.k
 
-(* Row-major encode: transpose the framed value into k column-contiguous
-   buffers, then produce each coded fragment with one table-driven
-   muladd sweep per non-zero generator coefficient (see Kernel and
-   DESIGN.md "Codec kernel"). Large values shard the stripe range
-   across domains. *)
+(* Row-major encode into a single backing buffer: the framed value is
+   transposed into k column-contiguous scratch columns at the front of
+   nothing — columns live in their own buffer since every output row
+   reads all of them — and each coded fragment is one table-driven
+   word-sliced sweep per non-zero generator coefficient, written
+   directly into its slice of the shared backing. Fragments are views
+   into the backing, so an encode allocates one payload buffer total
+   (see DESIGN.md "Word-sliced kernels & zero-copy framing"). Large
+   values shard the stripe range across domains. *)
 let encode ?domains t value =
   let framed = Splitter.frame ~k:t.k value in
   let stripes = Bytes.length framed / t.k in
-  let cols = Kernel.split_cols ~k:t.k ~bps:1 framed in
-  let outputs = Array.init t.n (fun _ -> Bytes.create stripes) in
+  let cols_buf = Bytes.create (t.k * stripes) in
+  Kernel.split_cols_into ~k:t.k ~bps:1 framed ~dst:cols_buf ~doff:0;
+  let srcs = Array.make t.k cols_buf in
+  let soffs = Array.init t.k (fun j -> j * stripes) in
+  let backing = Bytes.create (t.n * stripes) in
   let rows = Array.init t.n (Galois.Matrix.row t.generator) in
+  let wtables = Array.map Kernel.row_wtables rows in
   Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
       for i = 0 to t.n - 1 do
-        Kernel.apply_row ~coeffs:rows.(i) ~srcs:cols ~dst:outputs.(i) ~off:lo
-          ~len
+        Kernel.apply_row_v ~coeffs:rows.(i) ~wtables:wtables.(i) ~srcs ~soffs
+          ~dst:backing ~doff:(i * stripes) ~off:lo ~len
       done);
-  Array.init t.n (fun i -> Fragment.make ~index:i ~data:outputs.(i))
+  Array.init t.n (fun i ->
+      Fragment.view ~index:i ~buf:backing ~off:(i * stripes) ~len:stripes)
 
 (* Pick the first [k] fragments with distinct, in-range indices and a
    common size. *)
@@ -58,6 +67,9 @@ let select_distinct t frags =
     selected;
   selected
 
+(* Decode k data columns from the selected fragment views, then
+   interleave header and value ranges straight out of the columns:
+   no merged framed buffer, no unframe copy. *)
 let decode ?domains t frags =
   let selected = select_distinct t frags in
   let stripes = Fragment.size selected.(0) in
@@ -65,13 +77,26 @@ let decode ?domains t frags =
   let sub = Galois.Matrix.select_rows t.generator indices in
   let inverse = Galois.Matrix.invert sub in
   let inv_rows = Array.init t.k (Galois.Matrix.row inverse) in
-  let datas = Array.map Fragment.data selected in
-  (* Fragments are already column-contiguous; sweep the inverse matrix
-     row-major into fresh columns and re-interleave at the end. *)
-  let cols = Array.init t.k (fun _ -> Bytes.create stripes) in
+  let wtables = Array.map Kernel.row_wtables inv_rows in
+  let srcs = Array.map Fragment.buf selected in
+  let soffs = Array.map Fragment.off selected in
+  (* Fragment payloads are already column-contiguous views; sweep the
+     inverse matrix row-major into fresh columns. *)
+  let cols_buf = Bytes.create (t.k * stripes) in
   Kernel.parallel_rows ?domains ~n:stripes (fun ~lo ~len ->
       for j = 0 to t.k - 1 do
-        Kernel.apply_row ~coeffs:inv_rows.(j) ~srcs:datas ~dst:cols.(j) ~off:lo
-          ~len
+        Kernel.apply_row_v ~coeffs:inv_rows.(j) ~wtables:wtables.(j) ~srcs
+          ~soffs ~dst:cols_buf ~doff:(j * stripes) ~off:lo ~len
       done);
-  Splitter.unframe (Kernel.merge_cols ~k:t.k ~bps:1 cols)
+  let bufs = Array.make t.k cols_buf in
+  let offs = Array.init t.k (fun j -> j * stripes) in
+  Splitter.extract ~k:t.k ~bps:1 ~bufs ~offs ~col_len:stripes
+
+(* Incremental parity update: encoding is linear over the framed bytes,
+   so enc(new) = enc(old) xor enc(delta) where delta is zero outside
+   the edited stripes. Only the stripes covering the patch see any
+   field arithmetic; everything else is one backing blit. *)
+let update ?domains t ~fragments ~value ~pos patch =
+  Rs_update.update ?domains ~n:t.n ~k:t.k
+    ~rows:(Array.init t.n (Galois.Matrix.row t.generator))
+    ~fragments ~value ~pos patch

@@ -36,3 +36,16 @@ val decode : ?domains:int -> t -> Fragment.t list -> bytes
     @raise Insufficient_fragments with fewer than [k] distinct indices.
     @raise Invalid_argument on an out-of-range index or mismatched
     fragment sizes. *)
+
+val update :
+  ?domains:int ->
+  t ->
+  fragments:Fragment.t array ->
+  value:bytes ->
+  pos:int ->
+  bytes ->
+  bytes * Fragment.t array
+(** [update code ~fragments ~value ~pos patch] incrementally re-encodes:
+    given the current [value] and all [n] of its [fragments], returns the
+    patched value and fragments identical to [encode] of it, touching
+    only the stripes the patch covers. See {!Rs_update.update}. *)

@@ -99,16 +99,20 @@ let mul_table c =
 let check_buf_args ~fname table ~src ~dst ~off ~len =
   if Bytes.length table <> order then
     invalid_arg (fname ^ ": table must have 256 entries");
-  if off < 0 || len < 0 || off + len > Bytes.length src
-     || off + len > Bytes.length dst
+  if off < 0 || len < 0
+     || (len > 0
+        && (off + len > Bytes.length src || off + len > Bytes.length dst))
   then
     invalid_arg
       (Printf.sprintf "%s: range [%d, %d) outside buffers (src %d, dst %d)"
          fname off (off + len) (Bytes.length src) (Bytes.length dst))
 
-(* The [unsafe_get]/[unsafe_set] in the loops below are justified by
-   [check_buf_args]: every index is in [off, off+len), inside both
-   buffers, and every table index is a byte. *)
+(* U1 audit: the [unsafe_get]/[unsafe_set] in the loops below are
+   justified by [check_buf_args]: every index is in [off, off+len),
+   inside both buffers, and every table index is a byte. The word
+   sweeps additionally go through [Wops], whose [debug_checks]
+   (soda-debug profile / SODA_DEBUG env) re-asserts each range. *)
+[@@@lint.allow "U1"]
 
 let mul_buf table ~src ~dst ~off ~len =
   check_buf_args ~fname:"Gf.mul_buf" table ~src ~dst ~off ~len;
@@ -125,3 +129,68 @@ let muladd_buf table ~src ~dst ~off ~len =
     let d = Char.code (Bytes.unsafe_get dst i) in
     Bytes.unsafe_set dst i (Char.unsafe_chr (p lxor d))
   done
+
+(* ------------------------------------------------------------------ *)
+(* Word-sliced sweeps.
+
+   The byte loops above stay as the oracle implementations; the hot
+   paths use [Wops] chunk tables — 65536 16-bit entries per coefficient
+   mapping a 16-bit slice of the source stream straight to the product
+   stream, swept 8 bytes per load. A chunk table costs 128 KiB, so
+   unlike [all_tables] they are built lazily per coefficient and cached
+   under a mutex (construction is setup cost, never inner-loop). *)
+
+type wtable = { chunks : Wops.chunk_table; byte : Bytes.t }
+
+(* R1: all reads and writes happen under [wtables_mutex]. *)
+let[@lint.allow "R1"] wtables : wtable option array = Array.make order None
+let[@lint.allow "R1"] wtables_mutex = Mutex.create ()
+
+let wtable c =
+  if c < 0 || c > field_mask then
+    invalid_arg (Printf.sprintf "Gf.wtable: %d out of range [0, 255]" c)
+  else begin
+    Mutex.lock wtables_mutex;
+    let t =
+      match wtables.(c) with
+      | Some t -> t
+      | None ->
+        let byte = all_tables.(c) in
+        let chunks =
+          Wops.make_chunk_table_bytewise (fun x -> Char.code (Bytes.get byte x))
+        in
+        let t = { chunks; byte } in
+        wtables.(c) <- Some t;
+        t
+    in
+    Mutex.unlock wtables_mutex;
+    t
+  end
+
+(* Word sweeps take separate src/dst offsets so the codecs can run over
+   views into shared backing buffers. Chunk tables work in 2-byte
+   steps; an odd trailing byte goes through the 256-entry byte table. *)
+
+let muladd_buf_w wt ~src ~soff ~dst ~doff ~len =
+  if len < 0 then invalid_arg "Gf.muladd_buf_w: negative length";
+  let even = len land lnot 1 in
+  Wops.muladd_chunks wt.chunks ~src ~soff ~dst ~doff ~len:even;
+  if len land 1 = 1 then begin
+    if soff + len > Bytes.length src || doff + len > Bytes.length dst then
+      invalid_arg "Gf.muladd_buf_w: range outside buffers";
+    let x = Char.code (Bytes.get src (soff + even)) in
+    let p = Char.code (Bytes.get wt.byte x) in
+    let d = Char.code (Bytes.get dst (doff + even)) in
+    Bytes.set dst (doff + even) (Char.chr (p lxor d))
+  end
+
+let mul_buf_w wt ~src ~soff ~dst ~doff ~len =
+  if len < 0 then invalid_arg "Gf.mul_buf_w: negative length";
+  let even = len land lnot 1 in
+  Wops.mul_chunks wt.chunks ~src ~soff ~dst ~doff ~len:even;
+  if len land 1 = 1 then begin
+    if soff + len > Bytes.length src || doff + len > Bytes.length dst then
+      invalid_arg "Gf.mul_buf_w: range outside buffers";
+    let x = Char.code (Bytes.get src (soff + even)) in
+    Bytes.set dst (doff + even) (Bytes.get wt.byte x)
+  end

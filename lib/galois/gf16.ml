@@ -127,16 +127,20 @@ let mul_tables c =
 let check_buf_args ~fname ~src ~dst ~off ~len =
   if
     off < 0 || len < 0
-    || 2 * (off + len) > Bytes.length src
-    || 2 * (off + len) > Bytes.length dst
+    || (len > 0
+       && (2 * (off + len) > Bytes.length src
+          || 2 * (off + len) > Bytes.length dst))
   then
     invalid_arg
       (Printf.sprintf
          "%s: symbol range [%d, %d) outside buffers (src %d, dst %d bytes)"
          fname off (off + len) (Bytes.length src) (Bytes.length dst))
 
-(* Unsafe accesses below are covered by [check_buf_args]; table indices
-   are single bytes into 256-entry arrays. *)
+(* U1 audit: unsafe accesses below are covered by [check_buf_args];
+   table indices are single bytes into 256-entry arrays. The chunk-table
+   sweeps go through [Wops], whose [debug_checks] (soda-debug profile /
+   SODA_DEBUG env) re-asserts each range. *)
+[@@@lint.allow "U1"]
 
 let mul_buf t ~src ~dst ~off ~len =
   check_buf_args ~fname:"Gf16.mul_buf" ~src ~dst ~off ~len;
@@ -162,4 +166,91 @@ let muladd_buf t ~src ~dst ~off ~len =
     let dl = Char.code (Bytes.unsafe_get dst (i + 1)) in
     Bytes.unsafe_set dst i (Char.unsafe_chr ((p lsr 8) lxor dh));
     Bytes.unsafe_set dst (i + 1) (Char.unsafe_chr ((p land 0xff) lxor dl))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Word-sliced sweeps.
+
+   A full 65536-entry chunk table per coefficient (128 KiB) maps one
+   big-endian symbol — i.e. one 16-bit memory chunk — straight to its
+   product, so the shared [Wops] 64-bit loop handles two symbols per
+   load. Heavier to build than the split tables above (one [mul] per
+   field element), so cached separately and only on demand from the
+   codec hot paths; the split-table sweeps remain the oracles. *)
+
+type wtable = Wops.chunk_table
+
+(* R1: all reads and writes happen under [wtables_mutex]. *)
+let[@lint.allow "R1"] wtables : (t, wtable) Hashtbl.t = Hashtbl.create 64
+let[@lint.allow "R1"] wtables_mutex = Mutex.create ()
+
+let wtable c =
+  if c < 0 || c > field_mask then
+    invalid_arg (Printf.sprintf "Gf16.wtable: %d out of range [0, 65535]" c)
+  else begin
+    Mutex.lock wtables_mutex;
+    let t =
+      match Hashtbl.find_opt wtables c with
+      | Some t -> t
+      | None ->
+        let t = Wops.make_chunk_table_symbolwise (fun x -> mul c x) in
+        Hashtbl.add wtables c t;
+        t
+    in
+    Mutex.unlock wtables_mutex;
+    t
+  end
+
+(* Byte offsets and lengths (unlike the symbol-counted oracles above):
+   the callers sweep views into shared backing buffers and already
+   track byte positions. [len] must be even. *)
+
+let mul_buf_w wt ~src ~soff ~dst ~doff ~len =
+  Wops.mul_chunks wt ~src ~soff ~dst ~doff ~len
+
+let muladd_buf_w wt ~src ~soff ~dst ~doff ~len =
+  Wops.muladd_chunks wt ~src ~soff ~dst ~doff ~len
+
+(* Split-table sweeps over views, for paths where a 128 KiB chunk table
+   per coefficient doesn't amortize (decode submatrices have arbitrary
+   coefficients, so small decodes would spend longer building tables
+   than sweeping). Same inner loop as the oracles above, with separate
+   src/dst byte offsets. *)
+
+let check_v_args ~fname ~src ~soff ~dst ~doff ~len =
+  if
+    soff < 0 || doff < 0 || len < 0 || len land 1 <> 0
+    || (len > 0
+       && (soff + len > Bytes.length src || doff + len > Bytes.length dst))
+  then
+    invalid_arg
+      (Printf.sprintf "%s: bad byte range (soff %d doff %d len %d)" fname soff
+         doff len)
+
+let mul_buf_v t ~src ~soff ~dst ~doff ~len =
+  check_v_args ~fname:"Gf16.mul_buf_v" ~src ~soff ~dst ~doff ~len;
+  let { lo; hi } = t in
+  let symbols = len / 2 in
+  for s = 0 to symbols - 1 do
+    let i = soff + (2 * s) and o = doff + (2 * s) in
+    let xh = Char.code (Bytes.unsafe_get src i) in
+    let xl = Char.code (Bytes.unsafe_get src (i + 1)) in
+    let p = Array.unsafe_get hi xh lxor Array.unsafe_get lo xl in
+    Bytes.unsafe_set dst o (Char.unsafe_chr (p lsr 8));
+    Bytes.unsafe_set dst (o + 1) (Char.unsafe_chr (p land 0xff))
+  done
+
+let muladd_buf_v t ~src ~soff ~dst ~doff ~len =
+  check_v_args ~fname:"Gf16.muladd_buf_v" ~src ~soff ~dst ~doff ~len;
+  let { lo; hi } = t in
+  let symbols = len / 2 in
+  for s = 0 to symbols - 1 do
+    let i = soff + (2 * s) and o = doff + (2 * s) in
+    let xh = Char.code (Bytes.unsafe_get src i) in
+    let xl = Char.code (Bytes.unsafe_get src (i + 1)) in
+    let p = Array.unsafe_get hi xh lxor Array.unsafe_get lo xl in
+    let dh = Char.code (Bytes.unsafe_get dst o) in
+    let dl = Char.code (Bytes.unsafe_get dst (o + 1)) in
+    Bytes.unsafe_set dst o (Char.unsafe_chr ((p lsr 8) lxor dh));
+    Bytes.unsafe_set dst (o + 1) (Char.unsafe_chr ((p land 0xff) lxor dl))
   done

@@ -12,6 +12,11 @@
    two, load factor <= 1/2. The empty slot is keyed by -1, so keys must
    be >= 0 — which packed tags, mids and coordinates are. *)
 
+(* U1 audit: the probe loops below index [keys]/[vals] with
+   [h land t.mask], and both arrays are allocated with length
+   [t.mask + 1]; the masked index cannot escape the array. *)
+[@@@lint.allow "U1"]
+
 (* Fibonacci hashing: spreads consecutive keys (mids and packed tags
    are near-consecutive) across the table. *)
 let[@inline] slot_of key mask = (key * 0x1fd3eca2d2b1ba6d) lsr 1 land mask

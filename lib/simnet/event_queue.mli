@@ -50,6 +50,11 @@ val unsafe_times : 'a t -> float array
     contents of unused slots are meaningless). The array is replaced
     when the queue grows: re-fetch after any push. *)
 
+val unsafe_tags : 'a t -> int array
+(** The backing tag array, parallel to {!unsafe_times}; index 0 is the
+    earliest event's tag while the queue is non-empty. Same caveats as
+    {!unsafe_times}: re-fetch after any push. *)
+
 (** {1 Allocation-free access to the earliest event} *)
 
 val next_time : 'a t -> float
@@ -62,6 +67,36 @@ val pop_exn : 'a t -> 'a
 (** Remove the earliest event and return its payload. Read
     {!next_time} / {!next_tag} {e before} popping.
     @raise Empty when empty. *)
+
+(** {1 Cohort draining}
+
+    All events sharing the minimal timestamp form a subtree of the heap
+    containing the root, so they can be removed together: one DFS plus
+    one sift-down per vacated slot, instead of one full pop per event.
+    {!Simnet.Engine.run} uses this to dispatch each timestamp's cohort
+    without re-entering the heap per event. *)
+
+val min_tied : 'a t -> bool
+(** Whether the minimum timestamp is shared with at least one other
+    pending event — i.e. whether {!drain_cohort} would return more than
+    one. O(1); lets a dispatcher keep the plain {!pop_exn} path for
+    untied minima and pay the cohort bookkeeping only on real ties. *)
+
+val drain_cohort : 'a t -> int
+(** [drain_cohort q] removes {e every} event whose timestamp equals
+    [next_time q] and returns the cohort size (>= 1). Read the drained
+    events — in insertion (FIFO) order — with {!cohort_tag} and
+    {!cohort_payload}; the cohort buffer stays valid until the next
+    [drain_cohort] call on [q]. Events pushed after the drain are not
+    part of the cohort even if they carry the same timestamp.
+    @raise Empty when empty. *)
+
+val cohort_tag : 'a t -> int -> int
+(** [cohort_tag q i] is the tag of the [i]-th drained event, [0 <= i <
+    drain_cohort q]. *)
+
+val cohort_payload : 'a t -> int -> 'a
+(** [cohort_payload q i] is the payload of the [i]-th drained event. *)
 
 (** {1 Option-returning conveniences} *)
 

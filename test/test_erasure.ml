@@ -584,6 +584,81 @@ let splitter_edge_tests =
           (raises_invalid (fun () -> Splitter.unframe (Bytes.create 3))))
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Incremental parity update: Mds.update must agree byte-for-byte with a
+   fresh encode of the patched value, for every codec — the linear
+   codecs patch only the affected stripes, so this differential pins
+   their delta arithmetic to the full re-encode oracle. *)
+
+let update_tests =
+  let frag_bytes f = Fragment.data f in
+  [ qtest "Mds.update = re-encode of the patched value"
+      QCheck2.Gen.(
+        int_range 2 12 >>= fun n ->
+        int_range 1 n >>= fun k ->
+        int_range 0 5 >>= fun which ->
+        bytes_gen >>= fun v ->
+        let len = Bytes.length v in
+        int_range 0 len >>= fun pos ->
+        string_size (int_range 0 (len - pos)) >|= fun p ->
+        (n, k, which, v, pos, Bytes.of_string p))
+      (fun (n, k, which, v, pos, patch) ->
+        let code =
+          match which with
+          | 0 -> Mds.rs_vandermonde ~n ~k
+          | 1 -> Mds.rs_systematic ~n ~k
+          | 2 -> Mds.rs16 ~n ~k
+          | 3 -> Mds.replication ~n
+          | 4 -> Mds.rs_bch ~n ~k
+          | _ -> Mds.rs_bch16 ~n ~k
+        in
+        let frags = Mds.encode code v in
+        (* shuffle the input order to exercise index-based placement *)
+        let shuffled = Array.of_list (List.rev (Array.to_list frags)) in
+        let new_value, new_frags =
+          Mds.update code ~fragments:shuffled ~value:v ~pos patch
+        in
+        let expect_value = Bytes.copy v in
+        Bytes.blit patch 0 expect_value pos (Bytes.length patch);
+        let expect_frags = Mds.encode code expect_value in
+        let by_index fs =
+          let a = Array.make (Array.length fs) Bytes.empty in
+          Array.iter (fun f -> a.(Fragment.index f) <- frag_bytes f) fs;
+          a
+        in
+        Bytes.equal new_value expect_value
+        && Array.length new_frags = Array.length expect_frags
+        && Array.for_all2 Bytes.equal (by_index new_frags)
+             (by_index expect_frags)
+        (* inputs must not be mutated *)
+        && Array.for_all2 Bytes.equal (by_index frags)
+             (by_index (Mds.encode code v)));
+    Alcotest.test_case "update rejects out-of-bounds patches" `Quick (fun () ->
+        let raises_invalid f =
+          match f () with exception Invalid_argument _ -> true | _ -> false
+        in
+        let code = Mds.rs_systematic ~n:6 ~k:3 in
+        let v = Bytes.of_string "patch bounds payload" in
+        let frags = Mds.encode code v in
+        Alcotest.(check bool)
+          "overhang" true
+          (raises_invalid (fun () ->
+               Mds.update code ~fragments:frags ~value:v
+                 ~pos:(Bytes.length v - 1)
+                 (Bytes.of_string "xy")));
+        Alcotest.(check bool)
+          "negative pos" true
+          (raises_invalid (fun () ->
+               Mds.update code ~fragments:frags ~value:v ~pos:(-1)
+                 (Bytes.of_string "x")));
+        Alcotest.(check bool)
+          "wrong fragment count" true
+          (raises_invalid (fun () ->
+               Mds.update code
+                 ~fragments:(Array.sub frags 0 3)
+                 ~value:v ~pos:0 (Bytes.of_string "x"))))
+  ]
+
 let () =
   Alcotest.run "erasure"
     [ ("splitter", splitter_tests);
@@ -594,5 +669,6 @@ let () =
       ("rs-systematic", sys_tests);
       ("rs16", rs16_tests);
       ("rs-bch16", bch16_tests);
-      ("mds", mds_tests)
+      ("mds", mds_tests);
+      ("update", update_tests)
     ]

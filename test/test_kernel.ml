@@ -340,6 +340,102 @@ let buf_tests =
           if Bytes.get_uint16_be dst (2 * s) <> 0 then ok := false
         done;
         !ok);
+    qtest ~count:150 "Gf word sweeps = mul_slow (unaligned off/len)"
+      QCheck2.Gen.(
+        quad (int_range 0 255) (bytes_gen 200) (int_range 0 17) (int_range 0 17))
+      (fun (c, raw, soff, doff) ->
+        (* independent, deliberately unaligned offsets into src and dst *)
+        let wt = Gf.wtable c in
+        let soff = min soff (Bytes.length raw) in
+        let len = max 0 (Bytes.length raw - max soff doff) in
+        let src = raw in
+        let dst0 =
+          Bytes.init (doff + len) (fun i -> Char.chr ((i * 11) land 0xff))
+        in
+        let dst = Bytes.copy dst0 in
+        Gf.muladd_buf_w wt ~src ~soff ~dst ~doff ~len;
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          let expect =
+            Char.code (Bytes.get dst0 (doff + i))
+            lxor Gf.mul_slow c (Char.code (Bytes.get src (soff + i)))
+          in
+          if Char.code (Bytes.get dst (doff + i)) <> expect then ok := false
+        done;
+        (* mul overwrites *)
+        Gf.mul_buf_w wt ~src ~soff ~dst ~doff ~len;
+        for i = 0 to len - 1 do
+          if
+            Char.code (Bytes.get dst (doff + i))
+            <> Gf.mul_slow c (Char.code (Bytes.get src (soff + i)))
+          then ok := false
+        done;
+        !ok);
+    qtest ~count:100 "Gf muladd_buf_w aliased src == dst"
+      QCheck2.Gen.(
+        triple (int_range 0 255) (bytes_gen 120) (int_range 0 9))
+      (fun (c, raw, off) ->
+        let off = min off (Bytes.length raw) in
+        let len = Bytes.length raw - off in
+        let buf = Bytes.copy raw in
+        Gf.muladd_buf_w (Gf.wtable c) ~src:buf ~soff:off ~dst:buf ~doff:off ~len;
+        let ok = ref true in
+        for i = off to off + len - 1 do
+          let x = Char.code (Bytes.get raw i) in
+          if Char.code (Bytes.get buf i) <> x lxor Gf.mul_slow c x then
+            ok := false
+        done;
+        !ok);
+    qtest ~count:100 "Wops.xor_into = bytewise xor (unaligned)"
+      QCheck2.Gen.(
+        triple (bytes_gen 200) (int_range 0 13) (int_range 0 13))
+      (fun (raw, soff, doff) ->
+        let soff = min soff (Bytes.length raw) in
+        let len = max 0 (Bytes.length raw - max soff doff) in
+        let dst0 =
+          Bytes.init (doff + len) (fun i -> Char.chr ((i * 29) land 0xff))
+        in
+        let dst = Bytes.copy dst0 in
+        Galois.Wops.xor_into ~src:raw ~soff ~dst ~doff ~len;
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          if
+            Char.code (Bytes.get dst (doff + i))
+            <> Char.code (Bytes.get dst0 (doff + i))
+               lxor Char.code (Bytes.get raw (soff + i))
+          then ok := false
+        done;
+        !ok);
+    qtest ~count:60 "Gf16 word sweeps = mul_slow per symbol"
+      QCheck2.Gen.(
+        triple (int_range 0 65535)
+          (string_size (int_range 0 160) >|= Bytes.of_string)
+          (int_range 0 5))
+      (fun (c, raw, symoff) ->
+        let wt = Gf16.wtable c in
+        let symbols = max 0 ((Bytes.length raw / 2) - symoff) in
+        let soff = 2 * symoff and len = 2 * symbols in
+        let dst0 =
+          Bytes.init (2 * symbols) (fun i -> Char.chr ((i * 23) land 0xff))
+        in
+        let dst = Bytes.copy dst0 in
+        Gf16.muladd_buf_w wt ~src:raw ~soff ~dst ~doff:0 ~len;
+        let ok = ref true in
+        for s = 0 to symbols - 1 do
+          let expect =
+            Bytes.get_uint16_be dst0 (2 * s)
+            lxor Gf16.mul_slow c (Bytes.get_uint16_be raw (soff + (2 * s)))
+          in
+          if Bytes.get_uint16_be dst (2 * s) <> expect then ok := false
+        done;
+        Gf16.mul_buf_w wt ~src:raw ~soff ~dst ~doff:0 ~len;
+        for s = 0 to symbols - 1 do
+          if
+            Bytes.get_uint16_be dst (2 * s)
+            <> Gf16.mul_slow c (Bytes.get_uint16_be raw (soff + (2 * s)))
+          then ok := false
+        done;
+        !ok);
     qtest ~count:100 "split_cols/merge_cols round-trip"
       QCheck2.Gen.(
         triple (int_range 1 10) (int_range 1 3) (int_range 0 60))

@@ -58,7 +58,9 @@ let expected =
     { file = "bad_e1.ml"; line = 2; rule = "E1" };
     { file = "bad_p1.ml"; line = 4; rule = "P1" };
     { file = "bad_p2.ml"; line = 2; rule = "P2" };
-    { file = "bad_r1.ml"; line = 2; rule = "R1" }
+    { file = "bad_r1.ml"; line = 2; rule = "R1" };
+    { file = "bad_u1.ml"; line = 2; rule = "U1" };
+    { file = "bad_u1.ml"; line = 4; rule = "U1" }
   ]
 
 let test_diagnostic_set () =

@@ -198,6 +198,76 @@ let queue_tests =
            !model;
          check (Event_queue.is_empty q);
          !ok));
+    (* drain_cohort model: times drawn from a small discrete set force
+       large equal-time cohorts; a drain must remove exactly the
+       min-time prefix of the sorted reference, FIFO within the tie,
+       and leave the heap delivering the rest in order. *)
+    (let op_gen =
+       QCheck2.Gen.(
+         frequency
+           [ ( 5,
+               map2
+                 (fun t tag -> `Push (t, tag))
+                 (int_range 0 8) (int_range 0 1000) );
+             (2, pure `Drain);
+             (1, pure `Pop)
+           ])
+     in
+     qtest ~count:300 "model: drain_cohort = min-time cohort in FIFO order"
+       QCheck2.Gen.(list_size (int_range 0 150) op_gen)
+       (fun ops ->
+         let q = Event_queue.create () in
+         let model = ref [] in
+         let seq = ref 0 in
+         let insert (t, s, tag, p) =
+           let rec ins = function
+             | [] -> [ (t, s, tag, p) ]
+             | ((t', _, _, _) as hd) :: tl ->
+               if t' <= t then hd :: ins tl else (t, s, tag, p) :: hd :: tl
+           in
+           model := ins !model
+         in
+         let ok = ref true in
+         let check b = if not b then ok := false in
+         List.iter
+           (fun op ->
+             (match op with
+             | `Push (ti, tag) ->
+               let t = float_of_int ti in
+               Event_queue.push_tagged q ~time:t ~tag !seq;
+               insert (t, !seq, tag, !seq);
+               incr seq
+             | `Pop -> (
+               match !model with
+               | [] -> check (Event_queue.pop q = None)
+               | (_, _, _, p) :: tl ->
+                 check (Event_queue.pop_exn q = p);
+                 model := tl)
+             | `Drain -> (
+               match !model with
+               | [] -> check (Event_queue.is_empty q)
+               | (t0, _, _, _) :: _ ->
+                 let rec split acc = function
+                   | (t, _, tag, p) :: tl when t = t0 ->
+                     split ((tag, p) :: acc) tl
+                   | rest -> (List.rev acc, rest)
+                 in
+                 let cohort, rest = split [] !model in
+                 model := rest;
+                 let c = Event_queue.drain_cohort q in
+                 check (c = List.length cohort);
+                 List.iteri
+                   (fun i (tag, p) ->
+                     check (Event_queue.cohort_tag q i = tag);
+                     check (Event_queue.cohort_payload q i = p))
+                   cohort));
+             check (Event_queue.size q = List.length !model))
+           ops;
+         List.iter
+           (fun (_, _, _, p) -> check (Event_queue.pop_exn q = p))
+           !model;
+         check (Event_queue.is_empty q);
+         !ok));
     Alcotest.test_case "queue survives clear and reuse at capacity" `Quick
       (fun () ->
         let q = Event_queue.create () in

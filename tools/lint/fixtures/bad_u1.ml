@@ -1,0 +1,6 @@
+(* U1 fixture: unchecked access and unchecked primitive external. *)
+let first a = Array.unsafe_get a 0
+
+external peek16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+
+let _ = peek16

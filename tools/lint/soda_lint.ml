@@ -23,6 +23,10 @@
      P2  no stdout writes in lib/ — output goes through Probe/Report
      R1  no top-level mutable state (data race under OCaml 5 domains)
      E1  no catch-all exception handlers (swallow Out_of_memory/asserts)
+     U1  no unchecked accesses (Array/Bytes/String unsafe_*, %caml_*u
+         externals) without an audited [@lint.allow "U1"] — each
+         allowed site must argue its bounds locally and carry an
+         assertion compiled in under the soda-debug dune profile
 
    Exit code: 0 clean, 1 violations found, 2 usage/IO error. *)
 
@@ -31,9 +35,9 @@ let usage = "soda_lint [--all-rules] <dir-or-cmt> ..."
 (* ------------------------------------------------------------------ *)
 (* Rules *)
 
-type rule = D1 | D2 | D3 | P1 | P2 | R1 | E1
+type rule = D1 | D2 | D3 | P1 | P2 | R1 | E1 | U1
 
-let all_rules = [ D1; D2; D3; P1; P2; R1; E1 ]
+let all_rules = [ D1; D2; D3; P1; P2; R1; E1; U1 ]
 let rule_id = function
   | D1 -> "D1"
   | D2 -> "D2"
@@ -42,6 +46,7 @@ let rule_id = function
   | P2 -> "P2"
   | R1 -> "R1"
   | E1 -> "E1"
+  | U1 -> "U1"
 
 (* D3 only has teeth where a fold/iter result can feed a protocol
    decision or a trace event; the numeric libraries iterate tables in
@@ -65,7 +70,7 @@ let rules_for ~all source =
     match lib_of_source source with
     | None -> []
     | Some l ->
-      let base = [ D1; D2; P1; P2; R1; E1 ] in
+      let base = [ D1; D2; P1; P2; R1; E1; U1 ] in
       if List.mem l d3_libs then D3 :: base else base
 
 (* ------------------------------------------------------------------ *)
@@ -321,6 +326,43 @@ let d3_idents =
   [ "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold"; "Stdlib.Hashtbl.to_seq";
     "Stdlib.Hashtbl.to_seq_keys"; "Stdlib.Hashtbl.to_seq_values" ]
 
+(* U1: unchecked accesses. Matched by full path so a repo module
+   exporting an [unsafe_times]-style accessor (safe, just raw) is not
+   flagged — only the stdlib accessors that actually skip bounds
+   checks. *)
+let u1_modules =
+  [ "Stdlib.Array"; "Stdlib.Bytes"; "Stdlib.String"; "Stdlib.Float.Array";
+    "Stdlib.Bigarray.Array1"; "Stdlib.Bigarray.Array2" ]
+
+let u1_violation name =
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i ->
+    let m = String.sub name 0 i in
+    let f = String.sub name (i + 1) (String.length name - i - 1) in
+    String.length f > 7
+    && String.sub f 0 7 = "unsafe_"
+    && List.mem m u1_modules
+
+(* U1 at external declarations: the unchecked compiler builtins are the
+   %caml_* accessors with a trailing 'u' (get64u, set16u, ...) plus
+   anything spelling "unsafe" outright. *)
+let u1_unchecked_primitive prims =
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  List.exists
+    (fun p ->
+      String.length p > 1
+      && p.[0] = '%'
+      && (contains_sub p "unsafe"
+         || (p.[String.length p - 1] = 'u'
+            &&
+            match p.[String.length p - 2] with '0' .. '9' -> true | _ -> false)))
+    prims
+
 let p2_idents =
   [ "Stdlib.print_endline"; "Stdlib.print_string"; "Stdlib.print_newline";
     "Stdlib.print_int"; "Stdlib.print_char"; "Stdlib.print_float";
@@ -492,6 +534,11 @@ let check_ident ctx (path : Path.t) (e : Typedtree.expression) =
   if List.mem name p2_idents then
     report ctx P2 loc
       "stdout write `%s` — library output goes through Probe/Report" name;
+  if u1_violation name then
+    report ctx U1 loc
+      "unchecked access `%s` — prove the bounds locally, assert them under \
+       the soda-debug profile, and [@lint.allow \"U1\"] with a justification"
+      name;
   (match p1_subject_type name e.exp_type with
   | None -> ()
   | Some subject when compiler_specializes name subject -> ()
@@ -578,6 +625,17 @@ let lint_structure ctx (str : Typedtree.structure) =
   in
   let structure_item sub (item : Typedtree.structure_item) =
     (match item.str_desc with
+    | Tstr_primitive vd ->
+      let ids = allow_ids vd.val_attributes in
+      push_allows ctx ids;
+      if u1_unchecked_primitive vd.val_prim then
+        report ctx U1 vd.val_loc
+          "unchecked primitive external `%s` (%s) — document the bounds \
+           argument, assert it under the soda-debug profile, and \
+           [@@lint.allow \"U1\"]"
+          vd.val_name.txt
+          (String.concat ", " vd.val_prim);
+      pop_allows ctx ids
     | Tstr_value (_, vbs) when ctx.expr_depth = 0 ->
       (* module-initialization-time bindings: R1 *)
       List.iter
