@@ -23,10 +23,11 @@ let emit outcomes =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"scenario\":%S,\"seed\":%d,\"ok\":%b,\"ops\":%d,\"sent\":%d,\"delivered\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d,\"duplicates_suppressed\":%d,\"abandoned\":%d,\"crashes\":%d,\"partitions\":%d,\"final_time\":%.1f}"
+           "{\"scenario\":%S,\"seed\":%d,\"ok\":%b,\"ops\":%d,\"sent\":%d,\"delivered\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d,\"duplicates_suppressed\":%d,\"abandoned\":%d,\"data\":%d,\"meta\":%d,\"acks\":%d,\"crashes\":%d,\"partitions\":%d,\"final_time\":%.1f}"
            o.scenario.Chaos.name o.seed (Chaos.ok o) o.ops o.sent o.delivered
            o.dropped o.lost o.retransmissions o.duplicates_suppressed
-           o.abandoned o.crash_events o.partition_events o.final_time))
+           o.abandoned o.data o.meta o.acks o.crash_events o.partition_events
+           o.final_time))
     outcomes;
   Buffer.add_string buf "]}";
   print_endline (Buffer.contents buf)

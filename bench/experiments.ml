@@ -532,33 +532,91 @@ let latency_dist () =
 (* ------------------------------------------------------------------ *)
 (* Metadata overhead: what the paper's cost model does not count *)
 
+(* [--out FILE]: also write the per-algorithm message counts as JSON
+   (stable schema, see BENCH_msgs.json at the repo root for the
+   committed baseline gated by tools/bench_diff). *)
+let overhead_out : string option ref = ref None
+
 let overhead () =
+  let params = Params.make ~n:10 ~f:4 () in
+  let runner_row ?plane algo () =
+    let w = Workload.sequential ~params ~value_len ~seed:17 ~rounds:4 () in
+    let r = Runner.run ?plane algo w in
+    let ops = float_of_int (History.size r.Runner.history) in
+    ( float_of_int r.Runner.messages_sent /. ops,
+      Cost.total_comm r.Runner.cost /. ops )
+  in
+  (* LDR is not hosted by Runner (separate directory/replica topology):
+     drive the same quiescent write/read alternation by hand *)
+  let ldr_row () =
+    let seed = 17 and rounds = 4 in
+    let engine =
+      Simnet.Engine.create ~seed ~delay:(Simnet.Delay.constant 1.0) ()
+    in
+    let initial_value = Workload.value ~len:value_len ~seed ~index:999_983 in
+    let d =
+      Baselines.Ldr.deploy ~engine ~params ~initial_value ~value_len
+        ~num_writers:1 ~num_readers:1 ()
+    in
+    for i = 0 to rounds - 1 do
+      Baselines.Ldr.write d ~writer:0
+        ~at:(float_of_int (200 * i))
+        (Workload.value ~len:value_len ~seed ~index:(i + 1));
+      Baselines.Ldr.read d ~reader:0 ~at:(float_of_int ((200 * i) + 100)) ()
+    done;
+    Simnet.Engine.run engine;
+    let ops = float_of_int (2 * rounds) in
+    ( float_of_int (Simnet.Engine.messages_sent engine) /. ops,
+      Cost.total_comm (Baselines.Ldr.cost d) /. ops )
+  in
+  let measurements =
+    [ ("abd", "ABD", runner_row Runner.Abd ());
+      ("cas", "CAS", runner_row (Runner.Cas { gc_depth = None }) ());
+      ("casgc(2)", "CASGC(2)", runner_row (Runner.Cas { gc_depth = Some 2 }) ());
+      ("ldr", "LDR", ldr_row ());
+      ( "soda-unbatched",
+        "SODA (broadcast)",
+        runner_row Runner.Soda () );
+      ( "soda",
+        "SODA (batched)",
+        runner_row ~plane:Soda.Config.batched_plane Runner.Soda () )
+    ]
+  in
   let rows =
     List.map
-      (fun (name, algo) ->
-        let params = Params.make ~n:10 ~f:4 () in
-        let w = Workload.sequential ~params ~value_len ~seed:17 ~rounds:4 () in
-        let r = Runner.run algo w in
-        let ops = float_of_int (History.size r.Runner.history) in
-        [ name;
-          Printf.sprintf "%.0f" (float_of_int r.Runner.messages_sent /. ops);
-          Report.f2 (Cost.total_comm r.Runner.cost /. ops);
-          Report.f2
-            (float_of_int r.Runner.messages_sent /. ops
-            /. Float.max 1e-9 (Cost.total_comm r.Runner.cost /. ops))
+      (fun (_, label, (msgs, units)) ->
+        [ label;
+          Printf.sprintf "%.0f" msgs;
+          Report.f2 units;
+          Report.f2 (msgs /. Float.max 1e-9 units)
         ])
-      [ ("ABD", Runner.Abd);
-        ("CAS", Runner.Cas { gc_depth = None });
-        ("CASGC(2)", Runner.Cas { gc_depth = Some 2 });
-        ("SODA", Runner.Soda)
-      ]
+      measurements
   in
   Report.table
     ~title:
-      "Metadata overhead per operation (n=10, f=4, quiescent): the paper's        cost model counts only data, but SODA's READ-DISPERSE gossip is        O(n^2) messages per read"
+      "Message overhead per operation (n=10, f=4, quiescent): the paper's        cost model counts only data; broadcast READ-DISPERSE gossip is        O(n^2) messages per read, the batched plane coalesces it away"
     ~header:
       [ "algorithm"; "messages/op"; "data units/op"; "msgs per data unit" ]
-    rows
+    rows;
+  match !overhead_out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"bench\":\"msgs\",\"results\":[";
+    List.iteri
+      (fun i (algo, _, (msgs, units)) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"algo\":%S,\"msgs_per_op\":%.2f,\"data_units_per_op\":%.2f,\"msgs_per_data_unit\":%.2f}"
+             algo msgs units
+             (msgs /. Float.max 1e-9 units)))
+      measurements;
+    Buffer.add_string buf "]}";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    output_char oc '\n';
+    close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Throughput under closed-loop load (simulation-level figure) *)

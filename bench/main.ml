@@ -63,6 +63,7 @@ let () =
     | "--out" :: path :: rest ->
       Codec_bench.out := Some path;
       Sim_bench.out := Some path;
+      Experiments.overhead_out := Some path;
       extract_flags acc rest
     | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc

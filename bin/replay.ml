@@ -45,10 +45,16 @@ let () =
       usage ()
   in
   let outcome = Harness.Chaos.run ~trace:true scenario ~seed in
-  if not quiet then
+  if not quiet then begin
     List.iter
       (fun e ->
         Format.printf "%a@." (Simnet.Engine.pp_event ~name:outcome.name_of) e)
       outcome.events;
+    (* payload view: protocol messages and acks rendered readably —
+       coalesced gossip envelopes show entry counts and tag/rid ranges,
+       cumulative acks the sequence they discharge *)
+    print_endline "-- deliveries --";
+    List.iter print_endline outcome.message_log
+  end;
   Format.printf "%a@." Harness.Chaos.pp_outcome outcome;
   exit (if Harness.Chaos.ok outcome then 0 else 1)

@@ -8,7 +8,8 @@ type scenario = {
   name : string;
   loss : float;
   partitions : bool;
-  crashes : bool
+  crashes : bool;
+  batched : bool
 }
 
 let matrix =
@@ -24,10 +25,20 @@ let matrix =
                   (if partitions then "+part" else "")
                   (if crashes then "+crash" else "")
               in
-              { name; loss; partitions; crashes })
+              { name; loss; partitions; crashes; batched = false })
             [ false; true ])
         [ false; true ])
     [ 0.05; 0.2; 0.4 ]
+  @ [ (* the batched message plane (coalesced gossip, relay batching,
+         staggered metadata) over cumulative acks must survive the same
+         adversary as the broadcast plane *)
+      { name = "batched20+part";
+        loss = 0.2;
+        partitions = true;
+        crashes = false;
+        batched = true
+      }
+    ]
 
 let find name = List.find_opt (fun s -> s.name = name) matrix
 
@@ -45,10 +56,14 @@ type outcome = {
   retransmissions : int;
   duplicates_suppressed : int;
   abandoned : int;
+  data : int;
+  meta : int;
+  acks : int;
   crash_events : int;
   partition_events : int;
   final_time : float;
   events : Engine.event list;
+  message_log : string list;
   name_of : int -> string
 }
 
@@ -59,14 +74,44 @@ let ok o =
 let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     ?(channel = Simnet.Channel.default) scenario ~seed =
   let params = Params.make ~n ~f () in
+  (* a batched cell exercises the coalesced plane over cumulative acks;
+     quiet window 0.5 < rto so acks always beat the retransmission timer *)
+  let channel =
+    if scenario.batched then { channel with Simnet.Channel.ack = `Cumulative 0.5 }
+    else channel
+  in
+  let plane = if scenario.batched then Some Soda.Config.batched_plane else None in
   let engine =
     Engine.create ~seed ~trace ~transport:(`Reliable channel)
+      ~classify:(fun m -> Soda.Messages.data_bytes m > 0)
       ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
   in
   if scenario.loss > 0.0 then Engine.set_loss engine scenario.loss;
+  (* payload-level log for replay: rendered through Soda.Messages.pp so
+     coalesced envelopes and cumulative acks stay human-diffable *)
+  let msg_log = ref [] in
+  if trace then begin
+    let name pid = Engine.name_of engine pid in
+    Engine.set_tap engine
+      { Engine.tap_deliver =
+          (fun ~time ~src ~dst msg ->
+            msg_log :=
+              Format.asprintf "%8.2f  %s -> %s  %a" time (name src) (name dst)
+                Soda.Messages.pp msg
+              :: !msg_log);
+        Engine.tap_ack =
+          (fun ~time ~src ~dst ~cumulative ~seq ->
+            (* acks travel against the data direction *)
+            msg_log :=
+              Printf.sprintf "%8.2f  %s -> %s  %s%d" time (name dst) (name src)
+                (if cumulative then "ACK cum<=" else "ack ")
+                seq
+              :: !msg_log)
+      }
+  end;
   let initial_value = Workload.value ~len:value_len ~seed ~index:999 in
   let d =
-    Soda.Deployment.deploy ~engine ~params ~initial_value ~num_writers:2
+    Soda.Deployment.deploy ~engine ~params ~initial_value ?plane ~num_writers:2
       ~num_readers:2 ()
   in
   let schedule =
@@ -140,10 +185,14 @@ let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     retransmissions = Engine.retransmissions engine;
     duplicates_suppressed = Engine.duplicates_suppressed engine;
     abandoned = Engine.sends_abandoned engine;
+    data = Engine.messages_data engine;
+    meta = Engine.messages_meta engine;
+    acks = Engine.acks_sent engine;
     crash_events = Nemesis.crash_count schedule;
     partition_events = Nemesis.partition_count schedule;
     final_time = Engine.now engine;
     events;
+    message_log = List.rev !msg_log;
     name_of = Engine.name_of engine
   }
 
@@ -153,12 +202,12 @@ let pp_outcome ppf o =
      ops=%d complete=%b atomic=%s trace=%s@,\
      sent=%d delivered=%d dropped=%d lost=%d retransmitted=%d deduped=%d \
      abandoned=%d@,\
-     crashes=%d partitions=%d final_time=%.1f@]"
+     data=%d meta=%d acks=%d crashes=%d partitions=%d final_time=%.1f@]"
     o.scenario.name o.seed
     (if ok o then "OK" else "FAIL")
     o.ops o.complete
     (match o.atomic with Ok () -> "ok" | Error e -> e)
     (match o.trace_ok with Ok () -> "ok" | Error e -> e)
     o.sent o.delivered o.dropped o.lost o.retransmissions
-    o.duplicates_suppressed o.abandoned o.crash_events o.partition_events
-    o.final_time
+    o.duplicates_suppressed o.abandoned o.data o.meta o.acks o.crash_events
+    o.partition_events o.final_time

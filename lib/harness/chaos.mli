@@ -20,12 +20,17 @@ type scenario = {
   name : string;  (** e.g. ["loss20+part+crash"] — unique within {!matrix} *)
   loss : float;  (** per-transmission drop probability on every link *)
   partitions : bool;
-  crashes : bool
+  crashes : bool;
+  batched : bool
+      (** run SODA on {!Soda.Config.batched_plane} over cumulative acks
+          ([`Cumulative 0.5]) instead of the broadcast plane with
+          per-message acks *)
 }
 
 val matrix : scenario list
-(** Loss p ∈ {0.05, 0.2, 0.4} × partitions on/off × crashes on/off:
-    12 cells. *)
+(** Loss p ∈ {0.05, 0.2, 0.4} × partitions on/off × crashes on/off
+    (12 cells), plus ["batched20+part"]: the batched message plane under
+    20% loss and partitions. *)
 
 val find : string -> scenario option
 (** Look up a {!matrix} cell by name. *)
@@ -46,10 +51,18 @@ type outcome = {
   retransmissions : int;
   duplicates_suppressed : int;
   abandoned : int;  (** sends that hit the retry cap — must be 0 *)
+  data : int;  (** logical sends carrying coded data *)
+  meta : int;  (** logical metadata-only sends *)
+  acks : int;  (** standalone ack transmissions *)
   crash_events : int;
   partition_events : int;
   final_time : float;
   events : Simnet.Engine.event list;  (** [[]] unless traced *)
+  message_log : string list;
+      (** payload-level delivery/ack log ([[]] unless traced):
+          protocol messages rendered through [Soda.Messages.pp] — so
+          coalesced gossip envelopes show entry counts and tag/rid
+          ranges — and cumulative acks their acknowledged sequence *)
   name_of : int -> string
 }
 
@@ -64,5 +77,7 @@ val run :
   ?channel:Simnet.Channel.config -> scenario -> seed:int -> outcome
 (** Execute one cell at one seed. Defaults: [n = 5], [f = 1],
     [horizon = 600], [value_len = 64], [channel = Channel.default];
-    2 writers and 2 readers in closed loop. Deterministic: equal
+    2 writers and 2 readers in closed loop. A [batched] scenario
+    overrides the channel's ack mode to [`Cumulative 0.5] and deploys
+    SODA on {!Soda.Config.batched_plane}. Deterministic: equal
     arguments give bit-identical outcomes. *)

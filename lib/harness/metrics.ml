@@ -28,7 +28,11 @@ type summary = {
   storage_final : float;
   write_latency : stats;
   read_latency : stats;
-  messages_sent : int
+  messages_sent : int;
+  messages_data : int;
+  messages_meta : int;
+  acks_sent : int;
+  retransmissions : int
 }
 
 let summarize (r : Runner.result) =
@@ -56,7 +60,11 @@ let summarize (r : Runner.result) =
     storage_final = Cost.current_total_storage r.Runner.cost;
     write_latency = stats_of (List.map latency_of writes);
     read_latency = stats_of (List.map latency_of reads);
-    messages_sent = r.Runner.messages_sent
+    messages_sent = r.Runner.messages_sent;
+    messages_data = r.Runner.messages_data;
+    messages_meta = r.Runner.messages_meta;
+    acks_sent = r.Runner.acks_sent;
+    retransmissions = r.Runner.retransmissions
   }
 
 let delta_w (r : Runner.result) ~rid =
@@ -129,7 +137,9 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>%s: %d/%d ops complete, liveness=%b atomic=%b@,\
      write cost: %a@,read cost: %a@,storage max: %.3f@,\
-     write latency: %a@,read latency: %a@,messages: %d@]"
+     write latency: %a@,read latency: %a@,\
+     messages: %d (data %d, meta %d, acks %d, rexmit %d)@]"
     s.algorithm s.ops_complete s.ops_total s.liveness s.atomic pp_stats
     s.write_cost pp_stats s.read_cost s.storage_max pp_stats s.write_latency
-    pp_stats s.read_latency s.messages_sent
+    pp_stats s.read_latency s.messages_sent s.messages_data s.messages_meta
+    s.acks_sent s.retransmissions

@@ -23,7 +23,12 @@ type summary = {
           in-flight pre-written version) *)
   write_latency : stats;
   read_latency : stats;
-  messages_sent : int
+  messages_sent : int;
+      (** physical transmissions, incl. duplicates / retransmits / acks *)
+  messages_data : int;  (** logical sends carrying coded data *)
+  messages_meta : int;  (** logical sends carrying metadata only *)
+  acks_sent : int;  (** standalone ack transmissions (reliable transport) *)
+  retransmissions : int  (** reliable-transport retransmissions *)
 }
 
 val summarize : Runner.result -> summary

@@ -22,6 +22,10 @@ type result = {
   messages_delivered : int;
   messages_dropped : int;
   messages_lost : int;
+  messages_data : int;
+  messages_meta : int;
+  acks_sent : int;
+  retransmissions : int;
   events_executed : int;
   final_time : float;
   crashed : int -> bool;
@@ -31,16 +35,18 @@ type result = {
 let initial_value_of (w : Workload.t) =
   Workload.value ~len:w.Workload.value_len ~seed:w.Workload.seed ~index:999_983
 
-let run_soda ~max_events ~transport (w : Workload.t) =
+let run_soda ~max_events ~transport ?plane (w : Workload.t) =
   let engine =
-    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay
+      ~classify:(fun m -> Soda.Messages.data_bytes m > 0)
+      ()
   in
   let initial_value = initial_value_of w in
   let d =
     Soda.Deployment.deploy ~engine ~params:w.Workload.params ~initial_value
       ~value_len:w.Workload.value_len ~error_prone:w.Workload.error_prone
-      ~num_writers:w.Workload.num_writers ~num_readers:w.Workload.num_readers
-      ()
+      ?plane ~num_writers:w.Workload.num_writers
+      ~num_readers:w.Workload.num_readers ()
   in
   List.iter
     (fun (coordinate, at) -> Soda.Deployment.crash_server d ~coordinate ~at)
@@ -66,6 +72,10 @@ let run_soda ~max_events ~transport (w : Workload.t) =
     messages_delivered = Engine.messages_delivered engine;
     messages_dropped = Engine.messages_dropped engine;
     messages_lost = Engine.messages_lost engine;
+    messages_data = Engine.messages_data engine;
+    messages_meta = Engine.messages_meta engine;
+    acks_sent = Engine.acks_sent engine;
+    retransmissions = Engine.retransmissions engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed;
@@ -74,7 +84,9 @@ let run_soda ~max_events ~transport (w : Workload.t) =
 
 let run_abd ~max_events ~transport (w : Workload.t) =
   let engine =
-    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay
+      ~classify:(fun m -> Baselines.Abd.Messages.data_bytes m > 0)
+      ()
   in
   let initial_value = initial_value_of w in
   let d =
@@ -102,6 +114,10 @@ let run_abd ~max_events ~transport (w : Workload.t) =
     messages_delivered = Engine.messages_delivered engine;
     messages_dropped = Engine.messages_dropped engine;
     messages_lost = Engine.messages_lost engine;
+    messages_data = Engine.messages_data engine;
+    messages_meta = Engine.messages_meta engine;
+    acks_sent = Engine.acks_sent engine;
+    retransmissions = Engine.retransmissions engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
@@ -110,7 +126,9 @@ let run_abd ~max_events ~transport (w : Workload.t) =
 
 let run_cas ~max_events ~transport ~gc_depth (w : Workload.t) =
   let engine =
-    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay ()
+    Engine.create ~seed:w.Workload.seed ~transport ~delay:w.Workload.delay
+      ~classify:(fun m -> Baselines.Cas.Messages.data_bytes m > 0)
+      ()
   in
   let initial_value = initial_value_of w in
   let d =
@@ -139,17 +157,23 @@ let run_cas ~max_events ~transport ~gc_depth (w : Workload.t) =
     messages_delivered = Engine.messages_delivered engine;
     messages_dropped = Engine.messages_dropped engine;
     messages_lost = Engine.messages_lost engine;
+    messages_data = Engine.messages_data engine;
+    messages_meta = Engine.messages_meta engine;
+    acks_sent = Engine.acks_sent engine;
+    retransmissions = Engine.retransmissions engine;
     events_executed = Engine.events_executed engine;
     final_time = Engine.now engine;
     crashed = (fun c -> Engine.is_crashed engine c);
     read_restarts = Baselines.Cas.read_restarts d
   }
 
-let run ?(max_events = 20_000_000) ?(transport = `Raw) algorithm workload =
+let run ?(max_events = 20_000_000) ?(transport = `Raw) ?plane algorithm workload =
   match algorithm with
-  | Soda -> run_soda ~max_events ~transport workload
+  | Soda -> run_soda ~max_events ~transport ?plane workload
   | Abd -> run_abd ~max_events ~transport workload
   | Cas { gc_depth } -> run_cas ~max_events ~transport ~gc_depth workload
 
-let run_sweep ?max_events ?transport ?domains algorithm workloads =
-  Parallel.map ?domains (fun w -> run ?max_events ?transport algorithm w) workloads
+let run_sweep ?max_events ?transport ?plane ?domains algorithm workloads =
+  Parallel.map ?domains
+    (fun w -> run ?max_events ?transport ?plane algorithm w)
+    workloads

@@ -33,6 +33,14 @@ type result = {
   messages_lost : int;
       (** Transmissions eaten by the engine's fault plane; 0 unless the
           workload ran over lossy links. *)
+  messages_data : int;
+      (** Logical protocol sends carrying coded data (the algorithm's
+          [Messages.data_bytes] > 0). *)
+  messages_meta : int;  (** Logical protocol sends carrying metadata only. *)
+  acks_sent : int;
+      (** Standalone ack transmissions; 0 on the raw transport. *)
+  retransmissions : int;
+      (** Reliable-transport retransmissions; 0 on the raw transport. *)
   events_executed : int;
       (** Every event the engine dispatched: deliveries, drops, local
           actions (e.g. dispersal steps), injections, crash/restores. *)
@@ -44,17 +52,22 @@ type result = {
 val run :
   ?max_events:int ->
   ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  ?plane:Soda.Config.plane ->
   algorithm -> Workload.t -> result
 (** [transport] (default [`Raw]) selects the engine's channel substrate
     — [`Reliable config] mounts the ack/retransmit layer so the same
     workloads (for any of the algorithms, which all assume reliable
-    channels) can be driven over a lossy fault plane.
+    channels) can be driven over a lossy fault plane. [plane] (SODA only,
+    ignored by the baselines) selects the message-plane configuration —
+    pass {!Soda.Config.batched_plane} for coalesced gossip, relay
+    batching and staggered metadata forwarding.
     @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
     quiesce within [max_events] (default 20 million). *)
 
 val run_sweep :
   ?max_events:int ->
   ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  ?plane:Soda.Config.plane ->
   ?domains:int -> algorithm -> Workload.t list -> result list
 (** [run_sweep algorithm workloads] runs each workload independently,
     fanned out across OCaml 5 domains with {!Parallel.map} ([domains]

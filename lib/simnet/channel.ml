@@ -3,18 +3,33 @@ type config = {
   backoff : float;
   max_rto : float;
   jitter : float;
-  max_retries : int
+  max_retries : int;
+  ack : [ `Immediate | `Cumulative of float ]
 }
 
 let default =
-  { rto = 5.0; backoff = 1.6; max_rto = 60.0; jitter = 0.1; max_retries = 50 }
+  { rto = 5.0;
+    backoff = 1.6;
+    max_rto = 60.0;
+    jitter = 0.1;
+    max_retries = 50;
+    ack = `Immediate
+  }
 
 let validate c =
   if not (c.rto > 0.0) then invalid_arg "Channel: rto must be > 0";
   if not (c.backoff >= 1.0) then invalid_arg "Channel: backoff must be >= 1";
   if not (c.max_rto >= c.rto) then invalid_arg "Channel: max_rto < rto";
   if not (c.jitter >= 0.0) then invalid_arg "Channel: negative jitter";
-  if c.max_retries < 0 then invalid_arg "Channel: negative max_retries"
+  if c.max_retries < 0 then invalid_arg "Channel: negative max_retries";
+  match c.ack with
+  | `Immediate -> ()
+  | `Cumulative quiet ->
+    if not (quiet >= 0.0) then invalid_arg "Channel: negative ack quiet window";
+    if not (quiet < c.rto) then
+      invalid_arg
+        "Channel: ack quiet window must be < rto (acks must beat the \
+         retransmission timer)"
 
 let next_rto c rto = Float.min (rto *. c.backoff) c.max_rto
 
@@ -35,11 +50,25 @@ let entry_key ~src ~dst ~seq = (link_key ~src ~dst lsl 19) lor seq
 
 type entry = { payload : Obj.t; mutable tries : int; mutable rto : float }
 
+(* Cumulative-mode receiver state, one per directed link (keyed by the
+   data direction). [cum] is the highest seq below which everything has
+   arrived; [ooo] holds the arrivals above the gap. *)
+type rx = {
+  mutable cum : int;  (* -1 until seq 0 arrives *)
+  ooo : (int, unit) Hashtbl.t;
+  mutable ack_pending : bool;  (* arrivals not yet covered by a sent ack *)
+  mutable timer_armed : bool  (* a quiet-window ack timer is scheduled *)
+}
+
 type t = {
   config : config;
   pending : (int, entry) Hashtbl.t;  (* sender: entry_key -> unacked send *)
   seen : (int, unit) Hashtbl.t;  (* receiver: entry_key delivered already *)
   next_seq : (int, int) Hashtbl.t;  (* link_key -> next sequence number *)
+  rx : (int, rx) Hashtbl.t;  (* cumulative receiver: link_key -> state *)
+  floor : (int, int) Hashtbl.t;
+      (* cumulative sender: link_key -> lowest seq a future ack could
+         still discharge; lets ack_up_to remove a range in O(new) *)
   mutable retransmissions : int;
   mutable duplicates_suppressed : int;
   mutable abandoned : int
@@ -51,6 +80,8 @@ let create config =
     pending = Hashtbl.create 256;
     seen = Hashtbl.create 256;
     next_seq = Hashtbl.create 64;
+    rx = Hashtbl.create 64;
+    floor = Hashtbl.create 64;
     retransmissions = 0;
     duplicates_suppressed = 0;
     abandoned = 0
@@ -85,6 +116,83 @@ let receive t ~src ~dst ~seq =
   end
 
 let ack t ~src ~dst ~seq = Hashtbl.remove t.pending (entry_key ~src ~dst ~seq)
+
+(* ------------------------------------------------------------------ *)
+(* Cumulative-ack mode *)
+
+let rx_state t ~src ~dst =
+  let k = link_key ~src ~dst in
+  match Hashtbl.find_opt t.rx k with
+  | Some r -> r
+  | None ->
+    let r =
+      { cum = -1;
+        ooo = Hashtbl.create 8;
+        ack_pending = false;
+        timer_armed = false
+      }
+    in
+    Hashtbl.add t.rx k r;
+    r
+
+let receive_cum t ~src ~dst ~seq =
+  let r = rx_state t ~src ~dst in
+  if seq <= r.cum || Hashtbl.mem r.ooo seq then begin
+    t.duplicates_suppressed <- t.duplicates_suppressed + 1;
+    (* the retransmission means the sender missed our last ack: re-ack *)
+    r.ack_pending <- true;
+    `Duplicate
+  end
+  else begin
+    if seq = r.cum + 1 then begin
+      r.cum <- seq;
+      while Hashtbl.mem r.ooo (r.cum + 1) do
+        Hashtbl.remove r.ooo (r.cum + 1);
+        r.cum <- r.cum + 1
+      done
+    end
+    else Hashtbl.add r.ooo seq ();
+    r.ack_pending <- true;
+    `Fresh
+  end
+
+let arm_ack_timer t ~src ~dst =
+  let r = rx_state t ~src ~dst in
+  if r.timer_armed then false
+  else begin
+    r.timer_armed <- true;
+    true
+  end
+
+let take_ack t ~src ~dst =
+  let r = rx_state t ~src ~dst in
+  r.timer_armed <- false;
+  if r.ack_pending && r.cum >= 0 then begin
+    r.ack_pending <- false;
+    Some r.cum
+  end
+  else
+    (* nothing contiguous to report yet (only out-of-order arrivals, an
+       unencodable state): stay quiet, the next arrival re-arms *)
+    None
+
+let piggyback_ack t ~src ~dst =
+  match Hashtbl.find_opt t.rx (link_key ~src ~dst) with
+  | Some r when r.ack_pending && r.cum >= 0 ->
+    (* the armed timer, if any, finds ack_pending = false and disarms *)
+    r.ack_pending <- false;
+    r.cum
+  | Some _ | None -> -1
+
+let ack_up_to t ~src ~dst ~upto =
+  let lk = link_key ~src ~dst in
+  let lo = match Hashtbl.find_opt t.floor lk with Some v -> v | None -> 0 in
+  if upto >= lo then begin
+    for seq = lo to upto do
+      Hashtbl.remove t.pending ((lk lsl 19) lor seq)
+    done;
+    Hashtbl.replace t.floor lk (upto + 1)
+  end
 
 let on_timer t ~src ~dst ~seq =
   let k = entry_key ~src ~dst ~seq in

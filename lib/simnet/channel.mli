@@ -29,17 +29,27 @@ type config = {
       (** each scheduled retransmission is delayed by an extra uniform
           draw in [0, jitter * timeout); >= 0. Jitter decorrelates the
           retry storms of messages lost in the same partition window. *)
-  max_retries : int
+  max_retries : int;
       (** retransmissions per message before the sender gives up, >= 0.
           A give-up breaks the reliable abstraction and is counted in
           {!abandoned}; size the cap so that the backoff schedule outlives
           the longest fault window the harness injects. *)
+  ack : [ `Immediate | `Cumulative of float ]
+      (** [`Immediate] (default): every data arrival is acknowledged with
+          its own ack message. [`Cumulative quiet]: per directed link the
+          receiver tracks the highest contiguous sequence number; acks are
+          piggybacked on reverse data traffic, and a standalone ack is
+          sent only if [quiet] time units pass with arrivals still
+          unacknowledged. One cumulative ack discharges every pending
+          send up to its sequence number. [quiet] must satisfy
+          [0 <= quiet < rto] — an ack that cannot beat the retransmission
+          timer defeats the aggregation. *)
 }
 
 val default : config
 (** [{ rto = 5.0; backoff = 1.6; max_rto = 60.0; jitter = 0.1;
-      max_retries = 50 }] — sized for the repo's delay models (transit
-    <= 2–10 time units) and nemesis partition windows. *)
+      max_retries = 50; ack = `Immediate }] — sized for the repo's delay
+    models (transit <= 2–10 time units) and nemesis partition windows. *)
 
 val validate : config -> unit
 (** @raise Invalid_argument on any field outside its documented range. *)
@@ -82,6 +92,39 @@ val on_timer : t -> src:int -> dst:int -> seq:int ->
     retry cap is exhausted; the entry is dropped and counted. Otherwise
     the payload to retransmit and the {e next} timeout (backed off,
     jitter-free — the engine adds its seeded jitter). *)
+
+(** {1 Cumulative-ack mode}
+
+    Used by the engine when [config.ack = `Cumulative quiet]. Receiver
+    state lives per directed link, keyed by the {e data} direction
+    ([src] = data sender) on both sides. *)
+
+val receive_cum : t -> src:int -> dst:int -> seq:int -> [ `Fresh | `Duplicate ]
+(** Cumulative-mode receiver dedup: [`Fresh] exactly once per (link,
+    seq), tracked as highest-contiguous + out-of-order set instead of a
+    per-message table. Marks the link ack-pending (duplicates included —
+    a retransmission means the sender missed the last ack). *)
+
+val arm_ack_timer : t -> src:int -> dst:int -> bool
+(** [true] exactly when no quiet-window timer is currently armed for the
+    link — the caller must then schedule one and report its expiry via
+    {!take_ack}. *)
+
+val take_ack : t -> src:int -> dst:int -> int option
+(** Quiet-window timer expired. [Some cum]: send a standalone cumulative
+    ack for sequence [cum] (the pending flag is consumed). [None]:
+    everything was already covered by piggybacked acks (or nothing
+    contiguous has arrived); the timer is disarmed either way. *)
+
+val piggyback_ack : t -> src:int -> dst:int -> int
+(** Highest contiguous sequence to piggyback on a reverse-direction
+    transmission, consuming the pending flag; [-1] when the link owes no
+    ack. Call at every physical transmission towards [src]. *)
+
+val ack_up_to : t -> src:int -> dst:int -> upto:int -> unit
+(** Sender side: discharge every pending send on the link with sequence
+    [<= upto]. Idempotent and monotone — stale or duplicated cumulative
+    acks are no-ops. *)
 
 (** {1 Counters} *)
 

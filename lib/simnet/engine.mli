@@ -44,6 +44,7 @@ type 'msg context
 val create :
   ?seed:int -> ?trace:bool -> ?duplication:float ->
   ?transport:[ `Raw | `Reliable of Channel.config ] ->
+  ?classify:('msg -> bool) ->
   delay:Delay.t -> unit -> 'msg t
 (** [create ~delay ()] builds an empty simulation. [seed] defaults to 0;
     [trace] (default false) records an event log retrievable with
@@ -54,7 +55,12 @@ val create :
     (under [`Reliable] the duplicate carries the same sequence number and
     is absorbed by the channel's own dedup). [transport] (default
     [`Raw]) selects the channel substrate: [`Reliable config] mounts the
-    ack/retransmit layer of {!Channel} under every process.
+    ack/retransmit layer of {!Channel} under every process; a config with
+    [ack = `Cumulative quiet] switches the whole engine to cumulative
+    per-link acks (see {!Channel}). [classify] (optional) is a
+    data-vs-metadata discriminator ([true] = data-bearing) applied to
+    every protocol-level send and reported through {!messages_data} /
+    {!messages_meta}; without it both counters stay 0.
     @raise Invalid_argument on an out-of-range [duplication] or an
     invalid channel config. *)
 
@@ -72,6 +78,23 @@ val set_handler :
 
 val process_count : 'msg t -> int
 val name_of : 'msg t -> pid -> string
+
+(** Observation-only tap: [tap_deliver] fires at every protocol-level
+    delivery (just before the handler), [tap_ack] at every ack
+    transmission ([src]/[dst] name the {e data} direction; the ack
+    physically travels [dst] to [src]; [cumulative] is true when the
+    channel runs cumulative acks, and [seq] is then the highest
+    contiguous sequence acknowledged). A tap draws no randomness and
+    schedules nothing, so installing one cannot perturb the execution —
+    payload-aware trace tooling (bin/replay) uses it to render messages
+    the engine's own event log keeps opaque. *)
+type 'msg tap = {
+  tap_deliver : time:float -> src:pid -> dst:pid -> 'msg -> unit;
+  tap_ack :
+    time:float -> src:pid -> dst:pid -> cumulative:bool -> seq:int -> unit
+}
+
+val set_tap : 'msg t -> 'msg tap -> unit
 
 (** {1 Context operations (valid only during a handler / local action)} *)
 
@@ -206,6 +229,22 @@ val events_executed : 'msg t -> int
 (** Total events dispatched over the engine's lifetime — deliveries,
     drops, local actions, injections, crash/restore transitions,
     fault-plane control events and retransmission timers. *)
+
+val messages_data : 'msg t -> int
+(** Protocol-level sends the [classify] discriminator judged
+    data-bearing. Counts logical sends (one per {!send} call, regardless
+    of duplication or retransmission); 0 when [classify] was not given. *)
+
+val messages_meta : 'msg t -> int
+(** Protocol-level sends judged metadata-only by [classify]; 0 when
+    [classify] was not given. *)
+
+val acks_sent : 'msg t -> int
+(** Ack transmissions on the reliable transport: every per-message ack
+    under [`Immediate], standalone quiet-window acks under
+    [`Cumulative] (piggybacked cumulative acks ride data packets and are
+    not counted here). Subset of {!messages_sent}. 0 on the raw
+    transport. *)
 
 (** {2 Reliable-transport counters (0 on the raw transport)} *)
 

@@ -4,6 +4,27 @@ module Probe = Protocol.Probe
 module History = Protocol.History
 module Mds = Erasure.Mds
 
+type plane = {
+  gossip_mode : [ `Broadcast | `Coalesced | `Off ];
+  gossip_staleness : float;
+  relay_batch : float option;
+  meta_stagger : float option
+}
+
+let default_plane =
+  { gossip_mode = `Broadcast;
+    gossip_staleness = 25.0;
+    relay_batch = None;
+    meta_stagger = None
+  }
+
+let batched_plane =
+  { gossip_mode = `Coalesced;
+    gossip_staleness = 25.0;
+    relay_batch = Some 0.25;
+    meta_stagger = Some 4.0
+  }
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -13,7 +34,7 @@ type t = {
   error_prone : bool array;
   disperse_step : float;
   md_mode : [ `Chained | `Direct ];
-  gossip : bool;
+  plane : plane;
   client_retry : float option;
   cost : Cost.t;
   probe : Probe.t;
@@ -40,7 +61,15 @@ let encode t value =
 
 let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     ?(error_prone = []) ?(disperse_step = 0.001) ?(md_mode = `Chained) ?(gossip = true)
-    ?client_retry ?(systematic = false) () =
+    ?plane ?client_retry ?(systematic = false) () =
+  (* [?plane] wins over the legacy [?gossip] bool, which survives as
+     shorthand for `Broadcast vs `Off (the ablation-gossip knob). *)
+  let plane =
+    match plane with
+    | Some p -> p
+    | None ->
+      if gossip then default_plane else { default_plane with gossip_mode = `Off }
+  in
   let n = Params.n params in
   if Array.length servers <> n then
     invalid_arg "Config.make: need exactly n server pids";
@@ -85,7 +114,7 @@ let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     error_prone = error_flags;
     disperse_step;
     md_mode;
-    gossip;
+    plane;
     client_retry;
     cost = Cost.create ~value_len;
     probe = Probe.create ();

@@ -9,6 +9,46 @@ module Probe = Protocol.Probe
 module History = Protocol.History
 module Mds = Erasure.Mds
 
+(** Message-plane tuning: how READ-DISPERSE gossip, relays and MD-META
+    forwards are put on the wire. Purely an optimization layer — every
+    mode delivers the same protocol events, so safety (atomicity) is
+    untouched; see "Batched message plane" in DESIGN.md. *)
+type plane = {
+  gossip_mode : [ `Broadcast | `Coalesced | `Off ];
+      (** [`Broadcast] (the paper, and the default): every relay
+          triggers a standalone READ-DISPERSE MD-META round — O(n²)
+          messages per read. [`Coalesced]: entries accumulate in a
+          per-destination outbox and ride on the next server-to-server
+          message (or a bounded-staleness flush). [`Off]: the
+          ablation-gossip mode — no announcements at all. *)
+  gossip_staleness : float;
+      (** Coalesced mode: upper bound on how long a queued gossip entry
+          may wait for a piggyback before a standalone {!Messages.Gossip}
+          flush is forced (unregistration liveness). *)
+  relay_batch : float option;
+      (** [Some w]: buffer relays to each registered reader for up to
+          [w] time units and ship them as one {!Messages.Relay_batch}.
+          [None] (default): one [Relay] per coded element. *)
+  meta_stagger : float option
+      (** [Some sigma]: server at coordinate [i > 0] delays its MD-META
+          forwards by [i * sigma] and cancels them when a copy of the
+          same [mid] arrives from a lower coordinate (whose forward set
+          is a superset of its own). Cuts the MD-META forward storm from
+          O(f·n) to O(n) on the failure-free path, at the price of a
+          wider crash-vulnerability window — see DESIGN.md. [None]
+          (default): forward immediately, as in the paper. *)
+}
+
+val default_plane : plane
+(** [`Broadcast], staleness 25.0, no relay batching, no stagger — wire
+    behaviour bit-identical to the pre-plane code. *)
+
+val batched_plane : plane
+(** [`Coalesced], staleness 25.0, relay window 0.25, stagger 4.0 (the
+    worst-case forward-arrival lag under the uniform(0.2, 2.0) delay
+    model is 3.8). The configuration the overhead bench and the
+    batched chaos cell run. *)
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -35,13 +75,14 @@ type t = {
           mid-dispersal can leave a partial write that no server can
           complete, losing uniformity (and, combined with f server
           crashes, read liveness). Used by the [ablation-md] benchmark. *)
-  gossip : bool;
-      (** When true (the default, and the paper's algorithm), servers
-          announce every relay with READ-DISPERSE and unregister readers
-          at the k-element threshold. When false — an ablation mirroring
-          ORCAS-B's behaviour — no announcements are sent and only
-          READ-COMPLETE unregisters, so a crashed reader is relayed to
-          forever. Used by the [ablation-gossip] benchmark. *)
+  plane : plane;
+      (** How gossip/relays/forwards hit the wire. [gossip_mode =
+          `Broadcast] is the paper's algorithm: servers announce every
+          relay with READ-DISPERSE and unregister readers at the
+          k-element threshold. [`Off] — an ablation mirroring ORCAS-B's
+          behaviour — sends no announcements, so only READ-COMPLETE
+          unregisters and a crashed reader is relayed to forever. Used
+          by the [ablation-gossip] benchmark. *)
   client_retry : float option;
       (** When [Some interval], clients re-issue the pending phase of a
           stalled operation every [interval] time units: a writer/reader
@@ -79,6 +120,7 @@ val make :
   ?disperse_step:float ->
   ?md_mode:[ `Chained | `Direct ] ->
   ?gossip:bool ->
+  ?plane:plane ->
   ?client_retry:float ->
   ?systematic:bool ->
   unit ->
@@ -91,6 +133,8 @@ val make :
     servers).
     [value_len] (default: length of [initial_value], or 1024 if that is
     empty) sets the cost normalization base.
+    [gossip] (default true) is legacy shorthand for the plane's
+    [`Broadcast] vs [`Off]; an explicit [plane] wins over it.
     @raise Invalid_argument if [servers] does not have [n] entries or an
     [error_prone] coordinate is out of range or they number more than
     [e]. *)

@@ -20,7 +20,8 @@ type t = {
 let client_retry_interval = 80.0
 
 let deploy ~engine ~params ?initial_value ?value_len ?error_prone
-    ?disperse_step ?md_mode ?gossip ?systematic ~num_writers ~num_readers () =
+    ?disperse_step ?md_mode ?gossip ?plane ?systematic ~num_writers
+    ~num_readers () =
   if num_writers < 0 || num_readers < 0 then
     invalid_arg "Deployment.deploy: negative client count";
   let n = Params.n params in
@@ -38,7 +39,8 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
   in
   let config =
     Config.make ~params ~servers:server_pids ?initial_value ?value_len
-      ?error_prone ?disperse_step ?md_mode ?gossip ?client_retry ?systematic ()
+      ?error_prone ?disperse_step ?md_mode ?gossip ?plane ?client_retry
+      ?systematic ()
   in
   let servers =
     Array.init n (fun coordinate -> Server.create config ~coordinate)

@@ -25,6 +25,7 @@ val deploy :
   ?disperse_step:float ->
   ?md_mode:[ `Chained | `Direct ] ->
   ?gossip:bool ->
+  ?plane:Config.plane ->
   ?systematic:bool ->
   num_writers:int ->
   num_readers:int ->

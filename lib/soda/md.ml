@@ -22,7 +22,8 @@ let stepped_send_to_d ctx (config : Config.t) msg =
     | Messages.Md_coded _ | Messages.Md_meta _ | Messages.Write_get _
     | Messages.Write_get_reply _ | Messages.Write_ack _ | Messages.Read_get _
     | Messages.Read_get_reply _ | Messages.Relay _ | Messages.Repair_get _
-    | Messages.Repair_reply _ ->
+    | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _
+    | Messages.Relay_batch _ ->
       (0, 0)
   in
   let i = ref 0 in

@@ -15,6 +15,10 @@ type meta =
   | Read_complete of { rid : int; reader : int; tr : Tag.t }
   | Read_disperse of { tag : Tag.t; server_index : int; rid : int }
 
+(* One deferred READ-DISPERSE announcement, accumulated in a server's
+   per-destination outbox instead of being broadcast standalone. *)
+type gossip_entry = { tag : Tag.t; server_index : int; rid : int }
+
 type t =
   | Write_get of { op : int }
   | Write_get_reply of { op : int; tag : Tag.t }
@@ -27,15 +31,21 @@ type t =
   | Md_meta of { mid : mid; meta : meta }
   | Repair_get of { op : int }
   | Repair_reply of { op : int; tag : Tag.t; fragment : Fragment.t }
+  | Gossip of { entries : gossip_entry list }
+  | Envelope of { entries : gossip_entry list; msg : t }
+  | Relay_batch of { rid : int; items : (Tag.t * Fragment.t) list }
 
-let data_bytes = function
+let rec data_bytes = function
   | Write_get _ | Write_get_reply _ | Write_ack _ | Read_get _
-  | Read_get_reply _ | Md_meta _ | Repair_get _ ->
+  | Read_get_reply _ | Md_meta _ | Repair_get _ | Gossip _ ->
     0
   | Relay { fragment; _ } | Md_coded { fragment; _ }
   | Repair_reply { fragment; _ } ->
     Fragment.size fragment
   | Md_full { value; _ } -> Bytes.length value
+  | Envelope { msg; _ } -> data_bytes msg
+  | Relay_batch { items; _ } ->
+    List.fold_left (fun acc (_, fr) -> acc + Fragment.size fr) 0 items
 
 let pp_meta ppf = function
   | Read_value { rid; reader; tr } ->
@@ -46,7 +56,31 @@ let pp_meta ppf = function
     Format.fprintf ppf "READ-DISPERSE(t=%a s=%d rid=%d)" Tag.pp tag
       server_index rid
 
-let pp ppf = function
+(* Entry counts plus tag/rid ranges — enough to diff two replay traces
+   by eye without dumping every element of a long envelope. *)
+let pp_entries ppf entries =
+  match entries with
+  | [] -> Format.fprintf ppf "#0"
+  | { tag; server_index; rid } :: rest ->
+    let lo_t, hi_t, lo_r, hi_r, servers =
+      List.fold_left
+        (fun (lo_t, hi_t, lo_r, hi_r, servers) e ->
+          ( (if Tag.( > ) lo_t e.tag then e.tag else lo_t),
+            (if Tag.( > ) e.tag hi_t then e.tag else hi_t),
+            min lo_r e.rid,
+            max hi_r e.rid,
+            servers + 1 ))
+        (tag, tag, rid, rid, 1)
+        rest
+    in
+    ignore (server_index : int);
+    if Tag.compare lo_t hi_t = 0 && lo_r = hi_r then
+      Format.fprintf ppf "#%d t=%a rid=%d" servers Tag.pp lo_t lo_r
+    else
+      Format.fprintf ppf "#%d t=%a..%a rid=%d..%d" servers Tag.pp lo_t Tag.pp
+        hi_t lo_r hi_r
+
+let rec pp ppf = function
   | Write_get { op } -> Format.fprintf ppf "WRITE-GET(op=%d)" op
   | Write_get_reply { op; tag } ->
     Format.fprintf ppf "WRITE-GET-REPLY(op=%d t=%a)" op Tag.pp tag
@@ -71,3 +105,9 @@ let pp ppf = function
   | Repair_reply { op; tag; fragment } ->
     Format.fprintf ppf "REPAIR-REPLY(op=%d t=%a %a)" op Tag.pp tag Fragment.pp
       fragment
+  | Gossip { entries } -> Format.fprintf ppf "GOSSIP(%a)" pp_entries entries
+  | Envelope { entries; msg } ->
+    Format.fprintf ppf "ENVELOPE(%a | %a)" pp_entries entries pp msg
+  | Relay_batch { rid; items } ->
+    Format.fprintf ppf "RELAY-BATCH(rid=%d #%d %dB)" rid (List.length items)
+      (List.fold_left (fun acc (_, fr) -> acc + Fragment.size fr) 0 items)

@@ -35,6 +35,16 @@ type meta =
   | Read_complete of { rid : int; reader : int; tr : Tag.t }
   | Read_disperse of { tag : Tag.t; server_index : int; rid : int }
 
+type gossip_entry = { tag : Tag.t; server_index : int; rid : int }
+(** One deferred READ-DISPERSE announcement. Under the coalesced plane
+    ({!Config.plane}) servers accumulate these in a per-destination
+    outbox instead of broadcasting each as a standalone MD-META round,
+    and ship them either piggybacked on the next server-to-server
+    message ([Envelope]) or in a standalone [Gossip] once the
+    bounded-staleness timer fires. Applying an entry is the same
+    monotone [h]-set insertion as a standalone READ-DISPERSE, so
+    duplicates (retransmissions included) are harmless. *)
+
 type t =
   | Write_get of { op : int }
   | Write_get_reply of { op : int; tag : Tag.t }
@@ -47,6 +57,15 @@ type t =
   | Md_meta of { mid : mid; meta : meta }
   | Repair_get of { op : int }
   | Repair_reply of { op : int; tag : Tag.t; fragment : Fragment.t }
+  | Gossip of { entries : gossip_entry list }
+      (** Standalone flush of a gossip outbox (bounded-staleness timer). *)
+  | Envelope of { entries : gossip_entry list; msg : t }
+      (** [msg] with the destination's pending gossip piggybacked on it.
+          Never nested: [msg] is itself neither [Envelope] nor [Gossip]. *)
+  | Relay_batch of { rid : int; items : (Tag.t * Fragment.t) list }
+      (** Relays to one registered reader across consecutive writes,
+          framed as a single message (one header, many zero-copy
+          fragment views). *)
 
 val data_bytes : t -> int
 (** Bytes of {e data} (value or coded element) the message carries; zero

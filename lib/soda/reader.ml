@@ -111,6 +111,24 @@ let try_decode t ctx ~rid ~tr ~tag fragments =
     | exception Mds.Decode_failure _ -> ()
   end
 
+(* Fold one relayed element into the collect phase. Re-checks the phase
+   so a batch whose earlier element completed the read (decode success
+   flips the phase to Idle) stops consuming the rest. *)
+let add_relay t ctx ~rid ~tag ~fragment =
+  match t.phase with
+  | Collect c when c.rid = rid ->
+    let fragments =
+      match TagMap.find_opt tag c.acc with
+      | Some fragments -> fragments
+      | None ->
+        let fragments = Hashtbl.create 8 in
+        c.acc <- TagMap.add tag fragments c.acc;
+        fragments
+    in
+    Hashtbl.replace fragments (Fragment.index fragment) fragment;
+    try_decode t ctx ~rid ~tr:c.tr ~tag fragments
+  | Idle | Get _ | Collect _ -> ()
+
 let handler t ctx ~src msg =
   match (msg, t.phase) with
   | Messages.Read_get_reply { rid; tag }, Get g when g.rid = rid ->
@@ -124,20 +142,14 @@ let handler t ctx ~src msg =
         (Messages.Read_value { rid; reader = Engine.self ctx; tr })
     end
   | Messages.Relay { rid; tag; fragment }, Collect c when c.rid = rid ->
-    let fragments =
-      match TagMap.find_opt tag c.acc with
-      | Some fragments -> fragments
-      | None ->
-        let fragments = Hashtbl.create 8 in
-        c.acc <- TagMap.add tag fragments c.acc;
-        fragments
-    in
-    Hashtbl.replace fragments (Fragment.index fragment) fragment;
-    try_decode t ctx ~rid ~tr:c.tr ~tag fragments
-  | ( ( Messages.Read_get_reply _ | Messages.Relay _ | Messages.Write_get _
-      | Messages.Write_get_reply _ | Messages.Write_ack _
+    add_relay t ctx ~rid ~tag ~fragment
+  | Messages.Relay_batch { rid; items }, Collect c when c.rid = rid ->
+    List.iter (fun (tag, fragment) -> add_relay t ctx ~rid ~tag ~fragment) items
+  | ( ( Messages.Read_get_reply _ | Messages.Relay _ | Messages.Relay_batch _
+      | Messages.Write_get _ | Messages.Write_get_reply _ | Messages.Write_ack _
       | Messages.Read_get _ | Messages.Md_full _ | Messages.Md_coded _
-      | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _ ),
+      | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _
+      | Messages.Gossip _ | Messages.Envelope _ ),
       (Idle | Get _ | Collect _) ) ->
     (* stale relays for finished reads, or foreign traffic *)
     ()

@@ -26,6 +26,13 @@ type repair_state = {
          lose them forever — they are answered in [finish_repair]. *)
 }
 
+(* Relays to one reader buffered during a [relay_batch] window, shipped
+   as a single Relay_batch frame when the window closes. *)
+type relay_buffer = {
+  reader : int;
+  mutable items : (Tag.t * Fragment.t) list (* newest first *)
+}
+
 type t = {
   config : Config.t;
   coordinate : int;
@@ -38,7 +45,18 @@ type t = {
          unregistration test (how many distinct coordinates dispersed
          this tag?) is a table length instead of a fold over the set. *)
   md_delivered : Int_tbl.Set.t;
+  completed : Int_tbl.Set.t;
+      (* rids whose READ-COMPLETE was delivered locally. (H's tombstone
+         rows can't serve here: a relay of the initial value writes the
+         same (rid, t0, self) triple.) Used to prune dead gossip. *)
   seq : int ref;
+  outbox : Messages.gossip_entry list array;
+      (* Coalesced plane: pending READ-DISPERSE entries per destination
+         coordinate, newest first; own slot unused. *)
+  outbox_armed : bool array; (* a staleness flush is scheduled for slot i *)
+  relay_buf : (int, relay_buffer) Hashtbl.t; (* rid -> open batch window *)
+  pending_meta : (int, unit) Hashtbl.t;
+      (* mids whose MD-META forward is sitting out a stagger delay *)
   mutable repair : repair_state option
 }
 
@@ -47,6 +65,7 @@ let create config ~coordinate =
   let fragment = fragments.(coordinate) in
   Cost.storage_set config.Config.cost ~server:coordinate
     ~bytes:(Fragment.size fragment);
+  let n = Params.n config.Config.params in
   { config;
     coordinate;
     tag = Tag.initial;
@@ -54,7 +73,12 @@ let create config ~coordinate =
     registered = Hashtbl.create 8;
     h = Hashtbl.create 8;
     md_delivered = Int_tbl.Set.create 64;
+    completed = Int_tbl.Set.create 16;
     seq = ref 0;
+    outbox = Array.make n [];
+    outbox_armed = Array.make n false;
+    relay_buf = Hashtbl.create 4;
+    pending_meta = Hashtbl.create 4;
     repair = None
   }
 
@@ -131,19 +155,125 @@ let unregister t ctx rid =
     (Probe.Unregistered
        { rid; server = t.coordinate; time = Engine.now_ctx ctx })
 
+(* ------------------------------------------------------------------ *)
+(* Batched message plane (see "Batched message plane" in DESIGN.md) *)
+
+(* A read whose READ-COMPLETE already reached this server needs no more
+   gossip from it: every peer unregisters through its own READ-COMPLETE
+   delivery, so the queued entry would only burn a message. *)
+let entry_live t (e : Messages.gossip_entry) =
+  not (Int_tbl.Set.mem t.completed e.Messages.rid)
+
+(* Drain destination [j]'s outbox, dropping entries for completed reads,
+   in enqueue order. *)
+let take_outbox t j =
+  match t.outbox.(j) with
+  | [] -> []
+  | pending ->
+    t.outbox.(j) <- [];
+    List.rev (List.filter (entry_live t) pending)
+
+(* Bounded-staleness flush: whatever could not hitch a ride on regular
+   traffic within [gossip_staleness] goes out as a standalone Gossip, so
+   unregistration of crashed readers cannot stall behind a quiet link. *)
+let flush_gossip t ctx j =
+  t.outbox_armed.(j) <- false;
+  match take_outbox t j with
+  | [] -> ()
+  | entries ->
+    Engine.send ctx ~dst:t.config.Config.servers.(j)
+      (Messages.Gossip { entries })
+
+let gossip_enqueue t ctx (entry : Messages.gossip_entry) =
+  let n = Params.n t.config.Config.params in
+  let staleness = t.config.Config.plane.Config.gossip_staleness in
+  for j = 0 to n - 1 do
+    if j <> t.coordinate then begin
+      t.outbox.(j) <- entry :: t.outbox.(j);
+      if not t.outbox_armed.(j) then begin
+        t.outbox_armed.(j) <- true;
+        Engine.schedule_local ctx ~delay:staleness (fun () ->
+            flush_gossip t ctx j)
+      end
+    end
+  done
+
+(* Every server->server send flushes the destination's pending gossip by
+   wrapping the message in an envelope — piggybacking costs nothing, the
+   envelope is still one message. In `Broadcast / `Off modes the outbox
+   is never fed, and this is exactly [Engine.send]. *)
+let send_to_coordinate t ctx ~coordinate:j msg =
+  let msg =
+    match t.config.Config.plane.Config.gossip_mode with
+    | `Broadcast | `Off -> msg
+    | `Coalesced -> (
+      match take_outbox t j with
+      | [] -> msg
+      | entries -> Messages.Envelope { entries; msg })
+  in
+  Engine.send ctx ~dst:t.config.Config.servers.(j) msg
+
+(* Same, for destinations addressed by pid (repair replies): a pid that
+   is not a server coordinate gets a plain send. *)
+let send_to_pid t ctx ~dst msg =
+  match t.config.Config.plane.Config.gossip_mode with
+  | `Broadcast | `Off -> Engine.send ctx ~dst msg
+  | `Coalesced -> (
+    match Config.coordinate_of t.config ~pid:dst with
+    | j -> send_to_coordinate t ctx ~coordinate:j msg
+    | exception Not_found -> Engine.send ctx ~dst msg)
+
+(* Close the [relay_batch] window for [rid]: everything buffered since
+   it opened leaves as one framed message. Registration state is not
+   consulted — the buffered elements were already counted in H (and
+   gossiped), so they must reach the reader even if the read was
+   unregistered meanwhile. *)
+let flush_relays t ctx rid =
+  match Hashtbl.find_opt t.relay_buf rid with
+  | None -> ()
+  | Some buf -> (
+    Hashtbl.remove t.relay_buf rid;
+    match buf.items with
+    | [] -> ()
+    | [ (tag, fragment) ] ->
+      Engine.send ctx ~dst:buf.reader (Messages.Relay { rid; tag; fragment })
+    | items ->
+      Engine.send ctx ~dst:buf.reader
+        (Messages.Relay_batch { rid; items = List.rev items }))
+
+(* ------------------------------------------------------------------ *)
+
 (* Send one coded element to a registered reader and announce it to the
    other servers via READ-DISPERSE, so that everyone can count towards
-   the unregistration threshold. *)
+   the unregistration threshold. Under the batched plane the element is
+   buffered for the relay window and the announcement queued in the
+   outbox, but H, the cost ledger and the probe stream see the relay at
+   decision time either way. *)
 let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
-  Engine.send ctx ~dst:reg.reader (Messages.Relay { rid; tag; fragment });
+  (match t.config.Config.plane.Config.relay_batch with
+  | None ->
+    Engine.send ctx ~dst:reg.reader (Messages.Relay { rid; tag; fragment })
+  | Some window -> (
+    match Hashtbl.find_opt t.relay_buf rid with
+    | Some buf -> buf.items <- (tag, fragment) :: buf.items
+    | None ->
+      Hashtbl.replace t.relay_buf rid
+        { reader = reg.reader; items = [ (tag, fragment) ] };
+      Engine.schedule_local ctx ~delay:window (fun () ->
+          flush_relays t ctx rid)));
   Cost.comm t.config.Config.cost ~op:rid ~bytes:(Fragment.size fragment);
   Probe.emit t.config.Config.probe
     (Probe.Relayed
        { rid; server = t.coordinate; tag; time = Engine.now_ctx ctx });
   h_add t rid ~tag ~coordinate:t.coordinate;
-  if t.config.Config.gossip then
+  match t.config.Config.plane.Config.gossip_mode with
+  | `Broadcast ->
     Md.meta_send ctx t.config ~seq:t.seq
       (Messages.Read_disperse { tag; server_index = t.coordinate; rid })
+  | `Coalesced ->
+    gossip_enqueue t ctx
+      { Messages.tag; server_index = t.coordinate; rid }
+  | `Off -> ()
 
 (* Local disk read of the stored coded element; error-prone coordinates
    return a silently corrupted copy (the SODAerr fault model). The seed
@@ -171,7 +301,7 @@ let answer_query t ctx ~src = function
   | Messages.Repair_get { op } ->
     let fragment = local_disk_read t ~rid:op in
     Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
-    Engine.send ctx ~dst:src
+    send_to_pid t ctx ~dst:src
       (Messages.Repair_reply { op; tag = t.tag; fragment })
   | _ -> ()
 
@@ -246,9 +376,9 @@ let maybe_finish_repair t ctx =
 
 let broadcast_repair_get t ctx ~op =
   Array.iteri
-    (fun c pid ->
+    (fun c _pid ->
       if c <> t.coordinate then
-        Engine.send ctx ~dst:pid (Messages.Repair_get { op }))
+        send_to_coordinate t ctx ~coordinate:c (Messages.Repair_get { op }))
     t.config.Config.servers
 
 let rec schedule_repair_retry t ctx =
@@ -275,6 +405,11 @@ let begin_repair t ctx ~op =
   Hashtbl.reset t.registered;
   Hashtbl.reset t.h;
   Int_tbl.Set.reset t.md_delivered;
+  Int_tbl.Set.reset t.completed;
+  Array.fill t.outbox 0 (Array.length t.outbox) [];
+  Array.fill t.outbox_armed 0 (Array.length t.outbox_armed) false;
+  Hashtbl.reset t.relay_buf;
+  Hashtbl.reset t.pending_meta;
   t.repair <-
     Some
       { op;
@@ -354,7 +489,8 @@ let on_read_complete t ctx ~rid =
   (* leave a tombstone either way — whether completion raced ahead of
      the registration or a READ-VALUE retry is still in flight, a copy
      arriving after this point must not (re-)register the read *)
-  h_add t rid ~tag:Tag.initial ~coordinate:t.coordinate
+  h_add t rid ~tag:Tag.initial ~coordinate:t.coordinate;
+  ignore (Int_tbl.Set.add t.completed rid : bool)
 
 (* Fig. 5, "On md-meta-deliver(READ-DISPERSE, (t, s', r))"; the
    unregistration threshold is k for SODA and k + 2e for SODAerr
@@ -384,11 +520,11 @@ let on_md_full t ctx ~msg ~(mid : Messages.mid) ~op ~tag ~value =
     if t.coordinate < d then begin
       for j = t.coordinate + 1 to d - 1 do
         (* forward the incoming message as-is: contents are identical *)
-        Engine.send ctx ~dst:config.Config.servers.(j) msg;
+        send_to_coordinate t ctx ~coordinate:j msg;
         Cost.comm config.Config.cost ~op ~bytes:(Bytes.length value)
       done;
       for j = d to Params.n config.Config.params - 1 do
-        Engine.send ctx ~dst:config.Config.servers.(j)
+        send_to_coordinate t ctx ~coordinate:j
           (Messages.Md_coded { mid; op; tag; fragment = fragments.(j) });
         Cost.comm config.Config.cost ~op
           ~bytes:(Fragment.size fragments.(j))
@@ -403,19 +539,48 @@ let on_md_coded t ctx ~(mid : Messages.mid) ~op ~tag ~fragment =
   end
 
 (* Server side of MD-META: members of D forward the payload to the rest
-   of D and to everyone outside D, then deliver. *)
-let on_md_meta t ctx ~msg ~(mid : Messages.mid) ~meta =
+   of D and to everyone outside D, then deliver.
+
+   With [meta_stagger = Some sigma], coordinate i > 0 sits on its
+   forwards for i*sigma and cancels them when a duplicate of the mid
+   arrives from a lower coordinate — whose forward set (everything above
+   its own coordinate) is a superset of ours, so the cancelled sends are
+   provably redundant. Coordinate 0 always forwards immediately, keeping
+   the primitive's uniformity anchored: the forward storm collapses from
+   O(f*n) to O(n) whenever the lowest live member of D gets its copy. *)
+let on_md_meta t ctx ~src ~msg ~(mid : Messages.mid) ~meta =
+  let config = t.config in
   if Int_tbl.Set.add t.md_delivered (mid :> int) then begin
-    let config = t.config in
     let d = Config.d_size config in
-    if t.coordinate < d then
-      for j = t.coordinate + 1 to Params.n config.Config.params - 1 do
-        Engine.send ctx ~dst:config.Config.servers.(j) msg
-      done;
+    if t.coordinate < d then begin
+      let forward () =
+        for j = t.coordinate + 1 to Params.n config.Config.params - 1 do
+          send_to_coordinate t ctx ~coordinate:j msg
+        done
+      in
+      match config.Config.plane.Config.meta_stagger with
+      | None -> forward ()
+      | Some _ when t.coordinate = 0 -> forward ()
+      | Some sigma ->
+        Hashtbl.replace t.pending_meta (mid :> int) ();
+        Engine.schedule_local ctx
+          ~delay:(float_of_int t.coordinate *. sigma) (fun () ->
+            if Hashtbl.mem t.pending_meta (mid :> int) then begin
+              Hashtbl.remove t.pending_meta (mid :> int);
+              forward ()
+            end)
+    end;
     deliver_meta t ctx meta
   end
+  else if Hashtbl.mem t.pending_meta (mid :> int) then
+    (* duplicate copy: a lower-coordinate server's forward covers a
+       superset of our pending one — cancel it *)
+    match Config.coordinate_of config ~pid:src with
+    | c when c < t.coordinate -> Hashtbl.remove t.pending_meta (mid :> int)
+    | _ -> ()
+    | exception Not_found -> ()
 
-let handler t ctx ~src msg =
+let rec handler t ctx ~src msg =
   match msg with
   | Messages.Write_get _ | Messages.Read_get _ | Messages.Repair_get _ -> (
     (* a repairing server may hold a stale tag, so it must not answer
@@ -432,8 +597,21 @@ let handler t ctx ~src msg =
     on_md_full t ctx ~msg ~mid ~op ~tag ~value
   | Messages.Md_coded { mid; op; tag; fragment } ->
     on_md_coded t ctx ~mid ~op ~tag ~fragment
-  | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~msg ~mid ~meta
+  | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~src ~msg ~mid ~meta
+  | Messages.Gossip { entries } ->
+    List.iter
+      (fun { Messages.tag; server_index; rid } ->
+        on_read_disperse t ctx ~tag ~server_index ~rid)
+      entries
+  | Messages.Envelope { entries; msg } ->
+    (* apply the piggybacked gossip (monotone H insertions — safe during
+       repair, on the freshly wiped H), then handle the message itself *)
+    List.iter
+      (fun { Messages.tag; server_index; rid } ->
+        on_read_disperse t ctx ~tag ~server_index ~rid)
+      entries;
+    handler t ctx ~src msg
   | Messages.Write_get_reply _ | Messages.Write_ack _
-  | Messages.Read_get_reply _ | Messages.Relay _ ->
+  | Messages.Read_get_reply _ | Messages.Relay _ | Messages.Relay_batch _ ->
     (* client-bound messages; a server never receives these *)
     ()

@@ -326,6 +326,53 @@ let server_tests =
           (Soda.Server.registered_reads (server rig 2));
         Alcotest.(check int) "history cleared" 0
           (Soda.Server.history_entries (server rig 2)));
+    Alcotest.test_case
+      "one coalesced gossip with k distinct entries unregisters like k \
+       standalone READ-DISPERSE messages"
+      `Quick (fun () ->
+        let rig = make_rig () in
+        let future = Tag.make ~z:9 ~w:999 in
+        let entry ~rid server_index =
+          { Soda.Messages.tag = future; server_index; rid }
+        in
+        send_at rig ~at:0.0 ~dst:(server_pid rig 0)
+          (read_value ~rid:16 ~reader:rig.driver ~tr:future);
+        Engine.run rig.engine;
+        Alcotest.(check (list int)) "registered" [ 16 ]
+          (Soda.Server.registered_reads (server rig 2));
+        (* k = n - f = 4 distinct announcers in a single message *)
+        send_at rig ~at:100.0 ~dst:(server_pid rig 2)
+          (Soda.Messages.Gossip
+             { entries = List.map (entry ~rid:16) [ 0; 1; 3; 4 ] });
+        Engine.run rig.engine;
+        Alcotest.(check (list int)) "unregistered by one coalesced message" []
+          (Soda.Server.registered_reads (server rig 2));
+        Alcotest.(check int) "history cleared" 0
+          (Soda.Server.history_entries (server rig 2));
+        (* 3 distinct + 1 duplicate stays below the threshold even when
+           the entries ride an envelope; the envelope's payload is still
+           processed *)
+        send_at rig ~at:200.0 ~dst:(server_pid rig 0)
+          (read_value ~rid:17 ~reader:rig.driver ~tr:future);
+        Engine.run rig.engine;
+        send_at rig ~at:300.0 ~dst:(server_pid rig 2)
+          (Soda.Messages.Envelope
+             { entries = List.map (entry ~rid:17) [ 0; 1; 3; 3 ];
+               msg =
+                 read_disperse ~origin:rig.driver ~seq:90 ~tag:future
+                   ~server_index:0 ~rid:17
+             });
+        Engine.run rig.engine;
+        (* envelope entries (3 distinct) + payload announcement for the
+           same announcer 0 = still only 3 distinct: registered *)
+        Alcotest.(check (list int)) "still registered after 3+dup" [ 17 ]
+          (Soda.Server.registered_reads (server rig 2));
+        (* the fourth distinct announcer inside a second envelope tips it *)
+        send_at rig ~at:400.0 ~dst:(server_pid rig 2)
+          (Soda.Messages.Gossip { entries = [ entry ~rid:17 4 ] });
+        Engine.run rig.engine;
+        Alcotest.(check (list int)) "then unregistered" []
+          (Soda.Server.registered_reads (server rig 2)));
     Alcotest.test_case "mixed-tag announcements never reach the threshold"
       `Quick (fun () ->
         let rig = make_rig () in

@@ -168,7 +168,12 @@ let point_of_fields kind fields =
         (int_of_float (num (get fields "domains"))),
       num (get fields "mb_per_s") )
   | "sim" -> (str (get fields "probe"), num (get fields "events_per_s"))
+  | "msgs" -> (str (get fields "algo"), num (get fields "msgs_per_op"))
   | k -> fail "unknown bench kind %S" k
+
+(* codec/sim measure throughput (higher is better); msgs measures
+   messages per operation (deterministic counts, lower is better) *)
+let lower_is_better = function "msgs" -> true | _ -> false
 
 let parse_bench path =
   let sc = { s = read_file path; pos = 0 } in
@@ -261,7 +266,10 @@ let compare_benches ~baseline ~fresh =
     List.filter_map
       (fun (key, ratio) ->
         let rel = ratio /. m in
-        let flagged = rel < 1.0 -. !threshold in
+        let flagged =
+          if lower_is_better fresh.kind then rel > 1.0 +. !threshold
+          else rel < 1.0 -. !threshold
+        in
         Printf.printf "  %-44s %6.2fx raw, %6.2fx vs median%s\n" key ratio rel
           (if flagged then "  << REGRESSION" else "");
         if flagged then Some key else None)
