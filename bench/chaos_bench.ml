@@ -14,6 +14,30 @@ module Chaos = Harness.Chaos
 
 let smoke = ref false
 
+(* nearest-rank percentile on a sorted copy; 0.0 for an empty list *)
+let percentile p durations =
+  match List.sort Float.compare durations with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    List.nth sorted (max 0 (min (n - 1) rank))
+
+let heal_json (o : Chaos.outcome) =
+  if not o.scenario.Chaos.healing then ""
+  else
+    let hs = o.heal_stats in
+    Printf.sprintf
+      ",\"scrub_clean\":%b,\"all_live\":%b,\"heartbeats\":%d,\"suspicions\":%d,\"scrub_sweeps\":%d,\"scrub_hits\":%d,\"auto_repairs\":%d,\"scrub_repairs\":%d,\"mttd_p50\":%.1f,\"mttr_p50\":%.1f,\"mttr_p95\":%.1f,\"mttr_max\":%.1f"
+      o.Chaos.scrub_clean o.Chaos.all_live hs.Soda.Config.heartbeats_sent
+      hs.Soda.Config.suspicions hs.Soda.Config.scrub_sweeps
+      hs.Soda.Config.scrub_hits hs.Soda.Config.auto_repairs
+      hs.Soda.Config.scrub_repairs
+      (percentile 0.5 o.Chaos.heal_mttd)
+      (percentile 0.5 o.Chaos.heal_mttr)
+      (percentile 0.95 o.Chaos.heal_mttr)
+      (percentile 1.0 o.Chaos.heal_mttr)
+
 let emit outcomes =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"bench\":\"chaos\",";
@@ -23,11 +47,11 @@ let emit outcomes =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"scenario\":%S,\"seed\":%d,\"ok\":%b,\"ops\":%d,\"sent\":%d,\"delivered\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d,\"duplicates_suppressed\":%d,\"abandoned\":%d,\"data\":%d,\"meta\":%d,\"acks\":%d,\"crashes\":%d,\"partitions\":%d,\"final_time\":%.1f}"
+           "{\"scenario\":%S,\"seed\":%d,\"ok\":%b,\"ops\":%d,\"sent\":%d,\"delivered\":%d,\"dropped\":%d,\"lost\":%d,\"retransmissions\":%d,\"duplicates_suppressed\":%d,\"abandoned\":%d,\"data\":%d,\"meta\":%d,\"acks\":%d,\"crashes\":%d,\"partitions\":%d,\"bitrots\":%d%s,\"final_time\":%.1f}"
            o.scenario.Chaos.name o.seed (Chaos.ok o) o.ops o.sent o.delivered
            o.dropped o.lost o.retransmissions o.duplicates_suppressed
            o.abandoned o.data o.meta o.acks o.crash_events o.partition_events
-           o.final_time))
+           o.bitrot_events (heal_json o) o.final_time))
     outcomes;
   Buffer.add_string buf "]}";
   print_endline (Buffer.contents buf)

@@ -534,7 +534,16 @@ let latency_dist () =
 
 (* [--out FILE]: also write the per-algorithm message counts as JSON
    (stable schema, see BENCH_msgs.json at the repo root for the
-   committed baseline gated by tools/bench_diff). *)
+   committed baseline gated by tools/bench_diff).
+
+   The self-healing plane must not shift these numbers: every run here
+   deploys with [healing = None] (the Runner default), under which no
+   heartbeat or scrub event is ever scheduled, so the committed
+   BENCH_msgs.json baseline doubles as the no-silent-regression gate
+   for the plane's default-off posture. When healing IS armed, its
+   traffic is metadata by construction — Heartbeat and Suspect_vote
+   carry no coded data ([Messages.data_bytes] = 0), so it lands in
+   [messages_meta]/[acks_sent], never [messages_data]. *)
 let overhead_out : string option ref = ref None
 
 let overhead () =

@@ -81,4 +81,12 @@ let () =
     "total storage: %.2f — the price of error tolerance: n/(n-f-2e) = %.2f \
      instead of n/(n-f) = %.2f\n"
     (Protocol.Cost.max_total_storage cost)
-    (10.0 /. 5.0) (10.0 /. 9.0)
+    (10.0 /. 5.0) (10.0 /. 9.0);
+
+  (* doubles as a CI smoke test: every read must have decoded through
+     the corruption — a single wrong or missing read fails the job *)
+  if !ok <> !total then begin
+    Printf.eprintf "FAIL: only %d/%d reads returned the written value\n" !ok
+      !total;
+    exit 1
+  end

@@ -9,7 +9,10 @@ type scenario = {
   loss : float;
   partitions : bool;
   crashes : bool;
-  batched : bool
+  batched : bool;
+  healing : bool;
+  bitrot : bool;
+  crash_noheal : bool
 }
 
 let matrix =
@@ -25,7 +28,8 @@ let matrix =
                   (if partitions then "+part" else "")
                   (if crashes then "+crash" else "")
               in
-              { name; loss; partitions; crashes; batched = false })
+              { name; loss; partitions; crashes; batched = false;
+                healing = false; bitrot = false; crash_noheal = false })
             [ false; true ])
         [ false; true ])
     [ 0.05; 0.2; 0.4 ]
@@ -36,7 +40,41 @@ let matrix =
         loss = 0.2;
         partitions = true;
         crashes = false;
-        batched = true
+        batched = true;
+        healing = false;
+        bitrot = false;
+        crash_noheal = false
+      };
+      (* self-healing plane cells: the scrubber must find and repair
+         silent bit-rot; the failure detector must bring back crashes
+         that no nemesis Repair ever restores; and both must hold up
+         when loss and partitions delay every heartbeat and fragment *)
+      { name = "bitrot+scrub";
+        loss = 0.05;
+        partitions = false;
+        crashes = false;
+        batched = false;
+        healing = true;
+        bitrot = true;
+        crash_noheal = false
+      };
+      { name = "crash-noheal";
+        loss = 0.05;
+        partitions = false;
+        crashes = false;
+        batched = false;
+        healing = true;
+        bitrot = false;
+        crash_noheal = true
+      };
+      { name = "bitrot+loss20+part";
+        loss = 0.2;
+        partitions = true;
+        crashes = false;
+        batched = false;
+        healing = true;
+        bitrot = true;
+        crash_noheal = false
       }
     ]
 
@@ -61,6 +99,12 @@ type outcome = {
   acks : int;
   crash_events : int;
   partition_events : int;
+  bitrot_events : int;
+  scrub_clean : bool;
+  all_live : bool;
+  heal_stats : Soda.Config.heal_stats;
+  heal_mttd : float list;
+  heal_mttr : float list;
   final_time : float;
   events : Engine.event list;
   message_log : string list;
@@ -69,7 +113,8 @@ type outcome = {
 
 let ok o =
   o.complete && Result.is_ok o.atomic && Result.is_ok o.trace_ok
-  && o.abandoned = 0
+  && o.abandoned = 0 && o.scrub_clean
+  && ((not o.scenario.healing) || o.all_live)
 
 let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     ?(channel = Simnet.Channel.default) scenario ~seed =
@@ -110,17 +155,46 @@ let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
       }
   end;
   let initial_value = Workload.value ~len:value_len ~seed ~index:999 in
+  let healing =
+    if scenario.healing then Some Soda.Config.default_healing else None
+  in
   let d =
-    Soda.Deployment.deploy ~engine ~params ~initial_value ?plane ~num_writers:2
-      ~num_readers:2 ()
+    Soda.Deployment.deploy ~engine ~params ~initial_value ?plane ?healing
+      ~num_writers:2 ~num_readers:2 ()
   in
   let schedule =
-    match (scenario.crashes, scenario.partitions) with
-    | false, false -> []
-    | true, false -> Nemesis.generate ~params ~seed ~horizon ()
-    | false, true ->
-      Nemesis.generate_mixed ~params ~seed ~horizon ~partition_fraction:1.0 ()
-    | true, true -> Nemesis.generate_mixed ~params ~seed ~horizon ()
+    if scenario.crash_noheal then
+      (* crashes with no Repair events: only the failure detector's
+         autonomous crash-repair can bring the victims back *)
+      Nemesis.generate_crash_only ~params ~seed ~horizon ()
+    else
+      match (scenario.crashes, scenario.partitions) with
+      | false, false -> []
+      | true, false -> Nemesis.generate ~params ~seed ~horizon ()
+      | false, true when scenario.bitrot ->
+        (* shorter partition windows when rot rides along: a partition
+           concurrent with an unhealed rot leaves only k - 1 reachable
+           intact elements, so bound how long that overlap can last *)
+        Nemesis.generate_mixed ~params ~seed ~horizon ~partition_fraction:1.0
+          ~mean_downtime:40.0 ()
+      | false, true ->
+        Nemesis.generate_mixed ~params ~seed ~horizon ~partition_fraction:1.0 ()
+      | true, true -> Nemesis.generate_mixed ~params ~seed ~horizon ()
+  in
+  let schedule =
+    if not scenario.bitrot then schedule
+    else
+      (* an independent corruption stream merged over the base schedule;
+         its own <= f budget caps concurrent unhealed rot, so combined
+         with a partition at most two elements are unavailable at an
+         instant — reads stall at worst until a write or scrub heals the
+         rot, which the quiescence tail absorbs *)
+      let rot =
+        Nemesis.generate_bitrot ~params ~seed:(seed lxor 0x2FA7) ~horizon ()
+      in
+      List.sort
+        (fun a b -> Float.compare (Nemesis.time_of a) (Nemesis.time_of b))
+        (schedule @ rot)
   in
   (* gated: a crash waits until no server is still rebuilding, keeping
      the effective fault count within the budget (see Nemesis.apply_gated) *)
@@ -151,7 +225,12 @@ let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
   write_loop 1 ();
   read_loop 0 ();
   read_loop 1 ();
-  Engine.run engine;
+  (* the healing plane's heartbeat/scrub tick chains reschedule forever,
+     so a healed run needs an explicit horizon: a long quiescence tail
+     after the last client operation. Unhealed runs keep the drain-the-
+     queue termination (and their bit-identical traces). *)
+  if scenario.healing then Engine.run engine ~until:(horizon +. 600.0)
+  else Engine.run engine;
   let history = Soda.Deployment.history d in
   let records = History.records history in
   let atomic =
@@ -160,6 +239,7 @@ let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     | Error v -> Error (Format.asprintf "%a" Atomicity.pp_violation v)
   in
   let events = Engine.trace_events engine in
+  let episodes = Metrics.heal_episodes (Soda.Deployment.probe d) in
   let trace_ok =
     if not trace then Ok ()
     else
@@ -190,6 +270,12 @@ let run ?(trace = false) ?(n = 5) ?(f = 1) ?(horizon = 600.0) ?(value_len = 64)
     acks = Engine.acks_sent engine;
     crash_events = Nemesis.crash_count schedule;
     partition_events = Nemesis.partition_count schedule;
+    bitrot_events = Nemesis.bitrot_count schedule;
+    scrub_clean = Soda.Deployment.scrub_clean d;
+    all_live = Soda.Deployment.all_live d;
+    heal_stats = (Soda.Deployment.config d).Soda.Config.heal_stats;
+    heal_mttd = Metrics.heal_mttd episodes;
+    heal_mttr = Metrics.heal_mttr episodes;
     final_time = Engine.now engine;
     events;
     message_log = List.rev !msg_log;
@@ -202,7 +288,8 @@ let pp_outcome ppf o =
      ops=%d complete=%b atomic=%s trace=%s@,\
      sent=%d delivered=%d dropped=%d lost=%d retransmitted=%d deduped=%d \
      abandoned=%d@,\
-     data=%d meta=%d acks=%d crashes=%d partitions=%d final_time=%.1f@]"
+     data=%d meta=%d acks=%d crashes=%d partitions=%d rots=%d \
+     final_time=%.1f"
     o.scenario.name o.seed
     (if ok o then "OK" else "FAIL")
     o.ops o.complete
@@ -210,4 +297,23 @@ let pp_outcome ppf o =
     (match o.trace_ok with Ok () -> "ok" | Error e -> e)
     o.sent o.delivered o.dropped o.lost o.retransmissions
     o.duplicates_suppressed o.abandoned o.data o.meta o.acks o.crash_events
-    o.partition_events o.final_time
+    o.partition_events o.bitrot_events o.final_time;
+  if o.scenario.healing then begin
+    let hs = o.heal_stats in
+    Format.fprintf ppf
+      "@,heal: clean=%b live=%b heartbeats=%d suspicions=%d sweeps=%d \
+       hits=%d auto_repairs=%d scrub_repairs=%d"
+      o.scrub_clean o.all_live hs.Soda.Config.heartbeats_sent
+      hs.Soda.Config.suspicions hs.Soda.Config.scrub_sweeps
+      hs.Soda.Config.scrub_hits hs.Soda.Config.auto_repairs
+      hs.Soda.Config.scrub_repairs;
+    let pp_durations label = function
+      | [] -> ()
+      | ds ->
+        Format.fprintf ppf "@,%s:" label;
+        List.iter (fun d -> Format.fprintf ppf " %.1f" d) ds
+    in
+    pp_durations "mttd" o.heal_mttd;
+    pp_durations "mttr" o.heal_mttr
+  end;
+  Format.fprintf ppf "@]"

@@ -21,16 +21,30 @@ type scenario = {
   loss : float;  (** per-transmission drop probability on every link *)
   partitions : bool;
   crashes : bool;
-  batched : bool
+  batched : bool;
       (** run SODA on {!Soda.Config.batched_plane} over cumulative acks
           ([`Cumulative 0.5]) instead of the broadcast plane with
           per-message acks *)
+  healing : bool;
+      (** deploy with {!Soda.Config.default_healing}: heartbeat failure
+          detector, checksum scrubber and autonomous crash-repair *)
+  bitrot : bool;
+      (** merge a {!Nemesis.generate_bitrot} corruption stream over the
+          base schedule *)
+  crash_noheal : bool
+      (** replace the base schedule with {!Nemesis.generate_crash_only}:
+          crashes with no nemesis [Repair] — only the failure detector
+          can bring the victims back *)
 }
 
 val matrix : scenario list
 (** Loss p ∈ {0.05, 0.2, 0.4} × partitions on/off × crashes on/off
-    (12 cells), plus ["batched20+part"]: the batched message plane under
-    20% loss and partitions. *)
+    (12 cells), plus ["batched20+part"] (the batched message plane under
+    20% loss and partitions) and three self-healing cells:
+    ["bitrot+scrub"] (silent corruption under 5% loss, healed by the
+    scrubber), ["crash-noheal"] (crashes only the failure detector
+    repairs) and ["bitrot+loss20+part"] (corruption under 20% loss and
+    partitions). *)
 
 val find : string -> scenario option
 (** Look up a {!matrix} cell by name. *)
@@ -56,6 +70,20 @@ type outcome = {
   acks : int;  (** standalone ack transmissions *)
   crash_events : int;
   partition_events : int;
+  bitrot_events : int;
+  scrub_clean : bool;
+      (** every server's element passes its checksum at quiescence —
+          trivially true in cells without bit-rot *)
+  all_live : bool;
+      (** no server process crashed at quiescence — the convergence
+          predicate of the ["crash-noheal"] cell *)
+  heal_stats : Soda.Config.heal_stats;
+      (** heartbeat/suspicion/scrub/repair counters (all zero without
+          healing) *)
+  heal_mttd : float list;
+      (** per detected fault episode: injection-to-detection time *)
+  heal_mttr : float list;
+      (** per healed fault episode: injection-to-restoration time *)
   final_time : float;
   events : Simnet.Engine.event list;  (** [[]] unless traced *)
   message_log : string list;
@@ -67,7 +95,9 @@ type outcome = {
 }
 
 val ok : outcome -> bool
-(** Liveness, atomicity, trace axioms, and no abandoned sends. *)
+(** Liveness, atomicity, trace axioms, no abandoned sends, all
+    corruption healed at quiescence ([scrub_clean]) and — in healing
+    cells — every server back up ([all_live]). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line verdict + counters (no event log). *)
@@ -79,5 +109,9 @@ val run :
     [horizon = 600], [value_len = 64], [channel = Channel.default];
     2 writers and 2 readers in closed loop. A [batched] scenario
     overrides the channel's ack mode to [`Cumulative 0.5] and deploys
-    SODA on {!Soda.Config.batched_plane}. Deterministic: equal
-    arguments give bit-identical outcomes. *)
+    SODA on {!Soda.Config.batched_plane}. A [healing] scenario runs the
+    engine to a fixed quiescence horizon ([horizon + 600]) instead of
+    draining the queue — the heartbeat and scrub tick chains never
+    stop; unhealed cells keep the drain-the-queue termination and
+    their bit-identical traces. Deterministic: equal arguments give
+    bit-identical outcomes. *)

@@ -32,7 +32,8 @@ type summary = {
   messages_data : int;
   messages_meta : int;
   acks_sent : int;
-  retransmissions : int
+  retransmissions : int;
+  read_restarts : int
 }
 
 let summarize (r : Runner.result) =
@@ -64,8 +65,91 @@ let summarize (r : Runner.result) =
     messages_data = r.Runner.messages_data;
     messages_meta = r.Runner.messages_meta;
     acks_sent = r.Runner.acks_sent;
-    retransmissions = r.Runner.retransmissions
+    retransmissions = r.Runner.retransmissions;
+    read_restarts = r.Runner.read_restarts
   }
+
+(* {2 Self-healing episodes}
+
+   A fault's lifecycle is reconstructed from the probe stream, which is
+   chronological by construction (probes are appended as the simulation
+   executes). Crash episodes run Crash_injected -> first Suspected ->
+   Repaired; rot episodes run Rot_injected -> first Rot_detected ->
+   first restoration, which is either a targeted scrub repair
+   (Scrub_repaired) or an overwriting write (Stored recomputes the
+   checksum, healing the rot as a side effect). *)
+
+type heal_episode = {
+  server : int;
+  fault : [ `Crash | `Rot ];
+  injected_at : float;
+  detected_at : float option;
+  healed_at : float option
+}
+
+let heal_episodes probe =
+  let open_crash = Hashtbl.create 8 and open_rot = Hashtbl.create 8 in
+  let closed = ref [] in
+  let close tbl server healed_at =
+    match Hashtbl.find_opt tbl server with
+    | None -> ()
+    | Some ep ->
+      Hashtbl.remove tbl server;
+      closed := { ep with healed_at = Some healed_at } :: !closed
+  in
+  let detect tbl server time =
+    match Hashtbl.find_opt tbl server with
+    | Some ({ detected_at = None; _ } as ep) ->
+      Hashtbl.replace tbl server { ep with detected_at = Some time }
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Probe.Crash_injected { server; time } ->
+        Hashtbl.replace open_crash server
+          { server; fault = `Crash; injected_at = time; detected_at = None;
+            healed_at = None }
+      | Probe.Rot_injected { server; time } ->
+        Hashtbl.replace open_rot server
+          { server; fault = `Rot; injected_at = time; detected_at = None;
+            healed_at = None }
+      | Probe.Suspected { target; time; _ } -> detect open_crash target time
+      | Probe.Rot_detected { server; time } -> detect open_rot server time
+      | Probe.Repaired { server; time; _ } -> close open_crash server time
+      | Probe.Scrub_repaired { server; time; _ }
+      | Probe.Stored { server; time; _ } ->
+        close open_rot server time
+      | Probe.Registered _ | Probe.Unregistered _ | Probe.Relayed _
+      | Probe.Gc _ | Probe.Repair_started _ | Probe.Auto_repair _ ->
+        ())
+    (Probe.events probe);
+  (* D3: the fold's arbitrary order is erased by the total sort on
+     (injected_at, server, fault) before the list reaches a caller. *)
+  let[@lint.allow "D3"] still_open tbl =
+    Hashtbl.fold (fun _ ep acc -> ep :: acc) tbl []
+  in
+  let fault_rank = function `Crash -> 0 | `Rot -> 1 in
+  List.sort
+    (fun a b ->
+      match Float.compare a.injected_at b.injected_at with
+      | 0 -> (
+        match Int.compare a.server b.server with
+        | 0 -> Int.compare (fault_rank a.fault) (fault_rank b.fault)
+        | c -> c)
+      | c -> c)
+    (!closed @ still_open open_crash @ still_open open_rot)
+
+let heal_mttd episodes =
+  List.filter_map
+    (fun ep ->
+      Option.map (fun d -> d -. ep.injected_at) ep.detected_at)
+    episodes
+
+let heal_mttr episodes =
+  List.filter_map
+    (fun ep -> Option.map (fun h -> h -. ep.injected_at) ep.healed_at)
+    episodes
 
 let delta_w (r : Runner.result) ~rid =
   match r.Runner.probe with

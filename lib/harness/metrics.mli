@@ -28,7 +28,9 @@ type summary = {
   messages_data : int;  (** logical sends carrying coded data *)
   messages_meta : int;  (** logical sends carrying metadata only *)
   acks_sent : int;  (** standalone ack transmissions (reliable transport) *)
-  retransmissions : int  (** reliable-transport retransmissions *)
+  retransmissions : int;  (** reliable-transport retransmissions *)
+  read_restarts : int
+      (** CASGC reader restarts (see {!Runner.result.read_restarts}) *)
 }
 
 val summarize : Runner.result -> summary
@@ -55,3 +57,31 @@ val concurrent_writes : Runner.result -> rid:int -> slack:float -> int option
     start just before T1 and deliver inside the window. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Self-healing episodes (MTTD / MTTR)} *)
+
+type heal_episode = {
+  server : int;
+  fault : [ `Crash | `Rot ];
+  injected_at : float;
+  detected_at : float option;
+      (** first [Suspected] (crash) / [Rot_detected] (rot) after the
+          injection; [None] if healed before any detection (e.g. a rot
+          overwritten by a write before a scrub sweep saw it) *)
+  healed_at : float option
+      (** [Repaired] for a crash; first [Scrub_repaired] or [Stored]
+          (an overwriting write recomputes the checksum) for a rot.
+          [None] if the fault was still open at the end of the run. *)
+}
+
+val heal_episodes : Protocol.Probe.t -> heal_episode list
+(** Reconstruct every fault's detect/heal lifecycle from a deployment's
+    probe stream, in injection order. Requires the healing-armed probes
+    ([Crash_injected] is only emitted when {!Soda.Config.healing} is
+    armed); on an unhealed run the list contains only rot episodes. *)
+
+val heal_mttd : heal_episode list -> float list
+(** Time-to-detect for every detected episode, in injection order. *)
+
+val heal_mttr : heal_episode list -> float list
+(** Time-to-repair for every healed episode, in injection order. *)

@@ -6,11 +6,13 @@ type event =
   | Repair of { coordinate : int; at : float }
   | Partition of { coordinates : int list; at : float }
   | Heal of { coordinates : int list; at : float }
+  | BitRot of { coordinate : int; at : float }
 
 type t = event list
 
 let time_of = function
-  | Crash { at; _ } | Repair { at; _ } | Partition { at; _ } | Heal { at; _ } ->
+  | Crash { at; _ } | Repair { at; _ } | Partition { at; _ } | Heal { at; _ }
+  | BitRot { at; _ } ->
     at
 
 (* Both generators share the interval machinery: per server, random
@@ -19,7 +21,7 @@ let time_of = function
    the <= f budget at every instant. [kind_of] then decides what fault
    an accepted interval materialises as. *)
 let generate_intervals ~params ~seed ~horizon ?mean_uptime ?mean_downtime
-    ~kind_of () =
+    ?(min_downtime = 1.0) ~kind_of () =
   if horizon <= 0. then invalid_arg "Nemesis.generate: non-positive horizon";
   let n = Params.n params and f = Params.f params in
   let mean_uptime =
@@ -33,7 +35,7 @@ let generate_intervals ~params ~seed ~horizon ?mean_uptime ?mean_downtime
   for coordinate = 0 to n - 1 do
     let t = ref (Rng.exponential rng ~mean:mean_uptime) in
     while !t < horizon do
-      let down = 1.0 +. Rng.exponential rng ~mean:mean_downtime in
+      let down = min_downtime +. Rng.exponential rng ~mean:mean_downtime in
       candidates := (coordinate, !t, !t +. down) :: !candidates;
       t := !t +. down +. 1.0 +. Rng.exponential rng ~mean:mean_uptime
     done
@@ -80,6 +82,33 @@ let generate_mixed ~params ~seed ~horizon ?mean_uptime ?mean_downtime
       else [ Crash { coordinate; at = start }; Repair { coordinate; at = stop } ])
     ()
 
+(* Crashes with no matching Repair: the detector/auto-repair plane is
+   expected to bring the victim back on its own. The interval still
+   reserves fault budget for the whole assumed-down window, which must
+   cover suspicion (35) + a heartbeat period (10) + repair under load —
+   hence the high minimum downtime; a second crash of the same server
+   inside one window would race its own autonomous repair. *)
+let generate_crash_only ~params ~seed ~horizon ?mean_uptime
+    ?(mean_downtime = 60.0) ?(min_downtime = 90.0) () =
+  generate_intervals ~params ~seed ~horizon ?mean_uptime ~mean_downtime
+    ~min_downtime
+    ~kind_of:(fun ~coordinate ~start ~stop:_ ->
+      [ Crash { coordinate; at = start } ])
+    ()
+
+(* Silent corruption events. A rotted element is unavailable exactly
+   like a crashed one until the scrubber heals it (the server withholds
+   the quarantined fragment rather than relay garbage), so rot windows
+   draw on the same <= f budget: the interval models the assumed
+   detect-and-heal window (scrub period 50 + targeted repair slack). *)
+let generate_bitrot ~params ~seed ~horizon ?mean_uptime
+    ?(mean_downtime = 40.0) ?(min_downtime = 120.0) () =
+  generate_intervals ~params ~seed ~horizon ?mean_uptime ~mean_downtime
+    ~min_downtime
+    ~kind_of:(fun ~coordinate ~start ~stop:_ ->
+      [ BitRot { coordinate; at = start } ])
+    ()
+
 let apply t deployment =
   List.iter
     (function
@@ -90,7 +119,9 @@ let apply t deployment =
       | Partition { coordinates; at } ->
         Soda.Deployment.partition_servers deployment ~coordinates ~at
       | Heal { coordinates; at } ->
-        Soda.Deployment.heal_servers deployment ~coordinates ~at)
+        Soda.Deployment.heal_servers deployment ~coordinates ~at
+      | BitRot { coordinate; at } ->
+        Soda.Deployment.corrupt_server deployment ~coordinate ~at)
     t
 
 (* Applying a schedule at its literal timestamps can silently exceed the
@@ -122,7 +153,10 @@ let drive_gated ?(poll = 7.0) ~engine ~repairing ~apply t =
         ~at:(Engine.now engine +. poll)
         pid
         (fun _ctx -> attempt ~shift:(shift +. poll) ev rest)
-    | Crash _ | Repair _ | Partition _ | Heal _ ->
+    | Crash _ | Repair _ | Partition _ | Heal _ | BitRot _ ->
+      (* BitRot is never gated: rot does not wipe an element (the data
+         is still decodable from the other n-1 stores), so it cannot
+         push the effective erasure count past the budget by itself *)
       apply ~at:(Engine.now engine) ev;
       schedule ~shift rest
   in
@@ -140,7 +174,9 @@ let apply_gated ?poll t deployment =
       | Partition { coordinates; _ } ->
         Soda.Deployment.partition_servers deployment ~coordinates ~at
       | Heal { coordinates; _ } ->
-        Soda.Deployment.heal_servers deployment ~coordinates ~at)
+        Soda.Deployment.heal_servers deployment ~coordinates ~at
+      | BitRot { coordinate; _ } ->
+        Soda.Deployment.corrupt_server deployment ~coordinate ~at)
     t
 
 let max_simultaneous_down t =
@@ -153,7 +189,11 @@ let max_simultaneous_down t =
       | Partition { coordinates; _ } ->
         List.iter (fun c -> Hashtbl.replace down c ()) coordinates
       | Heal { coordinates; _ } ->
-        List.iter (fun c -> Hashtbl.remove down c) coordinates);
+        List.iter (fun c -> Hashtbl.remove down c) coordinates
+      (* a rotted server still answers (tags stay intact and newer
+         writes overwrite the rot), so rot does not count as "down"
+         here — its budget is enforced at generation time instead *)
+      | BitRot _ -> ());
       max acc (Hashtbl.length down))
     0 t
 
@@ -162,6 +202,9 @@ let crash_count t =
 
 let partition_count t =
   List.length (List.filter (function Partition _ -> true | _ -> false) t)
+
+let bitrot_count t =
+  List.length (List.filter (function BitRot _ -> true | _ -> false) t)
 
 let pp_coords ppf coordinates =
   List.iteri
@@ -183,6 +226,8 @@ let pp ppf t =
         Format.fprintf ppf "%.1f partition servers {%a}@," at pp_coords
           coordinates
       | Heal { coordinates; at } ->
-        Format.fprintf ppf "%.1f heal servers {%a}@," at pp_coords coordinates)
+        Format.fprintf ppf "%.1f heal servers {%a}@," at pp_coords coordinates
+      | BitRot { coordinate; at } ->
+        Format.fprintf ppf "%.1f bit-rot server %d@," at coordinate)
     t;
   Format.fprintf ppf "@]"

@@ -18,9 +18,16 @@ type event =
       (** Cut the named servers off from every other process (see
           {!Soda.Deployment.partition_servers}). *)
   | Heal of { coordinates : int list; at : float }
+  | BitRot of { coordinate : int; at : float }
+      (** Silently garble the server's stored coded element (see
+          {!Soda.Deployment.corrupt_server}). No paired heal event: the
+          self-healing plane's scrubber — or an overwriting write — is
+          expected to repair it. *)
 
 type t = event list
 (** Chronological. *)
+
+val time_of : event -> float
 
 val generate :
   params:Protocol.Params.t -> seed:int -> horizon:float ->
@@ -44,6 +51,31 @@ val generate_mixed :
     a client — the combined schedule never cuts more than [f] servers
     off a client majority.
     @raise Invalid_argument on a fraction outside [0, 1]. *)
+
+val generate_crash_only :
+  params:Protocol.Params.t -> seed:int -> horizon:float ->
+  ?mean_uptime:float -> ?mean_downtime:float -> ?min_downtime:float ->
+  unit -> t
+(** Crashes with {e no} matching [Repair] events — for exercising the
+    self-healing plane, whose failure detector must notice each crash
+    and launch the repair autonomously. Every accepted fault window
+    still reserves the [<= f] budget for its whole assumed-down span;
+    [min_downtime] (default 90.0, far above the default suspicion
+    timeout plus repair slack) keeps a server's next crash from racing
+    its own autonomous repair. Only meaningful against a deployment
+    with {!Soda.Config.healing} armed: without it the victims stay down
+    forever. *)
+
+val generate_bitrot :
+  params:Protocol.Params.t -> seed:int -> horizon:float ->
+  ?mean_uptime:float -> ?mean_downtime:float -> ?min_downtime:float ->
+  unit -> t
+(** Silent-corruption schedules: each accepted fault window becomes one
+    [BitRot] at its start. A rotted element is withheld from reads
+    (quarantine) exactly like an erased one until the scrubber heals
+    it, so rot windows draw on the same [<= f] budget; [min_downtime]
+    (default 120.0) sizes the assumed detect-and-heal window (a scrub
+    period plus targeted-repair slack at the default cadence). *)
 
 val apply : t -> Soda.Deployment.t -> unit
 (** Schedule every event on a deployment at its literal timestamp.
@@ -82,8 +114,12 @@ val drive_gated :
 
 val max_simultaneous_down : t -> int
 (** For tests: the largest number of servers simultaneously crashed or
-    isolated at any instant. *)
+    isolated at any instant. [BitRot] events are ignored — a rotted
+    server keeps answering (tags are intact, newer writes overwrite the
+    rot), so its budget is enforced at generation time
+    ({!generate_bitrot}) rather than by this counter. *)
 
 val crash_count : t -> int
 val partition_count : t -> int
+val bitrot_count : t -> int
 val pp : Format.formatter -> t -> unit

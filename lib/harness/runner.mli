@@ -46,7 +46,11 @@ type result = {
           actions (e.g. dispersal steps), injections, crash/restores. *)
   final_time : float;
   crashed : int -> bool;  (** by server coordinate *)
-  read_restarts : int  (** CASGC only; 0 elsewhere *)
+  read_restarts : int
+      (** Reader restarts forced by garbage collection. Non-zero only
+          for CASGC (the other algorithms never restart a read);
+          surfaced in [Metrics.summary] so chaos/bench reports can
+          assert it stays within the δ bound. *)
 }
 
 val run :

@@ -6,6 +6,12 @@ type event =
   | Gc of { server : int; tag : Tag.t; time : float }
   | Repair_started of { server : int; time : float }
   | Repaired of { server : int; tag : Tag.t; time : float }
+  | Crash_injected of { server : int; time : float }
+  | Rot_injected of { server : int; time : float }
+  | Suspected of { target : int; by : int; time : float }
+  | Auto_repair of { server : int; time : float }
+  | Rot_detected of { server : int; time : float }
+  | Scrub_repaired of { server : int; tag : Tag.t; time : float }
 
 type t = { mutable rev_events : event list }
 
@@ -26,7 +32,8 @@ let registration_window ?(is_crashed = fun _ -> false) t ~rid =
         Hashtbl.remove pending server;
         if time > !t2 then t2 := time
       | Registered _ | Unregistered _ | Relayed _ | Stored _ | Gc _
-      | Repair_started _ | Repaired _ ->
+      | Repair_started _ | Repaired _ | Crash_injected _ | Rot_injected _
+      | Suspected _ | Auto_repair _ | Rot_detected _ | Scrub_repaired _ ->
         ())
     (events t);
   let alive_pending =
@@ -44,7 +51,8 @@ let relays_of t ~rid =
       match e with
       | Relayed { rid = r; _ } when r = rid -> acc + 1
       | Registered _ | Unregistered _ | Relayed _ | Stored _ | Gc _
-      | Repair_started _ | Repaired _ ->
+      | Repair_started _ | Repaired _ | Crash_injected _ | Rot_injected _
+      | Suspected _ | Auto_repair _ | Rot_detected _ | Scrub_repaired _ ->
         acc)
     0 (events t)
 
@@ -56,7 +64,10 @@ let registrations_balanced t ~crashed =
       match e with
       | Registered { rid; server; _ } -> Hashtbl.replace open_regs (rid, server) ()
       | Unregistered { rid; server; _ } -> Hashtbl.remove open_regs (rid, server)
-      | Relayed _ | Stored _ | Gc _ | Repair_started _ | Repaired _ -> ())
+      | Relayed _ | Stored _ | Gc _ | Repair_started _ | Repaired _
+      | Crash_injected _ | Rot_injected _ | Suspected _ | Auto_repair _
+      | Rot_detected _ | Scrub_repaired _ ->
+        ())
     (events t);
   Hashtbl.fold
     (fun (_, server) () acc -> acc && crashed server)

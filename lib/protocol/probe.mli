@@ -24,6 +24,28 @@ type event =
   | Repaired of { server : int; tag : Tag.t; time : float }
       (** (repair extension) the server holds a fresh element again and
           resumed answering quorum queries. *)
+  | Crash_injected of { server : int; time : float }
+      (** (healing plane) the harness crashed [server] — the start point
+          of a crash MTTD/MTTR episode. Only emitted when healing is
+          armed, so unhealed deployments stay probe-identical. *)
+  | Rot_injected of { server : int; time : float }
+      (** (healing plane) the harness silently corrupted [server]'s
+          stored fragment — the start point of a rot episode. *)
+  | Suspected of { target : int; by : int; time : float }
+      (** (healing plane) [by]'s failure detector cast a suspicion vote
+          against [target]; the first one after a [Crash_injected] marks
+          detection (MTTD). *)
+  | Auto_repair of { server : int; time : float }
+      (** (healing plane) the deployment launched a detector-triggered
+          crash-repair of [server]. *)
+  | Rot_detected of { server : int; time : float }
+      (** (healing plane) a checksum verification (scrub sweep or read
+          path) caught the corruption on [server]; the fragment is now
+          quarantined. *)
+  | Scrub_repaired of { server : int; tag : Tag.t; time : float }
+      (** (healing plane) the scrubber restored [server]'s quarantined
+          fragment from peer fragments (the end of a rot episode — the
+          other terminator is a plain [Stored] from a newer write). *)
 
 type t
 

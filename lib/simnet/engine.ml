@@ -142,6 +142,10 @@ and event =
   | Restored of { time : float; pid : pid }
   | PartitionStart of { time : float; links : (pid * pid) list }
   | PartitionHeal of { time : float; links : (pid * pid) list }
+  | Suspect of { time : float; by : pid; target : pid }
+  | ScrubHit of { time : float; pid : pid }
+  | AutoRepairStart of { time : float; pid : pid }
+  | Healed of { time : float; pid : pid }
 
 exception Event_limit_exceeded of int
 
@@ -251,6 +255,24 @@ let now t = t.clock.(0)
 let now_ctx ctx = ctx.engine.clock.(0)
 let rng t = t.root_rng
 let rng_ctx ctx = ctx.engine.root_rng
+
+(* Healing-plane trace marks. Pure observations: they only append to the
+   trace (when tracing is on), never schedule or perturb events, so a
+   protocol layer may call them freely without affecting determinism. *)
+let mark_suspect ctx ~target =
+  let t = ctx.engine in
+  record t (Suspect { time = t.clock.(0); by = ctx.ctx_self; target })
+
+let mark_scrub_hit ctx =
+  let t = ctx.engine in
+  record t (ScrubHit { time = t.clock.(0); pid = ctx.ctx_self })
+
+let mark_healed ctx =
+  let t = ctx.engine in
+  record t (Healed { time = t.clock.(0); pid = ctx.ctx_self })
+
+let mark_auto_repair t pid =
+  record t (AutoRepairStart { time = t.clock.(0); pid })
 
 (* ------------------------------------------------------------------ *)
 (* Fault plane *)
@@ -828,3 +850,12 @@ let pp_event ~name ppf = function
   | PartitionHeal { time; links } ->
     Format.fprintf ppf "%.3f  PARTITION heal (%d links) %a" time
       (List.length links) (pp_links ~name) links
+  | Suspect { time; by; target } ->
+    Format.fprintf ppf "%.3f  %s  SUSPECTS %s" time (name by) (name target)
+  | ScrubHit { time; pid } ->
+    Format.fprintf ppf "%.3f  %s  SCRUB-HIT (checksum mismatch)" time
+      (name pid)
+  | AutoRepairStart { time; pid } ->
+    Format.fprintf ppf "%.3f  %s  AUTO-REPAIR start" time (name pid)
+  | Healed { time; pid } ->
+    Format.fprintf ppf "%.3f  %s  HEALED" time (name pid)

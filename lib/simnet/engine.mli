@@ -102,6 +102,26 @@ val self : 'msg context -> pid
 val now_ctx : 'msg context -> float
 val rng_ctx : 'msg context -> Rng.t
 
+(** {2 Healing-plane trace marks}
+
+    Pure observations for the self-healing plane: each appends one
+    {!event} to the trace when tracing is on and does nothing otherwise —
+    no event is scheduled, no RNG drawn, so calling them never perturbs
+    the simulation. *)
+
+val mark_suspect : 'msg context -> target:pid -> unit
+(** Record that the calling server's detector suspects [target]. *)
+
+val mark_scrub_hit : 'msg context -> unit
+(** Record a checksum mismatch found on the calling server. *)
+
+val mark_healed : 'msg context -> unit
+(** Record that the calling server completed an autonomous recovery. *)
+
+val mark_auto_repair : 'msg t -> pid -> unit
+(** Record that the deployment is launching a detector-triggered repair
+    of [pid] (called outside any handler, hence on the engine). *)
+
 val send : 'msg context -> dst:pid -> 'msg -> unit
 (** Place a message in the channel to [dst]. Raw transport: it is
     delivered after a model-drawn delay iff the link does not lose it
@@ -280,6 +300,19 @@ type event =
   | Restored of { time : float; pid : pid }
   | PartitionStart of { time : float; links : (pid * pid) list }
   | PartitionHeal of { time : float; links : (pid * pid) list }
+  | Suspect of { time : float; by : pid; target : pid }
+      (** [by]'s failure detector declared [target] silent past the
+          suspicion timeout (see {!mark_suspect}). *)
+  | ScrubHit of { time : float; pid : pid }
+      (** [pid]'s scrubber (or read path) found a checksum mismatch in
+          its local fragment store. *)
+  | AutoRepairStart of { time : float; pid : pid }
+      (** The deployment launched a detector-triggered crash-repair of
+          [pid] (as opposed to a nemesis-scheduled one). *)
+  | Healed of { time : float; pid : pid }
+      (** [pid] finished an autonomous recovery: a detector-triggered
+          crash-repair completed, or a quarantined fragment was restored
+          from peers. *)
 
 val trace_events : 'msg t -> event list
 (** Chronological event log; empty unless [trace] was set. *)

@@ -31,7 +31,12 @@ val check :
       from {!Link_faults.lossy}; defaults to "no link is lossy", which
       is exactly the old reliable-model check on fault-free traces);
     - partitions strictly alternate start/heal per canonical link-set,
-      and a heal never underflows a link's active-partition count. *)
+      and a heal never underflows a link's active-partition count;
+    - healing-plane marks are causally sane: suspicions and scrub hits
+      come from live processes, a [Healed] is reported by a live process,
+      and an [AutoRepairStart] targets a process that is currently
+      crashed {e and} was suspected at least once since it crashed (the
+      detector, not the nemesis, pulled the trigger). *)
 
 val delivered_ratio : Engine.event list -> float
 (** Fraction of sends that were eventually delivered (1.0 in crash-free

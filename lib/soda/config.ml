@@ -25,6 +25,33 @@ let batched_plane =
     meta_stagger = Some 4.0
   }
 
+type healing = {
+  heartbeat_period : float;
+  suspicion_timeout : float;
+  scrub_period : float
+}
+
+let default_healing =
+  { heartbeat_period = 10.0; suspicion_timeout = 35.0; scrub_period = 50.0 }
+
+type heal_stats = {
+  mutable heartbeats_sent : int;
+  mutable suspicions : int;
+  mutable scrub_sweeps : int;
+  mutable scrub_hits : int;
+  mutable auto_repairs : int;
+  mutable scrub_repairs : int
+}
+
+let heal_stats_create () =
+  { heartbeats_sent = 0;
+    suspicions = 0;
+    scrub_sweeps = 0;
+    scrub_hits = 0;
+    auto_repairs = 0;
+    scrub_repairs = 0
+  }
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -36,6 +63,13 @@ type t = {
   md_mode : [ `Chained | `Direct ];
   plane : plane;
   client_retry : float option;
+  healing : healing option;
+  heal_stats : heal_stats;
+  (* Slot the deployment fills in after construction: servers call it
+     (coordinate of the suspect) when the failure detector reaches a
+     vote quorum, and the deployment decides whether an autonomous
+     crash-repair is warranted (crashed? budget? already pending?). *)
+  mutable auto_repair : (int -> unit) option;
   cost : Cost.t;
   probe : Probe.t;
   history : History.t;
@@ -61,7 +95,7 @@ let encode t value =
 
 let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     ?(error_prone = []) ?(disperse_step = 0.001) ?(md_mode = `Chained) ?(gossip = true)
-    ?plane ?client_retry ?(systematic = false) () =
+    ?plane ?client_retry ?healing ?(systematic = false) () =
   (* [?plane] wins over the legacy [?gossip] bool, which survives as
      shorthand for `Broadcast vs `Off (the ablation-gossip knob). *)
   let plane =
@@ -116,6 +150,9 @@ let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     md_mode;
     plane;
     client_retry;
+    healing;
+    heal_stats = heal_stats_create ();
+    auto_repair = None;
     cost = Cost.create ~value_len;
     probe = Probe.create ();
     history = History.create ();

@@ -49,6 +49,48 @@ val batched_plane : plane
     model is 3.8). The configuration the overhead bench and the
     batched chaos cell run. *)
 
+(** Self-healing plane cadences, all in sim time (see "Self-healing
+    plane" in DESIGN.md). Opt-in: with [healing = None] (the default)
+    no heartbeats, suspicions or scrubs ever happen and traces are
+    bit-identical to a pre-healing deployment. *)
+type healing = {
+  heartbeat_period : float;
+      (** Every server broadcasts a {!Messages.Heartbeat} to its peers
+          on this cadence, and checks its peers' last-heard times. *)
+  suspicion_timeout : float;
+      (** A peer silent for longer than this is suspected: the detector
+          emits a [Suspect_vote] to the other survivors. When [f + 1]
+          distinct voters agree on a coordinate, the deployment's
+          {!field-auto_repair} hook fires. Must comfortably exceed
+          [heartbeat_period] plus the worst-case delivery delay or live
+          servers get suspected under loss. *)
+  scrub_period : float
+      (** Anti-entropy sweep cadence: every [scrub_period] a server
+          verifies its local fragment checksum; a mismatch quarantines
+          the fragment and launches a targeted fragment-repair round. *)
+}
+
+val default_healing : healing
+(** heartbeat 10.0, suspicion timeout 35.0, scrub 50.0 — tuned so that
+    under the uniform(0.2, 2.0) delay model with retransmission, three
+    consecutive lost heartbeats are needed for a false suspicion. *)
+
+(** Mutable counters for the healing plane, aggregated per deployment
+    (all servers bump the same record). Always allocated; all-zero when
+    [healing = None]. *)
+type heal_stats = {
+  mutable heartbeats_sent : int;
+  mutable suspicions : int;  (** suspicion episodes (votes cast). *)
+  mutable scrub_sweeps : int;
+  mutable scrub_hits : int;  (** sweeps that found a checksum mismatch. *)
+  mutable auto_repairs : int;
+      (** detector-triggered crash-repairs actually launched. *)
+  mutable scrub_repairs : int
+      (** quarantined fragments restored from peer fragments. *)
+}
+
+val heal_stats_create : unit -> heal_stats
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -96,6 +138,19 @@ type t = {
           lossy network they would be pointless); [Deployment.deploy]
           arms them exactly when the engine's transport is reliable.
           [None] (the default) leaves the paper's retry-free clients. *)
+  healing : healing option;
+      (** [Some h] arms the self-healing plane (failure detector +
+          scrubber) on every server; [None] (default) disables it
+          entirely — not a single extra event is scheduled, keeping
+          traces bit-identical to pre-healing builds. *)
+  heal_stats : heal_stats;
+  mutable auto_repair : (int -> unit) option;
+      (** Filled in by [Deployment.deploy] when healing is armed: called
+          with a coordinate when a quorum of survivors suspects it. The
+          deployment checks the suspect really is crashed (a partitioned
+          server must not be wiped) and that no auto-repair is already
+          pending before spawning [Server.begin_repair]. Not for direct
+          use. *)
   cost : Cost.t;
   probe : Probe.t;
   history : History.t;
@@ -122,6 +177,7 @@ val make :
   ?gossip:bool ->
   ?plane:plane ->
   ?client_retry:float ->
+  ?healing:healing ->
   ?systematic:bool ->
   unit ->
   t

@@ -19,8 +19,30 @@ type t = {
    fire for operations genuinely stuck behind a crash window. *)
 let client_retry_interval = 80.0
 
+(* repair traffic is charged to synthetic operation ids far above any
+   client operation's; the counter is atomic so deployments driven from
+   different domains (Harness.Parallel sweeps) never collide *)
+let repair_op_base = 1_000_000
+
+(* R1: process-global by design — repair op ids must be unique across
+   every deployment in the process, and the atomic increment is
+   domain-safe. The ids only label repair rounds (they never order
+   protocol decisions), so cross-domain interleaving cannot perturb a
+   single-engine replay. *)
+let[@lint.allow "R1"] repair_counter = Atomic.make 0
+
+let repair_server t ~coordinate ~at =
+  let pid = t.config.Config.servers.(coordinate) in
+  let op = repair_op_base + Atomic.fetch_and_add repair_counter 1 in
+  Engine.restore_at t.engine pid at;
+  (* the injection is pushed after the restore event at the same
+     timestamp, so it runs on the freshly restored process *)
+  Engine.inject t.engine ~at pid (fun ctx ->
+      Server.begin_repair t.servers.(coordinate) ctx ~op);
+  op
+
 let deploy ~engine ~params ?initial_value ?value_len ?error_prone
-    ?disperse_step ?md_mode ?gossip ?plane ?systematic ~num_writers
+    ?disperse_step ?md_mode ?gossip ?plane ?healing ?systematic ~num_writers
     ~num_readers () =
   if num_writers < 0 || num_readers < 0 then
     invalid_arg "Deployment.deploy: negative client count";
@@ -40,7 +62,7 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
   let config =
     Config.make ~params ~servers:server_pids ?initial_value ?value_len
       ?error_prone ?disperse_step ?md_mode ?gossip ?plane ?client_retry
-      ?systematic ()
+      ?healing ?systematic ()
   in
   let servers =
     Array.init n (fun coordinate -> Server.create config ~coordinate)
@@ -64,7 +86,43 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
   Array.iteri
     (fun i pid -> Engine.set_handler engine pid (Reader.handler readers.(i)))
     reader_pids;
-  { engine; config; servers; writers; writer_pids; readers; reader_pids }
+  let t = { engine; config; servers; writers; writer_pids; readers; reader_pids } in
+  (match config.Config.healing with
+  | None -> ()
+  | Some _ ->
+    (* Autonomous crash-repair hook, pulled by any server whose detector
+       collects an f+1 suspicion quorum. Guards: the suspect must really
+       be crashed (a partitioned server must not have its state wiped),
+       and at most one launch per crash episode — the hook can be pulled
+       by several servers at the same timestamp, before the restore event
+       has dispatched, so "strictly later than the last launch" is the
+       dedup (any strictly-later call for a still-crashed server is a new
+       crash: the gated nemesis never crashes a repairing server). *)
+    let launch_at =
+      Array.make (Array.length server_pids) Float.neg_infinity
+    in
+    config.Config.auto_repair <-
+      Some
+        (fun coordinate ->
+          if Engine.is_crashed engine server_pids.(coordinate) then begin
+            let now = Engine.now engine in
+            if now > launch_at.(coordinate) then begin
+              launch_at.(coordinate) <- now;
+              let stats = config.Config.heal_stats in
+              stats.Config.auto_repairs <- stats.Config.auto_repairs + 1;
+              Engine.mark_auto_repair engine server_pids.(coordinate);
+              Probe.emit config.Config.probe
+                (Probe.Auto_repair { server = coordinate; time = now });
+              ignore (repair_server t ~coordinate ~at:now : int)
+            end
+          end);
+    (* arm every server's detector and scrubber at time zero *)
+    Array.iteri
+      (fun i pid ->
+        Engine.inject engine ~at:0.0 pid (fun ctx ->
+            Server.start_healing servers.(i) ctx))
+      server_pids);
+  t
 
 let write t ~writer ~at ?on_done value =
   Engine.inject t.engine ~at t.writer_pids.(writer) (fun ctx ->
@@ -75,29 +133,37 @@ let read t ~reader ~at ?on_done () =
       ignore (Reader.invoke t.readers.(reader) ctx ?on_done ()))
 
 let crash_server t ~coordinate ~at =
+  (* the episode-start probe is emitted synchronously (never via an
+     injected action) and only when healing is armed, so unhealed
+     deployments keep both their event schedule and their probe stream
+     unchanged *)
+  (match t.config.Config.healing with
+  | Some _ ->
+    Probe.emit t.config.Config.probe
+      (Probe.Crash_injected { server = coordinate; time = at })
+  | None -> ());
   Engine.crash_at t.engine t.config.Config.servers.(coordinate) at
 
-(* repair traffic is charged to synthetic operation ids far above any
-   client operation's; the counter is atomic so deployments driven from
-   different domains (Harness.Parallel sweeps) never collide *)
-let repair_op_base = 1_000_000
-
-(* R1: process-global by design — repair op ids must be unique across
-   every deployment in the process, and the atomic increment is
-   domain-safe. The ids only label repair rounds (they never order
-   protocol decisions), so cross-domain interleaving cannot perturb a
-   single-engine replay. *)
-let[@lint.allow "R1"] repair_counter = Atomic.make 0
-
-let repair_server t ~coordinate ~at =
+let corrupt_server t ~coordinate ~at =
   let pid = t.config.Config.servers.(coordinate) in
-  let op = repair_op_base + Atomic.fetch_and_add repair_counter 1 in
-  Engine.restore_at t.engine pid at;
-  (* the injection is pushed after the restore event at the same
-     timestamp, so it runs on the freshly restored process *)
+  (* seeded from the schedule so the injected garbage is replayable;
+     the probe is emitted inside the action (a rot on a crashed server
+     is discarded along with the injection) *)
+  let seed = (coordinate * 65_537) + int_of_float (at *. 1024.0) in
   Engine.inject t.engine ~at pid (fun ctx ->
-      Server.begin_repair t.servers.(coordinate) ctx ~op);
-  op
+      Probe.emit t.config.Config.probe
+        (Probe.Rot_injected { server = coordinate; time = Engine.now_ctx ctx });
+      Server.corrupt_disk t.servers.(coordinate) ~seed)
+
+let set_error_window t ~coordinate window =
+  Server.set_error_window t.servers.(coordinate) window
+
+let scrub_clean t = Array.for_all Server.disk_ok t.servers
+
+let all_live t =
+  Array.for_all
+    (fun pid -> not (Engine.is_crashed t.engine pid))
+    t.config.Config.servers
 
 (* All links between the isolated servers and every other process of
    the deployment, both directions, in a deterministic order (so

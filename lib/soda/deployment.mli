@@ -26,6 +26,7 @@ val deploy :
   ?md_mode:[ `Chained | `Direct ] ->
   ?gossip:bool ->
   ?plane:Config.plane ->
+  ?healing:Config.healing ->
   ?systematic:bool ->
   num_writers:int ->
   num_readers:int ->
@@ -33,6 +34,18 @@ val deploy :
   t
 (** Register all processes. See {!Config.make} for the optional
     arguments.
+
+    [healing] arms the self-healing plane: every server runs
+    {!Server.start_healing} (heartbeat failure detector + anti-entropy
+    scrubber) from time zero, and the deployment installs the
+    auto-repair hook — when a quorum of [f + 1] survivors suspects a
+    coordinate that really is crashed, {!repair_server} is launched
+    autonomously at the current sim time (at most once per crash
+    episode), so a [Crash] with no scheduled [Repair] heals itself. A
+    merely partitioned server is suspected too but never wiped: the
+    hook checks the engine's crash state. With the default [None], no
+    extra event is ever scheduled and traces are bit-identical to an
+    unhealed deployment.
     @raise Invalid_argument on non-positive client counts. *)
 
 val write :
@@ -50,6 +63,17 @@ val read : t -> reader:int -> at:float -> ?on_done:(bytes -> unit) -> unit -> un
 val crash_server : t -> coordinate:int -> at:float -> unit
 val crash_writer : t -> writer:int -> at:float -> unit
 val crash_reader : t -> reader:int -> at:float -> unit
+
+val corrupt_server : t -> coordinate:int -> at:float -> unit
+(** Schedule silent bit-rot of the server's stored coded element at time
+    [at]: the payload is deterministically garbled under its checksum
+    (seeded from the schedule, so replays corrupt identically). Nothing
+    is detected until the next verified read or scrub sweep. Discarded
+    if the server is crashed at [at]. *)
+
+val set_error_window : t -> coordinate:int -> (float * float) option -> unit
+(** SODAerr: restrict the coordinate's error-prone fault to a sim-time
+    window; see {!Server.set_error_window}. *)
 
 val repair_server : t -> coordinate:int -> at:float -> int
 (** Restore a crashed server at time [at] and start the repair protocol
@@ -98,6 +122,15 @@ val repairing : t -> bool
     another server down while this holds: with [k = n - f], wiping more
     than [f] elements at once can destroy committed data beyond what any
     algorithm could recover (see {!Harness.Nemesis.apply_gated}). *)
+
+val scrub_clean : t -> bool
+(** [true] iff every server's stored element passes its checksum and
+    none is quarantined — the "all corruption healed by quiescence"
+    predicate of the bit-rot chaos cells. *)
+
+val all_live : t -> bool
+(** [true] iff no server process is currently crashed — the
+    convergence predicate of the detector chaos cell. *)
 
 val history : t -> History.t
 val cost : t -> Cost.t

@@ -23,7 +23,7 @@ let stepped_send_to_d ctx (config : Config.t) msg =
     | Messages.Write_get_reply _ | Messages.Write_ack _ | Messages.Read_get _
     | Messages.Read_get_reply _ | Messages.Relay _ | Messages.Repair_get _
     | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _
-    | Messages.Relay_batch _ ->
+    | Messages.Relay_batch _ | Messages.Heartbeat _ | Messages.Suspect_vote _ ->
       (0, 0)
   in
   let i = ref 0 in

@@ -34,10 +34,13 @@ type t =
   | Gossip of { entries : gossip_entry list }
   | Envelope of { entries : gossip_entry list; msg : t }
   | Relay_batch of { rid : int; items : (Tag.t * Fragment.t) list }
+  | Heartbeat of { coordinate : int }
+  | Suspect_vote of { target : int; voter : int }
 
 let rec data_bytes = function
   | Write_get _ | Write_get_reply _ | Write_ack _ | Read_get _
-  | Read_get_reply _ | Md_meta _ | Repair_get _ | Gossip _ ->
+  | Read_get_reply _ | Md_meta _ | Repair_get _ | Gossip _ | Heartbeat _
+  | Suspect_vote _ ->
     0
   | Relay { fragment; _ } | Md_coded { fragment; _ }
   | Repair_reply { fragment; _ } ->
@@ -111,3 +114,6 @@ let rec pp ppf = function
   | Relay_batch { rid; items } ->
     Format.fprintf ppf "RELAY-BATCH(rid=%d #%d %dB)" rid (List.length items)
       (List.fold_left (fun acc (_, fr) -> acc + Fragment.size fr) 0 items)
+  | Heartbeat { coordinate } -> Format.fprintf ppf "HEARTBEAT(c=%d)" coordinate
+  | Suspect_vote { target; voter } ->
+    Format.fprintf ppf "SUSPECT-VOTE(target=%d by=%d)" target voter

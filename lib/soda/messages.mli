@@ -66,6 +66,15 @@ type t =
       (** Relays to one registered reader across consecutive writes,
           framed as a single message (one header, many zero-copy
           fragment views). *)
+  | Heartbeat of { coordinate : int }
+      (** Failure-detector liveness beacon, broadcast server-to-server
+          every [healing.heartbeat_period] (see {!Config.healing}).
+          Pure metadata. *)
+  | Suspect_vote of { target : int; voter : int }
+      (** [voter]'s declaration that coordinate [target] has been silent
+          past the suspicion timeout. A server that collects [f + 1]
+          distinct voters (itself included) for [target] triggers the
+          deployment's auto-repair hook. Pure metadata. *)
 
 val data_bytes : t -> int
 (** Bytes of {e data} (value or coded element) the message carries; zero

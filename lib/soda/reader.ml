@@ -149,7 +149,8 @@ let handler t ctx ~src msg =
       | Messages.Write_get _ | Messages.Write_get_reply _ | Messages.Write_ack _
       | Messages.Read_get _ | Messages.Md_full _ | Messages.Md_coded _
       | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _
-      | Messages.Gossip _ | Messages.Envelope _ ),
+      | Messages.Gossip _ | Messages.Envelope _ | Messages.Heartbeat _
+      | Messages.Suspect_vote _ ),
       (Idle | Get _ | Collect _) ) ->
     (* stale relays for finished reads, or foreign traffic *)
     ()

@@ -33,11 +33,37 @@ type relay_buffer = {
   mutable items : (Tag.t * Fragment.t) list (* newest first *)
 }
 
+(* In-flight targeted fragment repair of a quarantined store: the
+   scrubber (or a read-path detection) broadcast Repair_get under a
+   dedicated op id and collects peer (tag, fragment) pairs until some
+   tag at least as fresh as the stored one has decode_threshold distinct
+   coordinates. Unlike a crash-repair the server keeps all its volatile
+   state and keeps answering tag queries — only the payload is
+   untrusted. *)
+type scrub_repair = {
+  sop : int;
+  s_collected : (Tag.t * int, Fragment.t) Hashtbl.t
+}
+
+(* Failure-detector and scrubber state, allocated iff [Config.healing]
+   is armed. All cadences run on sim-time local actions; [hgen] guards
+   the tick chains — a pre-crash tick firing after a restore would
+   otherwise duplicate the chain restarted by [begin_repair]. *)
+type heal_state = {
+  hcfg : Config.healing;
+  last_heard : float array; (* per coordinate; own slot unused *)
+  suspected : bool array; (* suspicion voiced this silence episode *)
+  votes : (int, unit) Hashtbl.t array; (* per target: voters heard *)
+  fired : bool array; (* auto-repair hook already pulled for target *)
+  mutable hgen : int;
+  mutable scrub : scrub_repair option;
+  mutable scrub_count : int (* scrub-repair rounds started, for op ids *)
+}
+
 type t = {
   config : Config.t;
   coordinate : int;
-  mutable tag : Tag.t;
-  mutable fragment : Fragment.t;
+  disk : Disk.t;
   registered : (int, registration) Hashtbl.t; (* rid -> Rc entry *)
   h : (int, Int_tbl.Set.t Int_tbl.Map.t) Hashtbl.t;
       (* The paper's H — the set of (tag, coordinate) dispersals seen per
@@ -57,7 +83,12 @@ type t = {
   relay_buf : (int, relay_buffer) Hashtbl.t; (* rid -> open batch window *)
   pending_meta : (int, unit) Hashtbl.t;
       (* mids whose MD-META forward is sitting out a stagger delay *)
-  mutable repair : repair_state option
+  mutable repair : repair_state option;
+  mutable heal : heal_state option;
+  mutable err_window : (float * float) option
+      (* SODAerr: when set, the error-prone fault is active only inside
+         [start, stop) — outside it local disk reads are clean. [None]
+         keeps the static always-on model. *)
 }
 
 let create config ~coordinate =
@@ -68,8 +99,7 @@ let create config ~coordinate =
   let n = Params.n config.Config.params in
   { config;
     coordinate;
-    tag = Tag.initial;
-    fragment;
+    disk = Disk.create ~tag:Tag.initial ~fragment;
     registered = Hashtbl.create 8;
     h = Hashtbl.create 8;
     md_delivered = Int_tbl.Set.create 64;
@@ -79,11 +109,18 @@ let create config ~coordinate =
     outbox_armed = Array.make n false;
     relay_buf = Hashtbl.create 4;
     pending_meta = Hashtbl.create 4;
-    repair = None
+    repair = None;
+    heal = None;
+    err_window = None
   }
 
-let stored_tag t = t.tag
+let stored_tag t = Disk.tag t.disk
+let stored_fragment t = Disk.fragment_unchecked t.disk
 let repairing t = Option.is_some t.repair
+let quarantined t = Disk.quarantined t.disk
+let disk_ok t = (not (Disk.quarantined t.disk)) && Disk.verify t.disk
+let corrupt_disk t ~seed = Disk.rot t.disk ~seed
+let set_error_window t w = t.err_window <- w
 
 (* D3: the fold's arbitrary order is erased by the sort before the list
    can reach a caller. *)
@@ -275,13 +312,53 @@ let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
       { Messages.tag; server_index = t.coordinate; rid }
   | `Off -> ()
 
+(* Fresh detection of bit-rot: the checksum just failed for the first
+   time this episode (Disk.read has flipped the store to quarantined).
+   Instrumentation only — launching the recovery is the caller's job,
+   so the scrub path and the read path share one entry point. *)
+let detect_corruption t ctx =
+  (match t.config.Config.healing with
+  | None -> ()
+  | Some _ ->
+    t.config.Config.heal_stats.Config.scrub_hits <-
+      t.config.Config.heal_stats.Config.scrub_hits + 1);
+  Engine.mark_scrub_hit ctx;
+  Probe.emit t.config.Config.probe
+    (Probe.Rot_detected { server = t.coordinate; time = Engine.now_ctx ctx })
+
+(* Verified read of the stored coded element: [None] means the checksum
+   does not match (now or earlier) and the fragment is quarantined —
+   callers degrade gracefully by not shipping it anywhere. *)
+let disk_read t ctx =
+  let was_quarantined = Disk.quarantined t.disk in
+  match Disk.read t.disk with
+  | `Ok fragment -> Some fragment
+  | `Corrupt ->
+    if not was_quarantined then detect_corruption t ctx;
+    None
+
+(* SODAerr: is the error-prone fault currently active on this server? *)
+let err_active t ctx =
+  t.config.Config.error_prone.(t.coordinate)
+  &&
+  match t.err_window with
+  | None -> true
+  | Some (start, stop) ->
+    let now = Engine.now_ctx ctx in
+    now >= start && now < stop
+
 (* Local disk read of the stored coded element; error-prone coordinates
    return a silently corrupted copy (the SODAerr fault model). The seed
-   mixes the read id so different reads see independent corruption. *)
-let local_disk_read t ~rid =
-  if t.config.Config.error_prone.(t.coordinate) then
-    Fragment.corrupt t.fragment ~seed:(rid + (t.coordinate * 7919))
-  else t.fragment
+   mixes the read id so different reads see independent corruption.
+   [None] when the element is quarantined (checksum mismatch) — unlike
+   the SODAerr model, detected corruption is withheld, not shipped. *)
+let local_disk_read t ctx ~rid =
+  match disk_read t ctx with
+  | None -> None
+  | Some fragment ->
+    if err_active t ctx then
+      Some (Fragment.corrupt fragment ~seed:(rid + (t.coordinate * 7919)))
+    else Some fragment
 
 (* ------------------------------------------------------------------ *)
 (* Repair extension (paper's future work (ii)) *)
@@ -293,16 +370,279 @@ let repair_retry_interval = 40.0
    exists only to let the simulation quiesce in degenerate schedules. *)
 let repair_max_attempts = 50
 
+let broadcast_repair_get t ctx ~op =
+  Array.iteri
+    (fun c _pid ->
+      if c <> t.coordinate then
+        send_to_coordinate t ctx ~coordinate:c (Messages.Repair_get { op }))
+    t.config.Config.servers
+
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy scrub: targeted fragment repair of a quarantined store.
+   Reuses the crash-repair wire protocol (Repair_get / Repair_reply)
+   under a dedicated op-id range, but unlike a crash-repair the server
+   keeps its volatile state and keeps answering tag queries — only the
+   payload is untrusted until enough peer fragments decode. *)
+
+(* Crash-repair ops live at 1_000_000+ (see Deployment); scrub ops get
+   their own range, keyed by coordinate so concurrent scrubs on
+   different servers never collide. *)
+let scrub_op_base = 2_000_000
+
+let start_scrub_repair t ctx hs =
+  hs.scrub_count <- hs.scrub_count + 1;
+  let sop = scrub_op_base + (t.coordinate * 10_000) + hs.scrub_count in
+  hs.scrub <- Some { sop; s_collected = Hashtbl.create 16 };
+  broadcast_repair_get t ctx ~op:sop
+
+(* Read-path detections kick the recovery immediately instead of waiting
+   out the scrub cadence. No-op while a crash-repair is in flight (it
+   will rebuild the whole store anyway) or when healing is off (plain
+   degradation: the quarantined element is simply never shipped). *)
+let ensure_scrub_repair t ctx =
+  match t.heal with
+  | None -> ()
+  | Some hs ->
+    if Option.is_none t.repair && Option.is_none hs.scrub then
+      start_scrub_repair t ctx hs
+
+let cancel_scrub t =
+  match t.heal with
+  | None -> ()
+  | Some hs -> hs.scrub <- None
+
+let maybe_finish_scrub t ctx =
+  match t.heal with
+  | None -> ()
+  | Some hs -> (
+    match hs.scrub with
+    | None -> ()
+    | Some sr ->
+      let threshold = t.config.Config.decode_threshold in
+      (* D3: materialized and sorted (tag descending, coordinate
+         ascending) before any decision, so the decode input is
+         schedule-independent. *)
+      let[@lint.allow "D3"] pairs =
+        Hashtbl.fold
+          (fun (tag, coordinate) fragment acc ->
+            ((tag, coordinate), fragment) :: acc)
+          sr.s_collected []
+        |> List.sort (fun ((t1, c1), _) ((t2, c2), _) ->
+               match Tag.compare t2 t1 with
+               | 0 -> Int.compare c1 c2
+               | cmp -> cmp)
+      in
+      (* Never regress the stored tag: it is metadata, intact under rot,
+         and this server may have acked queries with it. Only a peer tag
+         at least as fresh, held by decode_threshold distinct
+         coordinates, may replace the payload. *)
+      let own = Disk.tag t.disk in
+      let rec scan = function
+        | [] -> ()
+        | ((tag, _), _) :: _ when Tag.( > ) own tag ->
+          () (* sorted descending: nothing fresh enough remains *)
+        | ((tag, _), _) :: _ as l -> (
+          let same, rest =
+            List.partition (fun ((t', _), _) -> Tag.equal t' tag) l
+          in
+          if List.length same < threshold then scan rest
+          else
+            match Erasure.Mds.decode t.config.Config.code (List.map snd same) with
+            | value ->
+              let fragments = Config.encode t.config value in
+              let fragment = fragments.(t.coordinate) in
+              hs.scrub <- None;
+              Disk.store t.disk ~tag ~fragment;
+              Cost.storage_set t.config.Config.cost ~server:t.coordinate
+                ~bytes:(Fragment.size fragment);
+              let stats = t.config.Config.heal_stats in
+              stats.Config.scrub_repairs <- stats.Config.scrub_repairs + 1;
+              Probe.emit t.config.Config.probe
+                (Probe.Scrub_repaired
+                   { server = t.coordinate; tag; time = Engine.now_ctx ctx });
+              Engine.mark_healed ctx;
+              (* registered readers whose local relay was withheld while
+                 the store was quarantined get it now; H filters the ones
+                 already served before the rot *)
+              List.iter
+                (fun (rid, reg) ->
+                  if
+                    Tag.( >= ) tag reg.tr
+                    && not (h_mem t rid ~tag ~coordinate:t.coordinate)
+                  then
+                    match local_disk_read t ctx ~rid with
+                    | Some fragment ->
+                      relay_to_reader t ctx ~rid ~reg ~tag ~fragment
+                    | None -> ())
+                (registered_sorted t)
+            | exception Erasure.Mds.Decode_failure _ ->
+              (* SODAerr: too many error-prone replies at this tag for
+                 now — retries on the scrub cadence will refresh them *)
+              scan rest)
+      in
+      scan pairs)
+
+let on_scrub_reply t ctx ~src ~op ~tag ~fragment =
+  match t.heal with
+  | None -> ()
+  | Some hs -> (
+    match hs.scrub with
+    | Some sr when sr.sop = op -> (
+      match Config.coordinate_of t.config ~pid:src with
+      | coordinate ->
+        Hashtbl.replace sr.s_collected (tag, coordinate) fragment;
+        maybe_finish_scrub t ctx
+      | exception Not_found -> ())
+    | Some _ | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat failure detector *)
+
+let note_vote t ~target ~voter =
+  match t.heal with
+  | None -> ()
+  | Some hs ->
+    if target >= 0 && target < Array.length hs.fired && target <> t.coordinate
+    then begin
+      Hashtbl.replace hs.votes.(target) voter ();
+      if
+        (not hs.fired.(target))
+        && Hashtbl.length hs.votes.(target)
+           >= Params.f t.config.Config.params + 1
+      then begin
+        hs.fired.(target) <- true;
+        match t.config.Config.auto_repair with
+        | Some hook -> hook target
+        | None -> ()
+      end
+    end
+
+let on_heartbeat t ctx ~coordinate:c =
+  match t.heal with
+  | None -> ()
+  | Some hs ->
+    if c >= 0 && c < Array.length hs.last_heard && c <> t.coordinate
+    then begin
+      hs.last_heard.(c) <- Engine.now_ctx ctx;
+      (* the silence episode is over: forgive the suspicion so a healed
+         partition (a false positive) does not leave the target
+         permanently voted against *)
+      hs.suspected.(c) <- false;
+      hs.fired.(c) <- false;
+      Hashtbl.reset hs.votes.(c)
+    end
+
+let suspect t ctx hs ~target =
+  hs.suspected.(target) <- true;
+  let stats = t.config.Config.heal_stats in
+  stats.Config.suspicions <- stats.Config.suspicions + 1;
+  Engine.mark_suspect ctx ~target:t.config.Config.servers.(target);
+  Probe.emit t.config.Config.probe
+    (Probe.Suspected
+       { target; by = t.coordinate; time = Engine.now_ctx ctx });
+  note_vote t ~target ~voter:t.coordinate;
+  Array.iteri
+    (fun c _pid ->
+      if c <> t.coordinate && c <> target then
+        send_to_coordinate t ctx ~coordinate:c
+          (Messages.Suspect_vote { target; voter = t.coordinate }))
+    t.config.Config.servers
+
+(* The two tick chains. [gen] kills stale chains: local actions queued
+   before a crash are discarded only while the owner is down — one
+   firing after the restore would duplicate the chain restarted by
+   [begin_repair] if it were not generation-guarded. *)
+let rec heartbeat_tick t ctx gen =
+  match t.heal with
+  | None -> ()
+  | Some hs ->
+    if gen = hs.hgen then begin
+      Array.iteri
+        (fun c _pid ->
+          if c <> t.coordinate then
+            send_to_coordinate t ctx ~coordinate:c
+              (Messages.Heartbeat { coordinate = t.coordinate }))
+        t.config.Config.servers;
+      let stats = t.config.Config.heal_stats in
+      stats.Config.heartbeats_sent <-
+        stats.Config.heartbeats_sent
+        + Array.length t.config.Config.servers
+        - 1;
+      let now = Engine.now_ctx ctx in
+      for c = 0 to Array.length hs.last_heard - 1 do
+        if
+          c <> t.coordinate
+          && (not hs.suspected.(c))
+          && now -. hs.last_heard.(c) > hs.hcfg.Config.suspicion_timeout
+        then suspect t ctx hs ~target:c
+      done;
+      Engine.schedule_local ctx ~delay:hs.hcfg.Config.heartbeat_period
+        (fun () -> heartbeat_tick t ctx gen)
+    end
+
+let rec scrub_tick t ctx gen =
+  match t.heal with
+  | None -> ()
+  | Some hs ->
+    if gen = hs.hgen then begin
+      let stats = t.config.Config.heal_stats in
+      stats.Config.scrub_sweeps <- stats.Config.scrub_sweeps + 1;
+      (if Option.is_none t.repair then
+         match disk_read t ctx with
+         | Some _ -> () (* checksum clean *)
+         | None -> (
+           (* quarantined: make sure a fragment repair is in flight; the
+              sweep cadence doubles as its retry timer *)
+           match hs.scrub with
+           | Some sr -> broadcast_repair_get t ctx ~op:sr.sop
+           | None -> start_scrub_repair t ctx hs));
+      Engine.schedule_local ctx ~delay:hs.hcfg.Config.scrub_period (fun () ->
+          scrub_tick t ctx gen)
+    end
+
+(* Arm the healing plane on this server; injected by the deployment at
+   deploy time (and a no-op when [Config.healing] is [None], so unhealed
+   deployments schedule not a single extra event). *)
+let start_healing t ctx =
+  match t.config.Config.healing with
+  | None -> ()
+  | Some hcfg ->
+    let n = Params.n t.config.Config.params in
+    let hs =
+      { hcfg;
+        last_heard = Array.make n (Engine.now_ctx ctx);
+        suspected = Array.make n false;
+        votes = Array.init n (fun _ -> Hashtbl.create 4);
+        fired = Array.make n false;
+        hgen = 0;
+        scrub = None;
+        scrub_count = 0
+      }
+    in
+    t.heal <- Some hs;
+    heartbeat_tick t ctx 0;
+    scrub_tick t ctx 0
+
+(* ------------------------------------------------------------------ *)
+
 let answer_query t ctx ~src = function
   | Messages.Write_get { op } ->
-    Engine.send ctx ~dst:src (Messages.Write_get_reply { op; tag = t.tag })
+    Engine.send ctx ~dst:src
+      (Messages.Write_get_reply { op; tag = Disk.tag t.disk })
   | Messages.Read_get { rid } ->
-    Engine.send ctx ~dst:src (Messages.Read_get_reply { rid; tag = t.tag })
-  | Messages.Repair_get { op } ->
-    let fragment = local_disk_read t ~rid:op in
-    Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
-    send_to_pid t ctx ~dst:src
-      (Messages.Repair_reply { op; tag = t.tag; fragment })
+    Engine.send ctx ~dst:src
+      (Messages.Read_get_reply { rid; tag = Disk.tag t.disk })
+  | Messages.Repair_get { op } -> (
+    match local_disk_read t ctx ~rid:op with
+    | None ->
+      (* quarantined: shipping a garbage element into a peer's decode
+         would be worse than silence — the requester's retry cadence
+         re-asks once this store heals *)
+      ensure_scrub_repair t ctx
+    | Some fragment ->
+      Cost.comm t.config.Config.cost ~op ~bytes:(Fragment.size fragment);
+      send_to_pid t ctx ~dst:src
+        (Messages.Repair_reply { op; tag = Disk.tag t.disk; fragment }))
   | _ -> ()
 
 let finish_repair t ctx =
@@ -312,16 +652,25 @@ let finish_repair t ctx =
     t.repair <- None;
     Probe.emit t.config.Config.probe
       (Probe.Repaired
-         { server = t.coordinate; tag = t.tag; time = Engine.now_ctx ctx });
+         { server = t.coordinate;
+           tag = Disk.tag t.disk;
+           time = Engine.now_ctx ctx
+         });
+    (* gated on healing so unhealed deployments trace bit-identically *)
+    (match t.config.Config.healing with
+    | Some _ -> Engine.mark_healed ctx
+    | None -> ());
     (* Reads that registered while the repair was in flight had their
        local relay withheld (the stored element was untrusted, see
        [on_read_value]); send it now, or a reader counting on this
        server for its kth element would wait forever. *)
+    let tag = Disk.tag t.disk in
     List.iter
       (fun (rid, reg) ->
-        if Tag.( >= ) t.tag reg.tr then
-          relay_to_reader t ctx ~rid ~reg ~tag:t.tag
-            ~fragment:(local_disk_read t ~rid))
+        if Tag.( >= ) tag reg.tr then
+          match local_disk_read t ctx ~rid with
+          | Some fragment -> relay_to_reader t ctx ~rid ~reg ~tag ~fragment
+          | None -> ())
       (registered_sorted t);
     (* Answer the quorum queries that were deferred mid-repair, in
        arrival order, with the freshly recovered tag. *)
@@ -338,7 +687,7 @@ let maybe_finish_repair t ctx =
       Params.n t.config.Config.params - 1 - Params.f t.config.Config.params
     in
     if Hashtbl.length r.repliers >= needed_repliers then begin
-      if Tag.( >= ) t.tag r.max_seen then finish_repair t ctx
+      if Tag.( >= ) (Disk.tag t.disk) r.max_seen then finish_repair t ctx
       else begin
         (* D3: materialized as (coordinate, fragment) pairs and sorted, so
            the decoder sees replies in a schedule-independent order. *)
@@ -355,14 +704,14 @@ let maybe_finish_repair t ctx =
           match Erasure.Mds.decode t.config.Config.code frags with
           | value ->
             let fragments = Config.encode t.config value in
-            t.tag <- r.max_seen;
-            t.fragment <- fragments.(t.coordinate);
+            let fragment = fragments.(t.coordinate) in
+            Disk.store t.disk ~tag:r.max_seen ~fragment;
             Cost.storage_set t.config.Config.cost ~server:t.coordinate
-              ~bytes:(Fragment.size t.fragment);
+              ~bytes:(Fragment.size fragment);
             Probe.emit t.config.Config.probe
               (Probe.Stored
                  { server = t.coordinate;
-                   tag = t.tag;
+                   tag = r.max_seen;
                    time = Engine.now_ctx ctx
                  });
             finish_repair t ctx
@@ -373,13 +722,6 @@ let maybe_finish_repair t ctx =
         end
       end
     end
-
-let broadcast_repair_get t ctx ~op =
-  Array.iteri
-    (fun c _pid ->
-      if c <> t.coordinate then
-        send_to_coordinate t ctx ~coordinate:c (Messages.Repair_get { op }))
-    t.config.Config.servers
 
 let rec schedule_repair_retry t ctx =
   Engine.schedule_local ctx ~delay:repair_retry_interval (fun () ->
@@ -398,10 +740,10 @@ let rec schedule_repair_retry t ctx =
    answers no quorum queries. *)
 let begin_repair t ctx ~op =
   let fragments = Config.encode t.config t.config.Config.initial_value in
-  t.tag <- Tag.initial;
-  t.fragment <- fragments.(t.coordinate);
+  let fragment = fragments.(t.coordinate) in
+  Disk.store t.disk ~tag:Tag.initial ~fragment;
   Cost.storage_set t.config.Config.cost ~server:t.coordinate
-    ~bytes:(Fragment.size t.fragment);
+    ~bytes:(Fragment.size fragment);
   Hashtbl.reset t.registered;
   Hashtbl.reset t.h;
   Int_tbl.Set.reset t.md_delivered;
@@ -419,6 +761,23 @@ let begin_repair t ctx ~op =
         attempts = 0;
         deferred = []
       };
+  (* the crash lost the detector's and scrubber's timers too: reset
+     their state (a freshly restored server has heard everyone "now" —
+     it must re-earn its suspicions) and restart the tick chains under a
+     new generation, killing any pre-crash chain that survived in the
+     event queue *)
+  (match t.heal with
+  | None -> ()
+  | Some hs ->
+    let now = Engine.now_ctx ctx in
+    Array.fill hs.last_heard 0 (Array.length hs.last_heard) now;
+    Array.fill hs.suspected 0 (Array.length hs.suspected) false;
+    Array.iter Hashtbl.reset hs.votes;
+    Array.fill hs.fired 0 (Array.length hs.fired) false;
+    hs.scrub <- None;
+    hs.hgen <- hs.hgen + 1;
+    heartbeat_tick t ctx hs.hgen;
+    scrub_tick t ctx hs.hgen);
   Probe.emit t.config.Config.probe
     (Probe.Repair_started { server = t.coordinate; time = Engine.now_ctx ctx });
   broadcast_repair_get t ctx ~op;
@@ -435,7 +794,10 @@ let on_repair_reply t ctx ~src ~op ~tag ~fragment =
       maybe_finish_repair t ctx
     | exception Not_found -> ()
   end
-  | Some _ | None -> ()
+  | Some _ | None ->
+    (* not a crash-repair reply — maybe a scrub's (same wire protocol,
+       disjoint op ranges) *)
+    on_scrub_reply t ctx ~src ~op ~tag ~fragment
 
 (* Fig. 5, "On md-value-deliver(tw, c's)": relay to registered readers,
    adopt the element if its tag is newer, acknowledge the writer. *)
@@ -445,9 +807,12 @@ let md_value_deliver t ctx ~op ~tag:tw ~fragment =
       if Tag.( >= ) tw reg.tr then
         relay_to_reader t ctx ~rid ~reg ~tag:tw ~fragment)
     (registered_sorted t);
-  if Tag.( > ) tw t.tag then begin
-    t.tag <- tw;
-    t.fragment <- fragment;
+  if Tag.( > ) tw (Disk.tag t.disk) then begin
+    (* adopting a fresh element also heals a quarantined store by
+       overwrite (the checksum is recomputed), making an in-flight
+       scrub repair moot *)
+    Disk.store t.disk ~tag:tw ~fragment;
+    cancel_scrub t;
     Cost.storage_set t.config.Config.cost ~server:t.coordinate
       ~bytes:(Fragment.size fragment);
     Probe.emit t.config.Config.probe
@@ -477,10 +842,15 @@ let on_read_value t ctx ~rid ~reader ~tr =
     (* a repairing server's stored element may be stale (reset to the
        initial state): relaying it could let a reader assemble k old
        elements, so the local relay is withheld until repair finishes;
-       concurrent writes still relay normally *)
-    if Option.is_none t.repair && Tag.( >= ) t.tag tr then
-      relay_to_reader t ctx ~rid ~reg ~tag:t.tag
-        ~fragment:(local_disk_read t ~rid)
+       concurrent writes still relay normally. A quarantined element is
+       withheld the same way (shipping garbage into a plain-SODA decode
+       at exactly k fragments would silently corrupt the read) — the
+       detection kicks a targeted repair, whose completion relays. *)
+    let tag = Disk.tag t.disk in
+    if Option.is_none t.repair && Tag.( >= ) tag tr then
+      match local_disk_read t ctx ~rid with
+      | Some fragment -> relay_to_reader t ctx ~rid ~reg ~tag ~fragment
+      | None -> ensure_scrub_repair t ctx
   end
 
 (* Fig. 5, "On md-meta-deliver(READ-COMPLETE, (r, tr))". *)
@@ -598,6 +968,11 @@ let rec handler t ctx ~src msg =
   | Messages.Md_coded { mid; op; tag; fragment } ->
     on_md_coded t ctx ~mid ~op ~tag ~fragment
   | Messages.Md_meta { mid; meta } -> on_md_meta t ctx ~src ~msg ~mid ~meta
+  | Messages.Heartbeat { coordinate } ->
+    (* processed even mid-repair: a repairing server is live and must
+       neither be suspected nor suspend its own detector *)
+    on_heartbeat t ctx ~coordinate
+  | Messages.Suspect_vote { target; voter } -> note_vote t ~target ~voter
   | Messages.Gossip { entries } ->
     List.iter
       (fun { Messages.tag; server_index; rid } ->

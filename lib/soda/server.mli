@@ -25,11 +25,41 @@ val handler : t -> Messages.t Simnet.Engine.context -> src:int -> Messages.t -> 
 (** {1 Inspection (tests and reports)} *)
 
 val stored_tag : t -> Protocol.Tag.t
+
+val stored_fragment : t -> Erasure.Fragment.t
+(** The raw stored coded element, bypassing checksum verification —
+    for tests (e.g. byte-identical restoration after a scrub repair). *)
+
 val registered_reads : t -> int list
 (** Currently registered read-operation ids. *)
 
 val history_entries : t -> int
 (** Total number of tuples in [H]. *)
+
+(** {1 Self-healing plane (see {!Config.healing})} *)
+
+val start_healing : t -> Messages.t Simnet.Engine.context -> unit
+(** Arm the failure detector and scrubber tick chains on this server.
+    Injected once per server by [Deployment.deploy]; a no-op when the
+    configuration has [healing = None]. *)
+
+val corrupt_disk : t -> seed:int -> unit
+(** Fault injection: deterministically garble the stored coded element
+    without touching its checksum (see {!Disk.rot}). The corruption is
+    silent until the next verified read or scrub sweep. *)
+
+val quarantined : t -> bool
+(** [true] while the stored element failed its checksum and has not yet
+    been restored (by a scrub repair, a crash-repair or a newer write). *)
+
+val disk_ok : t -> bool
+(** [true] iff the store is not quarantined and its checksum verifies —
+    the per-server "all corruption healed" quiescence predicate. *)
+
+val set_error_window : t -> (float * float) option -> unit
+(** SODAerr: restrict this server's error-prone fault to the sim-time
+    window [[start, stop)]. [None] (default) keeps the static always-on
+    model of {!Config.t.error_prone}. *)
 
 (** {1 Repair extension (the paper's future work (ii))} *)
 

@@ -4,8 +4,8 @@ module Cost = Protocol.Cost
 
 type t = { registers : (string * Deployment.t) list (* in creation order *) }
 
-let create ~engine ~params ~objects ?value_len ?error_prone ~num_writers
-    ~num_readers () =
+let create ~engine ~params ~objects ?value_len ?error_prone ?healing
+    ~num_writers ~num_readers () =
   if List.is_empty objects then invalid_arg "Store.create: no objects";
   let sorted = List.sort_uniq String.compare objects in
   if List.length sorted <> List.length objects then
@@ -14,7 +14,7 @@ let create ~engine ~params ~objects ?value_len ?error_prone ~num_writers
     List.map
       (fun name ->
         ( name,
-          Deployment.deploy ~engine ~params ?value_len ?error_prone
+          Deployment.deploy ~engine ~params ?value_len ?error_prone ?healing
             ~num_writers ~num_readers () ))
       objects
   in
@@ -43,7 +43,13 @@ let repair_server t ~coordinate ~at =
     (fun (_, d) -> ignore (Deployment.repair_server d ~coordinate ~at))
     t.registers
 
+let corrupt_server t ~coordinate ~at =
+  List.iter
+    (fun (_, d) -> Deployment.corrupt_server d ~coordinate ~at)
+    t.registers
+
 let repairing t = List.exists (fun (_, d) -> Deployment.repairing d) t.registers
+let scrub_clean t = List.for_all (fun (_, d) -> Deployment.scrub_clean d) t.registers
 
 let history t ~obj = Deployment.history (find t ~obj)
 

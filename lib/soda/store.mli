@@ -31,12 +31,15 @@ val create :
   objects:string list ->
   ?value_len:int ->
   ?error_prone:int list ->
+  ?healing:Config.healing ->
   num_writers:int ->
   num_readers:int ->
   unit ->
   t
 (** One register per (distinct) name in [objects], all with the given
-    parameters. Each object starts holding the empty value.
+    parameters. Each object starts holding the empty value. Every
+    object's fragment stores are checksummed ({!Disk}); [healing] arms
+    the self-healing plane on each register (see {!Deployment.deploy}).
     @raise Invalid_argument on an empty or duplicated object list. *)
 
 val objects : t -> string list
@@ -55,11 +58,20 @@ val read :
 val crash_server : t -> coordinate:int -> at:float -> unit
 val repair_server : t -> coordinate:int -> at:float -> unit
 
+val corrupt_server : t -> coordinate:int -> at:float -> unit
+(** Bit-rot the coordinate's stored element for every object (a machine
+    fault hits all registers on the machine); see
+    {!Deployment.corrupt_server}. *)
+
 (** {1 Observation} *)
 
 val repairing : t -> bool
 (** [true] while any server of any object is mid-repair (machine-level:
     see {!Deployment.repairing}). *)
+
+val scrub_clean : t -> bool
+(** [true] iff every register's every fragment store passes its checksum
+    (see {!Deployment.scrub_clean}). *)
 
 val history : t -> obj:string -> History.t
 

@@ -93,7 +93,8 @@ let handler t ctx ~src msg =
       | Messages.Write_get _ | Messages.Read_get _ | Messages.Read_get_reply _
       | Messages.Relay _ | Messages.Relay_batch _ | Messages.Md_full _
       | Messages.Md_coded _ | Messages.Md_meta _ | Messages.Repair_get _
-      | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _ ),
+      | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _
+      | Messages.Heartbeat _ | Messages.Suspect_vote _ ),
       (Idle | Get _ | Put _) ) ->
     (* stale replies from earlier phases or foreign traffic *)
     ()

@@ -57,8 +57,8 @@ let nemesis_unit_tests =
                 true
               end
               else false
-            | Nemesis.Partition _ | Nemesis.Heal _ ->
-              (* [generate] never emits partitions *)
+            | Nemesis.Partition _ | Nemesis.Heal _ | Nemesis.BitRot _ ->
+              (* [generate] never emits partitions or rot *)
               false)
           schedule);
     Alcotest.test_case "schedules are non-trivial" `Quick (fun () ->
@@ -114,7 +114,10 @@ let nemesis_unit_tests =
             | Nemesis.Partition { coordinates; _ } ->
               flip isolated coordinates ~expect:false
             | Nemesis.Heal { coordinates; _ } ->
-              flip isolated coordinates ~expect:true)
+              flip isolated coordinates ~expect:true
+            | Nemesis.BitRot _ ->
+              (* [generate_mixed] never emits rot *)
+              false)
           schedule);
     Alcotest.test_case "mixed schedules mix both fault kinds" `Quick
       (fun () ->
@@ -221,7 +224,9 @@ let store_chaos_tests =
               Soda.Store.crash_server store ~coordinate ~at
             | Nemesis.Repair { coordinate; _ } ->
               Soda.Store.repair_server store ~coordinate ~at
-            | Nemesis.Partition _ | Nemesis.Heal _ -> ())
+            | Nemesis.Partition _ | Nemesis.Heal _ -> ()
+            | Nemesis.BitRot { coordinate; _ } ->
+              Soda.Store.corrupt_server store ~coordinate ~at)
           schedule;
         (* under chaos an operation can stall until a repair completes,
            so clients chain their next operation from the completion
@@ -288,6 +293,27 @@ let determinism_tests =
         && a.Chaos.lost = b.Chaos.lost
         && a.Chaos.retransmissions = b.Chaos.retransmissions
         && a.Chaos.duplicates_suppressed = b.Chaos.duplicates_suppressed
+        && a.Chaos.ops = b.Chaos.ops
+        && a.Chaos.final_time = b.Chaos.final_time);
+    (* same property with the self-healing plane armed: heartbeat,
+       scrub, suspicion and autonomous repair are all driven by sim
+       time and the seeded RNG, so healed runs replay bit-identically
+       too (rule D of the determinism discipline) *)
+    qtest ~count:3 "healing-enabled executions are bit-identical too"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let scenario =
+          match Chaos.find "bitrot+loss20+part" with
+          | Some s -> s
+          | None -> Alcotest.fail "matrix cell renamed"
+        in
+        let a = Chaos.run ~trace:true scenario ~seed in
+        let b = Chaos.run ~trace:true scenario ~seed in
+        a.Chaos.events = b.Chaos.events
+        && a.Chaos.sent = b.Chaos.sent
+        && a.Chaos.delivered = b.Chaos.delivered
+        && a.Chaos.heal_mttd = b.Chaos.heal_mttd
+        && a.Chaos.heal_mttr = b.Chaos.heal_mttr
         && a.Chaos.ops = b.Chaos.ops
         && a.Chaos.final_time = b.Chaos.final_time)
   ]

@@ -292,7 +292,10 @@ let cost_tests =
                 true
               end
             | Probe.Registered _ | Probe.Unregistered _ | Probe.Stored _
-            | Probe.Gc _ | Probe.Repair_started _ | Probe.Repaired _ ->
+            | Probe.Gc _ | Probe.Repair_started _ | Probe.Repaired _
+            | Probe.Crash_injected _ | Probe.Rot_injected _
+            | Probe.Suspected _ | Probe.Auto_repair _ | Probe.Rot_detected _
+            | Probe.Scrub_repaired _ ->
               true)
           (Probe.events probe));
     Alcotest.test_case "read cost grows with write concurrency" `Quick

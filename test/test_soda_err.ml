@@ -275,10 +275,70 @@ let threshold_tests =
                >= Params.k_soda params + (2 * Params.e params)))
   ]
 
+(* Timed error-prone windows: instead of the static always-corrupting
+   model, each error-prone coordinate garbles local reads only inside a
+   sim-time window ([Deployment.set_error_window]) — the transient-fault
+   picture of a disk that goes bad and is later replaced. A window can
+   only remove corruption relative to the static model, so Thms 6.1/6.2
+   must keep holding, here under 20% message loss on every link. *)
+let timed_window_tests =
+  [ qtest ~count:30 "timed error windows under 20% loss stay live + atomic"
+      QCheck2.Gen.(
+        err_params_gen >>= fun params ->
+        error_coords_gen params >>= fun coords ->
+        float_range 0.0 150.0 >>= fun wstart ->
+        float_range 20.0 200.0 >>= fun wlen ->
+        int_range 0 100_000 >|= fun seed -> (params, coords, wstart, wlen, seed))
+      (fun (params, coords, wstart, wlen, seed) ->
+        let engine =
+          Engine.create ~seed ~transport:(`Reliable Simnet.Channel.default)
+            ~classify:(fun m -> Soda.Messages.data_bytes m > 0)
+            ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+        in
+        Engine.set_loss engine 0.2;
+        let d =
+          Soda.Deployment.deploy ~engine ~params
+            ~initial_value:(Bytes.make 128 'i') ~error_prone:coords
+            ~num_writers:1 ~num_readers:1 ()
+        in
+        List.iter
+          (fun c ->
+            Soda.Deployment.set_error_window d ~coordinate:c
+              (Some (wstart, wstart +. wlen)))
+          coords;
+        (* closed loop: loss can stall any one operation, and clients
+           are single-lane *)
+        let ops = 3 in
+        let rec wloop i () =
+          if i < ops then
+            Soda.Deployment.write d ~writer:0
+              ~at:(Engine.now engine +. 20.0)
+              ~on_done:(wloop (i + 1))
+              (Workload.value ~len:128 ~seed ~index:i)
+        in
+        let rec rloop i () =
+          if i < ops then
+            Soda.Deployment.read d ~reader:0
+              ~at:(Engine.now engine +. 25.0)
+              ~on_done:(fun _ -> rloop (i + 1) ())
+              ()
+        in
+        wloop 0 ();
+        rloop 0 ();
+        Engine.run engine;
+        let history = Soda.Deployment.history d in
+        History.all_complete history
+        && Atomicity.check_tagged
+             ~initial_value:(Soda.Deployment.initial_value d)
+             (History.records history)
+           = Ok ())
+  ]
+
 let () =
   Alcotest.run "soda-err"
     [ ("basics", basic_tests);
       ("random-executions", random_tests);
       ("costs", cost_tests);
-      ("thresholds", threshold_tests)
+      ("thresholds", threshold_tests);
+      ("timed-windows", timed_window_tests)
     ]
