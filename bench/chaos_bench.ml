@@ -73,4 +73,4 @@ let run () =
          %d\n"
         o.scenario.Chaos.name o.seed o.scenario.Chaos.name o.seed)
     failures;
-  if failures <> [] then exit 1
+  if not (List.is_empty failures) then exit 1

@@ -198,8 +198,13 @@ let read_cost () =
     per_seed;
   let u = unit_cost ~n ~k:(n - f) in
   let rows =
-    Hashtbl.fold (fun dw costs acc -> (dw, costs) :: acc) buckets []
-    |> List.sort compare
+    (Hashtbl.fold
+     [@lint.allow
+       "D3: the fold materializes the buckets into a list that is sorted \
+        by key on the next line"])
+      (fun dw costs acc -> (dw, costs) :: acc)
+      buckets []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     |> List.map (fun (dw, costs) ->
            let s = Metrics.stats_of costs in
            [ Report.i dw;
@@ -776,8 +781,10 @@ let ablation_gossip () =
     let still_registered =
       List.exists
         (fun c ->
-          Soda.Server.registered_reads (Soda.Deployment.server d ~coordinate:c)
-          <> [])
+          not
+            (List.is_empty
+               (Soda.Server.registered_reads
+                  (Soda.Deployment.server d ~coordinate:c))))
         (List.init 10 Fun.id)
     in
     (relays, still_registered)

@@ -74,7 +74,10 @@ let () =
     | [] -> List.map (fun (name, _, _) -> name) experiments
     | _ -> args
   in
-  if List.mem "--help" requested || List.mem "-h" requested then usage ()
+  if
+    List.exists (String.equal "--help") requested
+    || List.exists (String.equal "-h") requested
+  then usage ()
   else
     List.iter
       (fun name ->

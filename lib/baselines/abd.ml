@@ -6,12 +6,13 @@ module Tag = Protocol.Tag
 
 module Messages = struct
   type t =
-    | Query_tag of { op : int }
-    | Query_tag_reply of { op : int; tag : Tag.t }
-    | Query_full of { rid : int }
-    | Query_full_reply of { rid : int; tag : Tag.t; value : bytes }
-    | Store of { op : int; tag : Tag.t; value : bytes }
-    | Store_ack of { op : int; tag : Tag.t }
+    | Query_tag of { op : int } [@lint.msg "abd -> abd"]
+    | Query_tag_reply of { op : int; tag : Tag.t } [@lint.msg "abd -> abd"]
+    | Query_full of { rid : int } [@lint.msg "abd -> abd"]
+    | Query_full_reply of { rid : int; tag : Tag.t; value : bytes } [@lint.msg "abd -> abd"]
+    | Store of { op : int; tag : Tag.t; value : bytes } [@lint.msg "abd -> abd"]
+    | Store_ack of { op : int; tag : Tag.t } [@lint.msg "abd -> abd"]
+  [@@lint.protocol]
 
   let data_bytes = function
     | Query_tag _ | Query_tag_reply _ | Query_full _ | Store_ack _ -> 0

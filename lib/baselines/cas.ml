@@ -9,14 +9,15 @@ module Fragment = Erasure.Fragment
 
 module Messages = struct
   type t =
-    | Query of { op : int }
-    | Query_reply of { op : int; tag : Tag.t }
-    | Pre of { op : int; tag : Tag.t; fragment : Fragment.t }
-    | Pre_ack of { op : int; tag : Tag.t }
-    | Fin of { op : int; tag : Tag.t }
-    | Fin_ack of { op : int; tag : Tag.t }
-    | Read_fin of { rid : int; tag : Tag.t }
-    | Read_fin_reply of { rid : int; tag : Tag.t; fragment : Fragment.t option }
+    | Query of { op : int } [@lint.msg "cas -> cas"]
+    | Query_reply of { op : int; tag : Tag.t } [@lint.msg "cas -> cas"]
+    | Pre of { op : int; tag : Tag.t; fragment : Fragment.t } [@lint.msg "cas -> cas"]
+    | Pre_ack of { op : int; tag : Tag.t } [@lint.msg "cas -> cas"]
+    | Fin of { op : int; tag : Tag.t } [@lint.msg "cas -> cas"]
+    | Fin_ack of { op : int; tag : Tag.t } [@lint.msg "cas -> cas"]
+    | Read_fin of { rid : int; tag : Tag.t } [@lint.msg "cas -> cas"]
+    | Read_fin_reply of { rid : int; tag : Tag.t; fragment : Fragment.t option } [@lint.msg "cas -> cas"]
+  [@@lint.protocol]
 
   let data_bytes = function
     | Query _ | Query_reply _ | Pre_ack _ | Fin _ | Fin_ack _ | Read_fin _
@@ -326,9 +327,9 @@ module Reader = struct
         Hashtbl.length c.replies >= quorum t.config
         && Hashtbl.length c.fragments >= k
       then begin
-        (* D3: materialized sorted by fragment index so the decoder input
-           order is schedule-independent. *)
-        let[@lint.allow "D3"] frags =
+        let[@lint.allow
+             "D3: materialized sorted by fragment index so the decoder \
+              input order is schedule-independent"] frags =
           Hashtbl.fold (fun i f acc -> (i, f) :: acc) c.fragments []
           |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
           |> List.map snd

@@ -6,14 +6,15 @@ module Tag = Protocol.Tag
 
 module Messages = struct
   type t =
-    | Dir_query of { op : int }
-    | Dir_query_reply of { op : int; tag : Tag.t; locations : int list }
-    | Dir_update of { op : int; tag : Tag.t; locations : int list }
-    | Dir_update_ack of { op : int; tag : Tag.t }
-    | Store of { op : int; tag : Tag.t; value : bytes }
-    | Store_ack of { op : int; tag : Tag.t }
-    | Fetch of { rid : int; tag : Tag.t }
-    | Fetch_reply of { rid : int; tag : Tag.t; value : bytes }
+    | Dir_query of { op : int } [@lint.msg "ldr -> ldr"]
+    | Dir_query_reply of { op : int; tag : Tag.t; locations : int list } [@lint.msg "ldr -> ldr"]
+    | Dir_update of { op : int; tag : Tag.t; locations : int list } [@lint.msg "ldr -> ldr"]
+    | Dir_update_ack of { op : int; tag : Tag.t } [@lint.msg "ldr -> ldr"]
+    | Store of { op : int; tag : Tag.t; value : bytes } [@lint.msg "ldr -> ldr"]
+    | Store_ack of { op : int; tag : Tag.t } [@lint.msg "ldr -> ldr"]
+    | Fetch of { rid : int; tag : Tag.t } [@lint.msg "ldr -> ldr"]
+    | Fetch_reply of { rid : int; tag : Tag.t; value : bytes } [@lint.msg "ldr -> ldr"]
+  [@@lint.protocol]
 
   let data_bytes = function
     | Dir_query _ | Dir_query_reply _ | Dir_update _ | Dir_update_ack _

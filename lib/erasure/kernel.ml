@@ -6,7 +6,9 @@
    after the explicit length checks). Build with the [soda-debug]
    profile to compile in the corresponding [assert]s; release strips
    them with [-noassert]. *)
-[@@@lint.allow "U1"]
+[@@@lint.allow
+  "U1: every loop bound derives from k * col_len = stripes * row_bytes \
+   after the explicit length checks; soda-debug compiles in the asserts"]
 
 module Gf = Galois.Gf
 module Gf16 = Galois.Gf16
@@ -334,7 +336,9 @@ let parallel_rows ?(domains = 1) ?(min_chunk = default_min_chunk) ~n f =
     let failures = Array.make domains None in
     (* E1: each domain's exception is captured in [failures] and
        re-raised after the join below — nothing is swallowed. *)
-    let[@lint.allow "E1"] worker d () =
+    let[@lint.allow
+         "E1: the catch-all transports the exception to the joining \
+          domain, where it is rethrown — nothing is swallowed"] worker d () =
       let lo = d * chunk in
       let len = min chunk (n - lo) in
       if len > 0 then

@@ -27,9 +27,9 @@ let mul_slow a b =
 
 (* exp_table.(i) = alpha^i for i in [0, 509]; doubled so that
    mul can index [log a + log b] without a modulo. *)
-(* R1: filled once at module initialization, read-only afterwards —
-   safe to read from any domain. *)
-let[@lint.allow "R1"] (exp_table, log_table) =
+let[@lint.allow
+     "R1: filled once at module initialization, read-only afterwards — \
+      safe to read from any domain"] (exp_table, log_table) =
   let exp_table = Array.make 510 0 in
   let log_table = Array.make 256 (-1) in
   let x = ref 1 in
@@ -87,8 +87,9 @@ let to_string a = Format.asprintf "%a" pp a
    they are built eagerly at module initialization: [mul_table] is a
    pure array read and therefore safe to call from any domain. *)
 
-(* R1: built eagerly at module initialization and never written again. *)
-let[@lint.allow "R1"] all_tables =
+let[@lint.allow
+     "R1: built eagerly at module initialization and never written again"]
+    all_tables =
   Array.init order (fun c -> Bytes.init order (fun x -> Char.chr (mul c x)))
 
 let mul_table c =
@@ -112,7 +113,9 @@ let check_buf_args ~fname table ~src ~dst ~off ~len =
    inside both buffers, and every table index is a byte. The word
    sweeps additionally go through [Wops], whose [debug_checks]
    (soda-debug profile / SODA_DEBUG env) re-asserts each range. *)
-[@@@lint.allow "U1"]
+[@@@lint.allow
+  "U1: entry checks put every offset inside both buffers and every table \
+   index is a byte; Wops debug_checks re-asserts each range"]
 
 let mul_buf table ~src ~dst ~off ~len =
   check_buf_args ~fname:"Gf.mul_buf" table ~src ~dst ~off ~len;
@@ -142,9 +145,13 @@ let muladd_buf table ~src ~dst ~off ~len =
 
 type wtable = { chunks : Wops.chunk_table; byte : Bytes.t }
 
-(* R1: all reads and writes happen under [wtables_mutex]. *)
-let[@lint.allow "R1"] wtables : wtable option array = Array.make order None
-let[@lint.allow "R1"] wtables_mutex = Mutex.create ()
+let[@lint.allow
+     "R1: all reads and writes happen under wtables_mutex"] wtables :
+    wtable option array =
+  Array.make order None
+
+let[@lint.allow "R1: the mutex guarding wtables is itself domain-safe"]
+    wtables_mutex = Mutex.create ()
 
 let wtable c =
   if c < 0 || c > field_mask then

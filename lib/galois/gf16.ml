@@ -26,9 +26,9 @@ let mul_slow a b =
 
 (* exp_table.(i) = alpha^i for i in [0, 2*65535 - 1]; doubled so mul can
    index [log a + log b] without a modulo. *)
-(* R1: filled once at module initialization, read-only afterwards —
-   safe to read from any domain. *)
-let[@lint.allow "R1"] (exp_table, log_table) =
+let[@lint.allow
+     "R1: filled once at module initialization, read-only afterwards — \
+      safe to read from any domain"] (exp_table, log_table) =
   let exp_table = Array.make (2 * group_order) 0 in
   let log_table = Array.make order (-1) in
   let x = ref 1 in
@@ -99,11 +99,13 @@ let build_tables c =
     hi = Array.init 256 (fun x -> mul c (x lsl 8))
   }
 
-(* R1: all reads and writes happen under [tables_mutex] below. *)
-let[@lint.allow "R1"] tables_cache : mul_tables option array =
+let[@lint.allow
+     "R1: all reads and writes happen under tables_mutex below"]
+    tables_cache : mul_tables option array =
   Array.make order None
 
-let[@lint.allow "R1"] tables_mutex = Mutex.create ()
+let[@lint.allow "R1: the mutex guarding tables_cache is itself domain-safe"]
+    tables_mutex = Mutex.create ()
 
 let mul_tables c =
   if c < 0 || c > field_mask then
@@ -140,7 +142,10 @@ let check_buf_args ~fname ~src ~dst ~off ~len =
    table indices are single bytes into 256-entry arrays. The chunk-table
    sweeps go through [Wops], whose [debug_checks] (soda-debug profile /
    SODA_DEBUG env) re-asserts each range. *)
-[@@@lint.allow "U1"]
+[@@@lint.allow
+  "U1: entry checks put every offset inside both buffers and table \
+   indices are single bytes into 256-entry arrays; Wops debug_checks \
+   re-asserts each range"]
 
 let mul_buf t ~src ~dst ~off ~len =
   check_buf_args ~fname:"Gf16.mul_buf" ~src ~dst ~off ~len;
@@ -180,9 +185,12 @@ let muladd_buf t ~src ~dst ~off ~len =
 
 type wtable = Wops.chunk_table
 
-(* R1: all reads and writes happen under [wtables_mutex]. *)
-let[@lint.allow "R1"] wtables : (t, wtable) Hashtbl.t = Hashtbl.create 64
-let[@lint.allow "R1"] wtables_mutex = Mutex.create ()
+let[@lint.allow "R1: all reads and writes happen under wtables_mutex"]
+    wtables : (t, wtable) Hashtbl.t =
+  Hashtbl.create 64
+
+let[@lint.allow "R1: the mutex guarding wtables is itself domain-safe"]
+    wtables_mutex = Mutex.create ()
 
 let wtable c =
   if c < 0 || c > field_mask then

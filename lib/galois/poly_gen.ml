@@ -16,8 +16,13 @@ module Make (F : Field.S) = struct
 
   (* R1: arrays, but treated as immutable values — every operation
      allocates fresh output and never mutates its inputs. *)
-  let[@lint.allow "R1"] zero : t = [||]
-  let[@lint.allow "R1"] one : t = [| F.one |]
+  let[@lint.allow "R1: physically immutable constant — never written"] zero :
+      t =
+    [||]
+
+  let[@lint.allow "R1: physically immutable constant — never written"] one :
+      t =
+    [| F.one |]
   let constant (c : F.t) = c
   let of_coeffs a = normalize a
   let of_list l = normalize (Array.of_list l)

@@ -31,16 +31,24 @@
 (* U1: unchecked word primitives — every use below is inside a sweep
    whose entry check covers the full range it touches. *)
 external get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
-  [@@lint.allow "U1"]
+  [@@lint.allow
+    "U1: unchecked word primitive — every use is inside a sweep whose \
+     entry check covers the full range it touches"]
 
 external set16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
-  [@@lint.allow "U1"]
+  [@@lint.allow
+    "U1: unchecked word primitive — every use is inside a sweep whose \
+     entry check covers the full range it touches"]
 
 external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
-  [@@lint.allow "U1"]
+  [@@lint.allow
+    "U1: unchecked word primitive — every use is inside a sweep whose \
+     entry check covers the full range it touches"]
 
 external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
-  [@@lint.allow "U1"]
+  [@@lint.allow
+    "U1: unchecked word primitive — every use is inside a sweep whose \
+     entry check covers the full range it touches"]
 
 type chunk_table = Bytes.t
 

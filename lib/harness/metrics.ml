@@ -124,9 +124,10 @@ let heal_episodes probe =
       | Probe.Gc _ | Probe.Repair_started _ | Probe.Auto_repair _ ->
         ())
     (Probe.events probe);
-  (* D3: the fold's arbitrary order is erased by the total sort on
-     (injected_at, server, fault) before the list reaches a caller. *)
-  let[@lint.allow "D3"] still_open tbl =
+  let[@lint.allow
+       "D3: the fold's arbitrary order is erased by the total sort on \
+        (injected_at, server, fault) before the list reaches a caller"]
+      still_open tbl =
     Hashtbl.fold (fun _ ep acc -> ep :: acc) tbl []
   in
   let fault_rank = function `Crash -> 0 | `Rot -> 1 in

@@ -1,4 +1,9 @@
-let recommended_domains () =
+(* T2: the worker count only partitions the index space; [map] and
+   [iter_ranges] are order-preserving, so results are machine-
+   independent even though the parallelism degree is not. *)
+let[@lint.allow
+     "D2: domain count picks the worker pool size only; outputs are \
+      order-preserving and machine-independent"] recommended_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min 8 n)
 
@@ -30,9 +35,10 @@ let map ?domains f inputs =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else begin
-          (* E1: the catch-all transports the exception to the joining
-             domain, where [reraise] rethrows it — nothing is swallowed. *)
-          let[@lint.allow "E1"] outcome =
+          let[@lint.allow
+               "E1: the catch-all transports the exception to the joining \
+                domain, where reraise rethrows it — nothing is swallowed"]
+              outcome =
             match f items.(i) with
             | value -> Value value
             | exception e -> Raised e

@@ -1,6 +1,7 @@
-(* P2: Report is the sanctioned output sink — every other module routes
-   human-readable output through it. *)
-let[@lint.allow "P2"] default_out = Format.std_formatter
+let[@lint.allow
+     "P2: Report is the sanctioned output sink — every other module \
+      routes human-readable output through it"] default_out =
+  Format.std_formatter
 
 let pad cell width = cell ^ String.make (max 0 (width - String.length cell)) ' '
 
@@ -11,9 +12,9 @@ let normalize_title title =
   |> List.filter (fun s -> s <> "")
   |> String.concat " "
 
-(* R1: set once from the CLI before any domain is spawned, read-only
-   afterwards. *)
-let[@lint.allow "R1"] csv_dir = ref None
+let[@lint.allow
+     "R1: set once from the CLI before any domain is spawned, read-only \
+      afterwards"] csv_dir = ref None
 
 let set_csv_dir dir = csv_dir := dir
 

@@ -12,10 +12,9 @@
    two, load factor <= 1/2. The empty slot is keyed by -1, so keys must
    be >= 0 — which packed tags, mids and coordinates are. *)
 
-(* U1 audit: the probe loops below index [keys]/[vals] with
-   [h land t.mask], and both arrays are allocated with length
-   [t.mask + 1]; the masked index cannot escape the array. *)
-[@@@lint.allow "U1"]
+[@@@lint.allow
+  "U1: the probe loops index keys/vals with h land t.mask and both \
+   arrays have length t.mask + 1 — the masked index cannot escape"]
 
 (* Fibonacci hashing: spreads consecutive keys (mids and packed tags
    are near-consecutive) across the table. *)

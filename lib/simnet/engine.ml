@@ -731,13 +731,16 @@ let run ?until ?(max_events = 10_000_000) t =
       let times = Event_queue.unsafe_times queue in
       (* indices 0..2 are guarded by [n]; unsafe to keep the per-event
          path at one branch per load *)
-      let time = (Array.unsafe_get [@lint.allow "U1"]) times 0 in
+      let time = (Array.unsafe_get
+ [@lint.allow "U1: indices 0..2 are guarded by the n checks around them"]) times 0 in
       if time > horizon then continue := false
       else begin
         if
           n < 2
-          || ((Array.unsafe_get [@lint.allow "U1"]) times 1 <> time
-             && (n < 3 || (Array.unsafe_get [@lint.allow "U1"]) times 2 <> time))
+          || ((Array.unsafe_get
+ [@lint.allow "U1: indices 0..2 are guarded by the n checks around them"]) times 1 <> time
+             && (n < 3 || (Array.unsafe_get
+ [@lint.allow "U1: indices 0..2 are guarded by the n checks around them"]) times 2 <> time))
         then begin
           (* Untied minimum (the common case under continuous random
              delays — in a heap the only candidates for a second copy

@@ -43,7 +43,10 @@
    [hole < bound <= size] included). [debug_checks] in Wops gates the
    equivalent dynamic assertions for the byte kernels; here the sift
    loops are bounds-audited by the invariant above. *)
-[@@@lint.allow "U1"]
+[@@@lint.allow
+  "U1: every index below is kept inside the parallel arrays by \
+   ensure_capacity's invariant; Wops debug_checks gates the dynamic \
+   assertions"]
 
 let handle_bits = 24
 let handle_mask = (1 lsl handle_bits) - 1

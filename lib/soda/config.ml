@@ -87,7 +87,12 @@ let encode t value =
   (* P1: physical equality is the cache key by design (see the field
      comment above) — structural comparison of the payload bytes would
      defeat the point. *)
-  | Some (v, fragments) when ((v == value) [@lint.allow "P1"]) -> fragments
+  | Some (v, fragments)
+    when ((v == value)
+          [@lint.allow
+            "P1: physical equality is the cache key by design — structural \
+             comparison of the payload bytes would defeat the point"]) ->
+    fragments
   | Some _ | None ->
     let fragments = Mds.encode t.code value in
     t.encode_cache <- Some (value, fragments);

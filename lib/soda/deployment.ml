@@ -29,7 +29,10 @@ let repair_op_base = 1_000_000
    domain-safe. The ids only label repair rounds (they never order
    protocol decisions), so cross-domain interleaving cannot perturb a
    single-engine replay. *)
-let[@lint.allow "R1"] repair_counter = Atomic.make 0
+let[@lint.allow
+     "R1: process-wide atomic label counter; the ids never order protocol \
+      decisions, so cross-domain interleaving cannot perturb a replay"]
+    repair_counter = Atomic.make 0
 
 let repair_server t ~coordinate ~at =
   let pid = t.config.Config.servers.(coordinate) in

@@ -16,7 +16,10 @@ let stepped_send_to_d ctx (config : Config.t) msg =
   let d = Config.d_size config in
   let step = config.disperse_step in
   (* full-value hops are the data traffic of a write; metas are free *)
-  let op, bytes =
+  let[@lint.allow
+       "M1: dispersal cost accounting reads the payload size — this is \
+        bookkeeping on a message in flight, not a protocol handler"]
+      (op, bytes) =
     match msg with
     | Messages.Md_full { op; _ } -> (op, Messages.data_bytes msg)
     | Messages.Md_coded _ | Messages.Md_meta _ | Messages.Write_get _

@@ -208,9 +208,9 @@ let crash_server t ~index ~at = Engine.crash_at t.engine t.server_pids.(index) a
 let deliveries t = List.rev t.deliveries_rev
 let acked t = List.rev t.acked_rev
 
-(* D3: both folds are commutative byte sums — iteration order cannot
-   change the result. *)
-let[@lint.allow "D3"] server_retained_payloads t ~index =
+let[@lint.allow
+     "D3: both folds are commutative byte sums — iteration order cannot \
+      change the result"] server_retained_payloads t ~index =
   let s = t.servers.(index) in
   let in_content =
     Hashtbl.fold (fun _ (_, c) acc -> acc + Fragment.size c) s.content 0

@@ -10,32 +10,59 @@ let mid ~origin ~seq = (seq lsl 20) lor origin
 let mid_origin mid = mid land 0xFFFFF
 let mid_seq mid = mid lsr 20
 
+(* The MD-relayed metadata alphabet. Routes below name role source
+   files in this directory; soda-lint's M-pass checks every declared
+   handler binds the payload somewhere and every declared sender
+   constructs the message (see DESIGN.md, "Static analysis v2"). *)
 type meta =
   | Read_value of { rid : int; reader : int; tr : Tag.t }
+      [@lint.msg "reader -> server"]
   | Read_complete of { rid : int; reader : int; tr : Tag.t }
+      [@lint.msg "reader -> server"]
   | Read_disperse of { tag : Tag.t; server_index : int; rid : int }
+      [@lint.msg "server -> server"]
+[@@lint.protocol]
 
 (* One deferred READ-DISPERSE announcement, accumulated in a server's
    per-destination outbox instead of being broadcast standalone. *)
 type gossip_entry = { tag : Tag.t; server_index : int; rid : int }
 
+(* The SODA wire alphabet with its declared routes ("sender ->
+   handler", comma-separated for multi-route constructors). The M-pass
+   cross-checks these against observed emissions (Texp_construct in a
+   role file) and handlers (a match arm binding the payload); a
+   wildcard [C _] arm is an explicit ignore, not a handler. *)
 type t =
-  | Write_get of { op : int }
+  | Write_get of { op : int } [@lint.msg "writer -> server"]
   | Write_get_reply of { op : int; tag : Tag.t }
-  | Write_ack of { op : int; tag : Tag.t }
-  | Read_get of { rid : int }
+      [@lint.msg "server -> writer"]
+  | Write_ack of { op : int; tag : Tag.t } [@lint.msg "server -> writer"]
+  | Read_get of { rid : int } [@lint.msg "reader -> server"]
   | Read_get_reply of { rid : int; tag : Tag.t }
+      [@lint.msg "server -> reader"]
   | Relay of { rid : int; tag : Tag.t; fragment : Fragment.t }
+      [@lint.msg "server -> reader"]
   | Md_full of { mid : mid; op : int; tag : Tag.t; value : bytes }
+      [@lint.msg "md server -> server"]
+      [@lint.allow
+        "M3: the server leg forwards the incoming Md_full value down the \
+         chain as-is (server.ml on_md_full) — a variable send the static \
+         emission check cannot see"]
   | Md_coded of { mid : mid; op : int; tag : Tag.t; fragment : Fragment.t }
-  | Md_meta of { mid : mid; meta : meta }
-  | Repair_get of { op : int }
+      [@lint.msg "md server -> server"]
+  | Md_meta of { mid : mid; meta : meta } [@lint.msg "md -> server"]
+  | Repair_get of { op : int } [@lint.msg "server -> server"]
   | Repair_reply of { op : int; tag : Tag.t; fragment : Fragment.t }
-  | Gossip of { entries : gossip_entry list }
+      [@lint.msg "server -> server"]
+  | Gossip of { entries : gossip_entry list } [@lint.msg "server -> server"]
   | Envelope of { entries : gossip_entry list; msg : t }
+      [@lint.msg "server -> server"] [@lint.envelope]
   | Relay_batch of { rid : int; items : (Tag.t * Fragment.t) list }
-  | Heartbeat of { coordinate : int }
+      [@lint.msg "server -> reader"]
+  | Heartbeat of { coordinate : int } [@lint.msg "server -> server"]
   | Suspect_vote of { target : int; voter : int }
+      [@lint.msg "server -> server"]
+[@@lint.protocol]
 
 let rec data_bytes = function
   | Write_get _ | Write_get_reply _ | Write_ack _ | Read_get _

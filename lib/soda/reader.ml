@@ -99,9 +99,9 @@ let complete t ctx ~rid ~tr ~tag ~value =
    further relays (more elements can only help the decoder). *)
 let try_decode t ctx ~rid ~tr ~tag fragments =
   if Hashtbl.length fragments >= t.config.Config.decode_threshold then begin
-    (* D3: materialized sorted by fragment index so the decoder input
-       order is schedule-independent (bit-identical replay). *)
-    let[@lint.allow "D3"] frags =
+    let[@lint.allow
+         "D3: materialized sorted by fragment index so the decoder input \
+          order is schedule-independent (bit-identical replay)"] frags =
       Hashtbl.fold (fun c f acc -> (c, f) :: acc) fragments []
       |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       |> List.map snd

@@ -122,15 +122,15 @@ let disk_ok t = (not (Disk.quarantined t.disk)) && Disk.verify t.disk
 let corrupt_disk t ~seed = Disk.rot t.disk ~seed
 let set_error_window t w = t.err_window <- w
 
-(* D3: the fold's arbitrary order is erased by the sort before the list
-   can reach a caller. *)
-let[@lint.allow "D3"] registered_reads t =
+let[@lint.allow
+     "D3: the fold's arbitrary order is erased by the sort before the \
+      list can reach a caller"] registered_reads t =
   List.sort Int.compare
     (Hashtbl.fold (fun rid _ acc -> rid :: acc) t.registered [])
 
-(* D3: commutative integer sum — iteration order cannot change the
-   result. *)
-let[@lint.allow "D3"] history_entries t =
+let[@lint.allow
+     "D3: commutative integer sum — iteration order cannot change the \
+      result"] history_entries t =
   Hashtbl.fold
     (fun _ tags acc ->
       Int_tbl.Map.fold
@@ -143,7 +143,9 @@ let[@lint.allow "D3"] history_entries t =
    of the trace: iterating the registration table directly would make
    traces — and under the reliable transport, retransmission schedules —
    depend on Hashtbl's nondeterministic iteration order (D3). *)
-let[@lint.allow "D3"] registered_sorted t =
+let[@lint.allow
+     "D3: materialized and sorted by rid before any send can observe the \
+      order"] registered_sorted t =
   List.sort
     (fun (a, _) (b, _) -> Int.compare a b)
     (Hashtbl.fold (fun rid reg acc -> (rid, reg) :: acc) t.registered [])
@@ -419,10 +421,10 @@ let maybe_finish_scrub t ctx =
     | None -> ()
     | Some sr ->
       let threshold = t.config.Config.decode_threshold in
-      (* D3: materialized and sorted (tag descending, coordinate
-         ascending) before any decision, so the decode input is
-         schedule-independent. *)
-      let[@lint.allow "D3"] pairs =
+      let[@lint.allow
+           "D3: materialized and sorted (tag descending, coordinate \
+            ascending) before any decision, so the decode input is \
+            schedule-independent"] pairs =
         Hashtbl.fold
           (fun (tag, coordinate) fragment acc ->
             ((tag, coordinate), fragment) :: acc)
@@ -689,9 +691,10 @@ let maybe_finish_repair t ctx =
     if Hashtbl.length r.repliers >= needed_repliers then begin
       if Tag.( >= ) (Disk.tag t.disk) r.max_seen then finish_repair t ctx
       else begin
-        (* D3: materialized as (coordinate, fragment) pairs and sorted, so
-           the decoder sees replies in a schedule-independent order. *)
-        let[@lint.allow "D3"] frags =
+        let[@lint.allow
+             "D3: materialized as (coordinate, fragment) pairs and sorted, \
+              so the decoder sees replies in a schedule-independent order"]
+            frags =
           Hashtbl.fold
             (fun (tag, coordinate) fragment acc ->
               if Tag.equal tag r.max_seen then (coordinate, fragment) :: acc

@@ -36,29 +36,43 @@ let parse_line line =
     | _ -> None)
   | _ -> None
 
-let lint_output =
-  lazy
-    (let cmd =
-       Printf.sprintf "%s --all-rules %s 2>/dev/null" lint_exe fixtures_dir
-     in
-     let ic = Unix.open_process_in cmd in
-     let rec read acc =
-       match input_line ic with
-       | line -> read (line :: acc)
-       | exception End_of_file -> List.rev acc
-     in
-     let lines = read [] in
-     let status = Unix.close_process_in ic in
-     (lines, status))
+let run_lint flags =
+  let cmd =
+    Printf.sprintf "%s %s %s 2>/dev/null" lint_exe flags fixtures_dir
+  in
+  let ic = Unix.open_process_in cmd in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  let status = Unix.close_process_in ic in
+  (lines, status)
+
+let lint_output = lazy (run_lint "--all-rules")
+let json_output = lazy (run_lint "--all-rules --json")
 
 let expected =
-  [ { file = "bad_d1.ml"; line = 2; rule = "D1" };
+  [ { file = "bad_a1.ml"; line = 10; rule = "A1" };
+    { file = "bad_d1.ml"; line = 2; rule = "D1" };
     { file = "bad_d2.ml"; line = 2; rule = "D2" };
     { file = "bad_d3.ml"; line = 3; rule = "D3" };
     { file = "bad_e1.ml"; line = 2; rule = "E1" };
+    { file = "bad_m1.ml"; line = 6; rule = "M1" };
+    { file = "bad_m2.ml"; line = 5; rule = "M2" };
+    { file = "bad_m3.ml"; line = 4; rule = "M3" };
+    { file = "bad_m4.ml"; line = 8; rule = "M4" };
     { file = "bad_p1.ml"; line = 4; rule = "P1" };
     { file = "bad_p2.ml"; line = 2; rule = "P2" };
     { file = "bad_r1.ml"; line = 2; rule = "R1" };
+    { file = "bad_s1.ml"; line = 3; rule = "S1" };
+    { file = "bad_t1.ml"; line = 3; rule = "D1" };
+    { file = "bad_t1.ml"; line = 5; rule = "T1" };
+    { file = "bad_t2.ml"; line = 3; rule = "D2" };
+    { file = "bad_t2.ml"; line = 5; rule = "T2" };
+    { file = "bad_t3.ml"; line = 3; rule = "D3" };
+    { file = "bad_t3.ml"; line = 5; rule = "T3" };
     { file = "bad_u1.ml"; line = 2; rule = "U1" };
     { file = "bad_u1.ml"; line = 4; rule = "U1" }
   ]
@@ -89,11 +103,66 @@ let test_suppression () =
         Alcotest.failf "suppressed fixture leaked a diagnostic: %s" line)
     lines
 
+(* pull "<key>": <int> / "<key>": "<string>" out of one JSON object line;
+   enough structure-awareness for the report format we emit *)
+let json_field line key =
+  let marker = Printf.sprintf "\"%s\": " key in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else find (i + 1)
+  in
+  Option.map
+    (fun start ->
+      let stop = ref start in
+      let quoted = line.[start] = '"' in
+      let start = if quoted then start + 1 else start in
+      stop := start;
+      while
+        !stop < n
+        &&
+        if quoted then line.[!stop] <> '"'
+        else match line.[!stop] with '0' .. '9' -> true | _ -> false
+      do
+        incr stop
+      done;
+      String.sub line start (!stop - start))
+    (find 0)
+
+let parse_json_line line =
+  match
+    ( json_field line "file",
+      Option.bind (json_field line "line") int_of_string_opt,
+      json_field line "rule" )
+  with
+  | Some file, Some line, Some rule ->
+    Some { file = Filename.basename file; line; rule }
+  | _ -> None
+
+let test_json_report () =
+  let lines, status = Lazy.force json_output in
+  (match status with
+  | Unix.WEXITED 1 -> ()
+  | _ -> Alcotest.fail "json run should still exit 1 on violations");
+  let found =
+    List.filter_map parse_json_line lines |> List.sort finding_compare
+  in
+  Alcotest.(check (list finding_t))
+    "JSON report carries the same findings" expected found;
+  let all = String.concat "\n" lines in
+  List.iter
+    (fun sub ->
+      if not (contains ~sub all) then
+        Alcotest.failf "JSON report is missing %S" sub)
+    [ "\"violations\""; "\"suppressed\""; "\"units\"" ]
+
 let () =
   Alcotest.run "soda-lint"
     [ ( "fixtures",
         [ Alcotest.test_case "diagnostic set" `Quick test_diagnostic_set;
           Alcotest.test_case "exit code" `Quick test_exit_code;
-          Alcotest.test_case "allow suppression" `Quick test_suppression
+          Alcotest.test_case "allow suppression" `Quick test_suppression;
+          Alcotest.test_case "json report" `Quick test_json_report
         ] )
     ]

@@ -43,6 +43,9 @@ type scanner = { s : string; mutable pos : int }
 
 let peek sc = if sc.pos < String.length sc.s then Some sc.s.[sc.pos] else None
 
+let peek_is sc c =
+  match peek sc with Some c' -> Char.equal c c' | None -> false
+
 let skip_ws sc =
   while
     sc.pos < String.length sc.s
@@ -125,7 +128,7 @@ let scan_object sc =
   expect sc '{';
   let fields = ref [] in
   skip_ws sc;
-  (if peek sc = Some '}' then sc.pos <- sc.pos + 1
+  (if peek_is sc '}' then sc.pos <- sc.pos + 1
    else
      let rec go () =
        skip_ws sc;
@@ -189,7 +192,7 @@ let parse_bench path =
     | "results" -> begin
       expect sc '[';
       skip_ws sc;
-      if peek sc = Some ']' then sc.pos <- sc.pos + 1
+      if peek_is sc ']' then sc.pos <- sc.pos + 1
       else
         let rec items () =
           let fields = scan_object sc in
@@ -246,7 +249,9 @@ let compare_benches ~baseline ~fresh =
   let unmatched_base =
     List.filter_map
       (fun (key, _) ->
-        if List.mem_assoc key fresh.points then None else Some key)
+        if List.exists (fun (k, _) -> String.equal k key) fresh.points then
+          None
+        else Some key)
       baseline.points
   in
   List.iter
@@ -256,7 +261,8 @@ let compare_benches ~baseline ~fresh =
     (Printf.eprintf
        "bench_diff: warning: baseline key %s absent from fresh run\n%!")
     unmatched_base;
-  if matched = [] then fail "no keys in common between baseline and fresh run";
+  if List.is_empty matched then
+    fail "no keys in common between baseline and fresh run";
   let m = median (List.map snd matched) in
   Printf.printf
     "bench_diff: %s, %d matched keys, machine-speed factor (median \

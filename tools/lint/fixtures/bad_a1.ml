@@ -1,0 +1,16 @@
+(* A1 fixture: a zero-copy buffer escapes into the send path and is
+   then written through. The local [Engine] mirrors the simnet sink's
+   shape; the pass matches sinks by path suffix. *)
+module Engine = struct
+  let send _ctx ~dst:_ _payload = ()
+end
+
+let publish ctx buf =
+  Engine.send ctx ~dst:1 buf;
+  Bytes.set buf 0 'x'
+
+let[@lint.allow
+     "A1: fixture — the engine copies this payload before delivery"] recycle
+    ctx buf =
+  Engine.send ctx ~dst:1 buf;
+  Bytes.set buf 0 'x'

@@ -1,0 +1,16 @@
+(* M1 fixture: a [@@lint.protocol] constructor with no declared route.
+   [Quiet] has the same defect under a reasoned allow, so it only
+   counts as a suppression. *)
+type t =
+  | Ping of { seq : int } [@lint.msg "bad_m1 -> bad_m1"]
+  | Pong of { seq : int }
+  | Quiet of { seq : int }
+      [@lint.allow "M1: fixture — spec intentionally omitted"]
+[@@lint.protocol]
+
+let emit f = f (Ping { seq = 0 })
+
+let handle = function
+  | Ping { seq } -> seq
+  | Pong { seq } -> seq
+  | Quiet { seq } -> seq

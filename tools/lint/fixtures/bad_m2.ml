@@ -1,0 +1,15 @@
+(* M2 fixture: a declared handler with no match arm binding the
+   payload — [Drop _] is an explicit ignore, not a handler. [Audit]
+   has the same defect under a reasoned allow. *)
+type t =
+  | Drop of { seq : int } [@lint.msg "bad_m2 -> bad_m2"]
+  | Audit of { seq : int }
+      [@lint.msg "bad_m2 -> bad_m2"]
+      [@lint.allow "M2: fixture — handler arrives in a later change"]
+[@@lint.protocol]
+
+let emit f =
+  f (Drop { seq = 0 });
+  f (Audit { seq = 1 })
+
+let sink = function Drop _ -> 0 | Audit _ -> 1

@@ -1,0 +1,13 @@
+(* M3 fixture: a declared sender that never constructs the message —
+   a dead handler. [Legacy] is the suppressed twin. *)
+type t =
+  | Phantom of { seq : int } [@lint.msg "bad_m3 -> bad_m3"]
+  | Legacy of { seq : int }
+      [@lint.msg "bad_m3 -> bad_m3"]
+      [@lint.allow
+        "M3: fixture — emission happens through a forwarded variable"]
+[@@lint.protocol]
+
+let handle = function
+  | Phantom { seq } -> seq
+  | Legacy { seq } -> seq

@@ -1,0 +1,20 @@
+(* M4 fixture: an [@lint.envelope] constructor nested directly inside
+   another envelope construction. *)
+type t =
+  | Data of { seq : int } [@lint.msg "bad_m4 -> bad_m4"]
+  | Wrap of { msg : t } [@lint.msg "bad_m4 -> bad_m4"] [@lint.envelope]
+[@@lint.protocol]
+
+let emit f = f (Wrap { msg = Wrap { msg = Data { seq = 0 } } })
+
+let emit_allowed f =
+  f
+    (Wrap
+       { msg = Wrap { msg = Data { seq = 1 } } }
+    [@lint.allow "M4: fixture — deliberate nesting for the suppression path"])
+
+let handle = function
+  | Data { seq } -> seq
+  | Wrap { msg } ->
+    ignore msg;
+    1

@@ -1,0 +1,7 @@
+(* S1 fixture: a suppression without a reason is itself a diagnostic
+   (the bare allow still silences its rule — no D2 fires here). *)
+let[@lint.allow "D2"] roll () = Random.int 6
+
+let[@lint.allow "D1: fixture — frozen timestamp for the suppression path"] now
+    () =
+  Unix.gettimeofday ()

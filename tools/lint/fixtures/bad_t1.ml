@@ -1,0 +1,10 @@
+(* T1 fixture: a wall-clock read reaches a caller through a helper —
+   D1 fires at the seed, T1 at the caller's reference. *)
+let stamp () = Unix.gettimeofday ()
+
+let label x = Printf.sprintf "%s@%f" x (stamp ())
+
+let quiet x =
+  ignore x;
+  int_of_float
+    ((stamp [@lint.allow "T1: fixture — callers tolerate wall-clock skew"]) ())

@@ -1,0 +1,8 @@
+(* T2 fixture: ambient Random state reaches a caller through a
+   helper — D2 fires at the seed, T2 at the caller's reference. *)
+let jitter () = Random.int 10
+
+let delay base = base + jitter ()
+
+let seeded base =
+  base + (jitter [@lint.allow "T2: fixture — jitter is reseeded per run"]) ()

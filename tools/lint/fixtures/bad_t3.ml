@@ -1,0 +1,8 @@
+(* T3 fixture: Hashtbl iteration order reaches a caller through a
+   helper — D3 fires at the seed, T3 at the caller's reference. *)
+let sum_all tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let total tbl = sum_all tbl
+
+let total_commutative tbl =
+  (sum_all [@lint.allow "T3: fixture — addition is order-insensitive"]) tbl

@@ -1,12 +1,14 @@
-(* Suppression fixture: [@lint.allow] must silence the rule, so this
-   file contributes zero diagnostics (and one suppression). *)
-let[@lint.allow "D2"] roll () = Random.int 6
+(* Suppression fixture: a reasoned [@lint.allow "ID: why"] must silence
+   the rule, so this file contributes zero diagnostics (and counts as
+   suppressions). *)
+let[@lint.allow "D2: fixture — deliberately audited randomness"] roll () =
+  Random.int 6
 
 (* U1 both ways: an allowed unchecked external and an allowed unsafe
    accessor use (the length check is this fixture's "audit"). *)
 external first16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
-  [@@lint.allow "U1"]
+  [@@lint.allow "U1: fixture — callers check a 2-byte bound"]
 
 let head a =
   if Array.length a = 0 then invalid_arg "head";
-  (Array.unsafe_get [@lint.allow "U1"]) a 0
+  (Array.unsafe_get [@lint.allow "U1: fixture — emptiness checked above"]) a 0

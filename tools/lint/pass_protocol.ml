@@ -1,0 +1,418 @@
+(* M-rules: protocol conformance against a declared spec table.
+
+   The spec lives on the message type itself: a variant type marked
+   [@@lint.protocol] is a protocol alphabet, and each constructor
+   declares its routes with [@lint.msg "sender -> handler"] (multiple
+   routes comma-separated; role names are source-file basenames in the
+   declaring directory, e.g. "writer -> server"). A constructor kept
+   deliberately outside the conformance check carries
+   [@lint.ignore "why"] instead.
+
+   Observed behavior is harvested from every unit: a [Texp_construct]
+   of a protocol constructor in a role file is an emission; a
+   [Tpat_construct] that binds at least one payload variable is a
+   handling site (an or-arm that matches [C _] without touching the
+   payload is an explicit ignore, not a handler — that distinction is
+   what lets the big "stale traffic" arms in writer/reader stay silent).
+   Only files in the declaring directory participate; the declaring
+   file itself is exempt unless it is a role (messages.ml's [pp] and
+   [data_bytes] are infrastructure, not handlers).
+
+   Checks:
+     M1  constructor with no [@lint.msg] and no [@lint.ignore]; or a
+         role file emitting/handling a constructor its spec does not
+         route through it (reported at the drifting site)
+     M2  declared handler has no match arm binding the payload —
+         sent-but-never-handled dead message
+     M3  declared sender never constructs it — handled-but-never-sent
+         dead handler
+     M4  an [@lint.envelope] constructor nested directly inside another
+         envelope construction (piggyback payloads must never nest)
+
+   Known static limits, by design: a forward of an incoming message
+   variable ([send_to_coordinate t ctx msg]) is not an emission, and
+   M4 only sees syntactic nesting — both are documented in DESIGN.md. *)
+
+type site = { s_file : string; s_scoped : bool; s_allowed : string list }
+
+type cons = {
+  c_name : string;
+  c_loc : Location.t;
+  c_senders : string list;
+  c_handlers : string list;
+  c_has_spec : bool;
+  c_bad_spec : bool;
+  c_ignored : bool; (* [@lint.ignore] present (reason or not) *)
+  c_envelope : bool;
+  c_allow : Lint_kb.Allows.entry list; (* decl-level [@lint.allow] *)
+  c_bare : Location.t list; (* spec-ish attrs missing their reason *)
+  mutable c_emitted : site list;
+  mutable c_handled : site list
+}
+
+type proto = {
+  p_tname : string; (* canonical type name *)
+  p_dir : string; (* directory of the declaring source *)
+  p_source : string;
+  p_cons : (string, cons) Hashtbl.t
+}
+
+let protos : (string, proto) Hashtbl.t = Hashtbl.create 8
+
+(* "a -> b, c -> d e" -> senders [a;c], handlers [b;d;e]; None on a
+   malformed clause *)
+let parse_routes payload : (string list * string list) option =
+  let clauses = String.split_on_char ',' payload in
+  let parse_clause acc clause =
+    match acc with
+    | None -> None
+    | Some (senders, handlers) -> (
+      let tokens =
+        String.split_on_char ' ' clause |> List.filter (fun s -> s <> "")
+      in
+      let rec split lhs = function
+        | "->" :: rhs -> Some (lhs, rhs)
+        | tok :: rest -> split (tok :: lhs) rest
+        | [] -> None
+      in
+      match split [] tokens with
+      | Some ((_ :: _ as lhs), (_ :: _ as rhs)) ->
+        Some (List.rev_append lhs senders, List.rev_append rhs handlers)
+      | _ -> None)
+  in
+  List.fold_left parse_clause (Some ([], [])) clauses
+
+let string_payload (p : Parsetree.payload) =
+  match p with
+  | PStr
+      [ { pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _
+        }
+      ] ->
+    Some s
+  | _ -> None
+
+let classify_cons (cd : Typedtree.constructor_declaration) : cons =
+  let senders = ref []
+  and handlers = ref []
+  and has_spec = ref false
+  and bad_spec = ref false
+  and ignored = ref false
+  and envelope = ref false
+  and bare = ref [] in
+  List.iter
+    (fun (a : Parsetree.attribute) ->
+      match a.attr_name.txt with
+      | "lint.msg" -> (
+        has_spec := true;
+        match Option.bind (string_payload a.attr_payload) parse_routes with
+        | Some (s, h) ->
+          senders := s @ !senders;
+          handlers := h @ !handlers
+        | None -> bad_spec := true)
+      | "lint.ignore" -> (
+        ignored := true;
+        match string_payload a.attr_payload with
+        | Some s when String.trim s <> "" -> ()
+        | _ -> bare := a.attr_loc :: !bare)
+      | "lint.envelope" -> envelope := true
+      | _ -> ())
+    cd.cd_attributes;
+  let allow = Lint_kb.Allows.of_attributes cd.cd_attributes in
+  List.iter
+    (fun (e : Lint_kb.Allows.entry) ->
+      if e.reason = None then bare := e.loc :: !bare)
+    allow;
+  { c_name = cd.cd_name.txt;
+    c_loc = cd.cd_loc;
+    c_senders = List.sort_uniq String.compare !senders;
+    c_handlers = List.sort_uniq String.compare !handlers;
+    c_has_spec = !has_spec;
+    c_bad_spec = !bad_spec;
+    c_ignored = !ignored;
+    c_envelope = !envelope;
+    c_allow = allow;
+    c_bare = !bare;
+    c_emitted = [];
+    c_handled = []
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Declaration harvest (run on every unit before usage harvest) *)
+
+let rec harvest_decls ~source ~stack (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_type (_, tds) ->
+        List.iter
+          (fun (td : Typedtree.type_declaration) ->
+            if Lint_kb.has_attr [ "lint.protocol" ] td.typ_attributes then
+              match td.typ_kind with
+              | Ttype_variant cds ->
+                let tname =
+                  String.concat "." (List.rev (td.typ_name.txt :: stack))
+                in
+                let tbl = Hashtbl.create 32 in
+                List.iter
+                  (fun cd -> Hashtbl.replace tbl cd.Typedtree.cd_name.txt
+                               (classify_cons cd))
+                  cds;
+                Hashtbl.replace protos tname
+                  { p_tname = tname;
+                    p_dir = Filename.dirname source;
+                    p_source = source;
+                    p_cons = tbl
+                  }
+              | _ -> ())
+          tds
+      | Tstr_module { mb_id = Some id; mb_expr; _ } -> (
+        match mb_expr.mod_desc with
+        | Tmod_structure inner ->
+          harvest_decls ~source ~stack:(Ident.name id :: stack) inner
+        | _ -> ())
+      | _ -> ())
+    str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* Usage harvest *)
+
+let proto_of_type ~stack (ty : Types.type_expr) : proto option =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) ->
+    let rec first = function
+      | [] -> None
+      | c :: rest -> (
+        match Hashtbl.find_opt protos c with
+        | Some p -> Some p
+        | None -> first rest)
+    in
+    first (Lint_kb.qualified_candidates ~stack (Path.name p))
+  | _ -> None
+
+let basename_role source =
+  Filename.remove_extension (Filename.basename source)
+
+(* does this pattern bind any payload variable? *)
+let rec binds_payload : type k. k Typedtree.general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var _ | Tpat_alias _ -> true
+  | Tpat_record (fields, _) ->
+    List.exists (fun (_, _, p) -> binds_payload p) fields
+  | Tpat_tuple ps | Tpat_array ps -> List.exists binds_payload ps
+  | Tpat_construct (_, _, ps, _) -> List.exists binds_payload ps
+  | Tpat_or (a, b, _) -> binds_payload a || binds_payload b
+  | Tpat_lazy p -> binds_payload p
+  | Tpat_variant (_, Some p, _) -> binds_payload p
+  | Tpat_value v -> binds_payload (v :> Typedtree.pattern)
+  | _ -> false
+
+(* deep scan of an expression for a nested envelope construction of the
+   same protocol *)
+let contains_envelope ~stack (proto : proto) (e : Typedtree.expression) =
+  let found = ref None in
+  let super = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_construct (_, cstr, _) when !found = None -> (
+      match proto_of_type ~stack cstr.cstr_res with
+      | Some p when p.p_tname = proto.p_tname -> (
+        match Hashtbl.find_opt p.p_cons cstr.cstr_name with
+        | Some c when c.c_envelope -> found := Some e.exp_loc
+        | _ -> ())
+      | _ -> ())
+    | _ -> ());
+    super.expr sub e
+  in
+  let iter = { super with expr } in
+  iter.expr iter e;
+  !found
+
+let harvest_usage ~source ~modname ~scope (str : Typedtree.structure) =
+  let role = basename_role source in
+  let dir = Filename.dirname source in
+  let scoped = scope <> [] in
+  let allows = Lint_kb.Allows.create () in
+  let stack = ref [ modname ] in
+  let file_allows =
+    List.concat_map
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_attribute a -> Lint_kb.Allows.of_attributes [ a ]
+        | _ -> [])
+      str.str_items
+  in
+  Lint_kb.Allows.push allows file_allows;
+  let snapshot () =
+    List.filter
+      (fun id -> Hashtbl.mem allows id)
+      ("all" :: List.map Lint_kb.rule_id Lint_kb.all_rules)
+  in
+  let relevant (p : proto) =
+    (* only role files of the declaring directory participate; the
+       declaring file is infrastructure unless it is itself a role *)
+    dir = p.p_dir
+    && (source <> p.p_source
+       || Hashtbl.fold
+            (fun _ c acc ->
+              acc
+              || List.mem role c.c_senders
+              || List.mem role c.c_handlers)
+            p.p_cons false)
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    let ids = Lint_kb.Allows.of_attributes e.exp_attributes in
+    Lint_kb.Allows.push allows ids;
+    (match e.exp_desc with
+    | Texp_construct (_, cstr, args) -> (
+      match proto_of_type ~stack:!stack cstr.cstr_res with
+      | Some p -> (
+        match Hashtbl.find_opt p.p_cons cstr.cstr_name with
+        | Some c ->
+          if relevant p then
+            c.c_emitted <-
+              { s_file = role; s_scoped = scoped; s_allowed = snapshot () }
+              :: c.c_emitted;
+          (* M1 drift at the emitting site *)
+          if
+            relevant p && c.c_has_spec && (not c.c_ignored)
+            && not (List.mem role c.c_senders)
+          then
+            Lint_kb.report ~active:scope ~allows M1 e.exp_loc
+              "`%s` emits protocol message %s but its [@lint.msg] spec \
+               routes it from %s"
+              role c.c_name
+              (String.concat "/" c.c_senders);
+          (* M4: nested envelope *)
+          if c.c_envelope then (
+            match
+              List.find_map (contains_envelope ~stack:!stack p) args
+            with
+            | Some inner_loc ->
+              Lint_kb.report ~active:scope ~allows M4 inner_loc
+                "envelope payload nests another %s — piggyback envelopes \
+                 must never nest"
+                c.c_name
+            | None -> ())
+        | None -> ())
+      | None -> ());
+      super.expr sub e
+    | _ -> super.expr sub e);
+    Lint_kb.Allows.pop allows ids
+  in
+  let pat : type k. Tast_iterator.iterator -> k Typedtree.general_pattern -> unit
+      =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_construct (_, cstr, args, _) -> (
+      match proto_of_type ~stack:!stack cstr.cstr_res with
+      | Some pr -> (
+        match Hashtbl.find_opt pr.p_cons cstr.cstr_name with
+        | Some c when List.exists binds_payload args || args = [] ->
+          if relevant pr then
+            c.c_handled <-
+              { s_file = role; s_scoped = scoped; s_allowed = snapshot () }
+              :: c.c_handled;
+          if
+            relevant pr && c.c_has_spec && (not c.c_ignored)
+            && not (List.mem role c.c_handlers)
+          then
+            Lint_kb.report ~active:scope ~allows M1 p.pat_loc
+              "`%s` handles protocol message %s but its [@lint.msg] spec \
+               routes it to %s"
+              role c.c_name
+              (String.concat "/" c.c_handlers)
+        | _ -> ())
+      | None -> ())
+    | _ -> ());
+    super.pat sub p
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    let ids = Lint_kb.Allows.of_attributes vb.vb_attributes in
+    Lint_kb.Allows.push allows ids;
+    super.value_binding sub vb;
+    Lint_kb.Allows.pop allows ids
+  in
+  let module_binding sub (mb : Typedtree.module_binding) =
+    let name = match mb.mb_id with Some id -> Ident.name id | None -> "_" in
+    stack := name :: !stack;
+    super.module_binding sub mb;
+    stack := List.tl !stack
+  in
+  let iter = { super with expr; pat; value_binding; module_binding } in
+  iter.structure iter str;
+  Lint_kb.Allows.pop allows file_allows
+
+(* ------------------------------------------------------------------ *)
+(* Checks (after all units are harvested) *)
+
+let decl_allowed (c : cons) rule =
+  c.c_ignored
+  || List.exists
+       (fun (e : Lint_kb.Allows.entry) ->
+         List.mem (Lint_kb.rule_id rule) e.ids || List.mem "all" e.ids)
+       c.c_allow
+
+let report_decl ~scope (c : cons) rule fmt =
+  Format.kasprintf
+    (fun msg ->
+      if List.mem rule scope then
+        if decl_allowed c rule then incr Lint_kb.suppressed
+        else Lint_kb.add_diag rule c.c_loc msg)
+    fmt
+
+let check ~all () =
+  Hashtbl.iter
+    (fun _ (p : proto) ->
+      let scope = Lint_kb.scope_of_source ~all p.p_source in
+      if List.mem Lint_kb.M1 scope then
+        Hashtbl.iter
+          (fun _ (c : cons) ->
+            List.iter
+              (fun loc ->
+                Lint_kb.add_diag S1 loc
+                  (Printf.sprintf
+                     "suppression on constructor %s without a reason — write \
+                      [@lint.ignore \"why\"]"
+                     c.c_name))
+              c.c_bare;
+            if not (c.c_has_spec || c.c_ignored) then
+              report_decl ~scope c M1
+                "protocol constructor %s has no [@lint.msg \"sender -> \
+                 handler\"] route and no [@lint.ignore \"why\"]"
+                c.c_name
+            else if c.c_bad_spec then
+              report_decl ~scope c M1
+                "unparseable [@lint.msg] spec on %s — expected \"sender -> \
+                 handler\" clauses"
+                c.c_name
+            else if c.c_has_spec && not c.c_ignored then begin
+              List.iter
+                (fun h ->
+                  if
+                    not
+                      (List.exists (fun s -> s.s_file = h) c.c_handled)
+                  then
+                    report_decl ~scope c M2
+                      "%s is sent but never handled: declared handler `%s` \
+                       has no match arm binding its payload (dead message)"
+                      c.c_name h)
+                c.c_handlers;
+              List.iter
+                (fun s ->
+                  if
+                    not
+                      (List.exists (fun site -> site.s_file = s) c.c_emitted)
+                  then
+                    report_decl ~scope c M3
+                      "%s is handled but never sent: declared sender `%s` \
+                       never constructs it (dead handler)"
+                      c.c_name s)
+                c.c_senders
+            end)
+          p.p_cons)
+    protos

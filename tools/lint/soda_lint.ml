@@ -1,669 +1,50 @@
-(* soda-lint — determinism & protocol-hygiene linter over typed trees.
+(* soda-lint v2 — determinism & protocol-hygiene linter over typed trees.
 
    Everything the repo claims (bit-identical chaos replay, linearizability
    verdicts, exact cost equalities) rests on the simulator being
-   deterministic and on the checker hot paths being domain-safe. This
-   driver walks the .cmt files produced by dune's -bin-annot (via
-   compiler-libs Cmt_format + Tast_iterator) and enforces that invariant
-   statically. It is a typed-tree linter, not a ppx, because two of the
-   rules (P1, R1) need instantiated types: [x = y] is only a violation
-   when [x]'s *type* is non-immediate, and a top-level binding is only
-   mutable state when its *type* is a mutable container — neither is
-   visible in the parse tree.
+   deterministic, the checker hot paths being domain-safe, and every
+   role handling the full SODA message alphabet. This driver walks the
+   .cmt files produced by dune's -bin-annot (compiler-libs Cmt_format +
+   Tast_iterator) and enforces those invariants statically.
 
-   Rules (each can be suppressed locally with [@lint.allow "<id>"], at
-   expression or let-binding granularity, or file-wide with
-   [@@@lint.allow "<id>"]):
+   v2 is multi-pass with whole-program analyses (see DESIGN.md, "Static
+   analysis v2"):
 
-     D1  no wall-clock reads (Sys.time, Unix.gettimeofday) in lib/
-     D2  no global Random state — only seeded Random.State / Simnet.Rng
-     D3  no Hashtbl.iter/fold/to_seq in protocol-decision libraries
-         (iteration order is nondeterministic); materialize + sort
-     P1  no polymorphic =/compare/min/max/List.mem at non-immediate types
-     P2  no stdout writes in lib/ — output goes through Probe/Report
-     R1  no top-level mutable state (data race under OCaml 5 domains)
-     E1  no catch-all exception handlers (swallow Out_of_memory/asserts)
-     U1  no unchecked accesses (Array/Bytes/String unsafe_*, %caml_*u
-         externals) without an audited [@lint.allow "U1"] — each
-         allowed site must argue its bounds locally and carry an
-         assertion compiled in under the soda-debug dune profile
+     pass 1  harvest every unit: type/alias knowledge base (Lint_kb),
+             call graph + effect seeds (Lint_callgraph), alias event
+             lists (Pass_alias), protocol spec tables + usage
+             (Pass_protocol)
+     close   taint fixpoint over the call graph; interprocedural
+             publish/mutate summaries for the alias pass
+     pass 2  walk the scoped units reporting diagnostics (Pass_local),
+             then the whole-program checks (Pass_protocol / Pass_alias)
+
+   Rule families (suppress locally with [@lint.allow "ID: why"] — the
+   reason is mandatory, a bare allow still suppresses but is itself an
+   S1 diagnostic):
+
+     D1–D3  direct nondeterminism: wall-clock, global Random, Hashtbl
+            iteration order (lib scoping as in v1)
+     P1/P2  polymorphic compare at non-immediate types; stdout in lib/
+     R1     top-level mutable state
+     E1     catch-all exception handlers
+     U1     unchecked accesses / %caml_*u primitives
+     S1     suppression without a reason string
+     M1–M4  protocol conformance against the [@lint.msg] spec table on
+            [@@lint.protocol] message types: undeclared/drifting
+            constructors, sent-but-never-handled, handled-but-never-
+            sent, nested envelopes
+     A1     mutation of a backing buffer after a zero-copy view over it
+            was published into Engine.send/Disk
+     T1–T3  transitive (call-graph) reach of D1/D2+Domain/D3 effects
+
+   Output: plain "<file>:<line>:<col>: [ID] msg" lines by default,
+   --json for a machine-readable report, --github (auto-on when
+   GITHUB_ACTIONS=true) adds ::error workflow annotations on stderr.
 
    Exit code: 0 clean, 1 violations found, 2 usage/IO error. *)
 
-let usage = "soda_lint [--all-rules] <dir-or-cmt> ..."
-
-(* ------------------------------------------------------------------ *)
-(* Rules *)
-
-type rule = D1 | D2 | D3 | P1 | P2 | R1 | E1 | U1
-
-let all_rules = [ D1; D2; D3; P1; P2; R1; E1; U1 ]
-let rule_id = function
-  | D1 -> "D1"
-  | D2 -> "D2"
-  | D3 -> "D3"
-  | P1 -> "P1"
-  | P2 -> "P2"
-  | R1 -> "R1"
-  | E1 -> "E1"
-  | U1 -> "U1"
-
-(* D3 only has teeth where a fold/iter result can feed a protocol
-   decision or a trace event; the numeric libraries iterate tables in
-   ways that never escape into message ordering. *)
-let d3_libs = [ "soda"; "simnet"; "baselines"; "harness" ]
-
-let lib_of_source src =
-  (* "lib/soda/server.ml" -> Some "soda" (also matches when the linter
-     is invoked from inside lib/, where sources still read lib/...). *)
-  let parts = String.split_on_char '/' src in
-  let rec find = function
-    | "lib" :: l :: _ :: _ -> Some l
-    | _ :: rest -> find rest
-    | [] -> None
-  in
-  find parts
-
-let rules_for ~all source =
-  if all then all_rules
-  else
-    match lib_of_source source with
-    | None -> []
-    | Some l ->
-      let base = [ D1; D2; P1; P2; R1; E1; U1 ] in
-      if List.mem l d3_libs then D3 :: base else base
-
-(* ------------------------------------------------------------------ *)
-(* Diagnostics *)
-
-type diag = { file : string; line : int; col : int; rule : rule; msg : string }
-
-let diags : diag list ref = ref []
-let suppressed = ref 0
-
-let diag_compare a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-    match Int.compare a.line b.line with
-    | 0 -> (
-      match Int.compare a.col b.col with
-      | 0 -> compare (rule_id a.rule) (rule_id b.rule)
-      | c -> c)
-    | c -> c)
-  | c -> c
-
-(* ------------------------------------------------------------------ *)
-(* Pass 1 — knowledge base of type declarations and module aliases.
-
-   Use sites name types through paths ("Tag.t", "Protocol__Tag.t",
-   "Protocol.Tag.t" are all the same type depending on how the source
-   spelled it and what the typechecker normalized), so the kb keys
-   declarations by their canonical dotted name rooted at the compilation
-   unit, and keeps a module-alias table (harvested from both user code
-   and dune's generated wrapper modules) to canonicalize use-site
-   names. *)
-
-type decl =
-  | Variant_const (* all constructors constant: immediate at runtime *)
-  | Variant_boxed
-  | Record of { mut : bool }
-  | Alias of Types.type_expr
-  | Opaque
-  | Immediate_attr
-
-let decls : (string, decl) Hashtbl.t = Hashtbl.create 512
-let mod_aliases : (string, string) Hashtbl.t = Hashtbl.create 128
-
-let has_attr names attrs =
-  List.exists
-    (fun (a : Parsetree.attribute) -> List.mem a.attr_name.txt names)
-    attrs
-
-let classify_type_decl (td : Typedtree.type_declaration) : decl =
-  if has_attr [ "immediate"; "ocaml.immediate" ] td.typ_attributes then
-    Immediate_attr
-  else
-    match td.typ_kind with
-    | Ttype_variant cds ->
-      let constant (cd : Typedtree.constructor_declaration) =
-        match cd.cd_args with Cstr_tuple [] -> true | _ -> false
-      in
-      if List.for_all constant cds then Variant_const else Variant_boxed
-    | Ttype_record lds ->
-      let mut =
-        List.exists
-          (fun (ld : Typedtree.label_declaration) ->
-            ld.ld_mutable = Asttypes.Mutable)
-          lds
-      in
-      Record { mut }
-    | Ttype_open -> Variant_boxed
-    | Ttype_abstract -> (
-      match td.typ_manifest with
-      | Some ct -> Alias ct.Typedtree.ctyp_type
-      | None -> Opaque)
-
-let rec harvest_structure ~stack (str : Typedtree.structure) =
-  List.iter (harvest_item ~stack) str.str_items
-
-and harvest_item ~stack (item : Typedtree.structure_item) =
-  match item.str_desc with
-  | Tstr_type (_, tds) ->
-    List.iter
-      (fun (td : Typedtree.type_declaration) ->
-        let name =
-          String.concat "." (List.rev (td.typ_name.txt :: stack))
-        in
-        Hashtbl.replace decls name (classify_type_decl td))
-      tds
-  | Tstr_module mb -> harvest_module ~stack mb
-  | Tstr_recmodule mbs -> List.iter (harvest_module ~stack) mbs
-  | _ -> ()
-
-and harvest_module ~stack (mb : Typedtree.module_binding) =
-  match mb.mb_id with
-  | None -> ()
-  | Some id ->
-    let name = Ident.name id in
-    harvest_module_expr ~stack ~name mb.mb_expr
-
-and harvest_module_expr ~stack ~name (me : Typedtree.module_expr) =
-  match me.mod_desc with
-  | Tmod_ident (p, _) ->
-    let key = String.concat "." (List.rev (name :: stack)) in
-    Hashtbl.replace mod_aliases key (Path.name p)
-  | Tmod_structure str -> harvest_structure ~stack:(name :: stack) str
-  | Tmod_constraint (me, _, _, _) -> harvest_module_expr ~stack ~name me
-  | Tmod_functor (_, me) ->
-    (* functor bodies are harvested under the functor's own name; good
-       enough for types referenced from within the same body *)
-    harvest_module_expr ~stack ~name me
-  | Tmod_apply _ | Tmod_apply_unit _ | Tmod_unpack _ -> ()
-
-(* Longest-prefix canonicalization through the alias table: resolves
-   "Tag.t" (via a local [module Tag = Protocol.Tag]) and "Protocol.Tag.t"
-   (via the generated wrapper) down to "Protocol__Tag.t". *)
-let canonicalize name =
-  let rec go fuel name =
-    if fuel = 0 then name
-    else
-      let parts = String.split_on_char '.' name in
-      let n = List.length parts in
-      let rec try_prefix i =
-        if i <= 0 then None
-        else
-          let prefix = String.concat "." (List.filteri (fun j _ -> j < i) parts)
-          and rest = List.filteri (fun j _ -> j >= i) parts in
-          match Hashtbl.find_opt mod_aliases prefix with
-          | Some repl -> Some (String.concat "." (repl :: rest))
-          | None -> try_prefix (i - 1)
-      in
-      match try_prefix (n - 1) with
-      | Some name' when name' <> name -> go (fuel - 1) name'
-      | _ -> name
-  in
-  go 8 name
-
-(* Look a use-site type name up in the kb, qualifying bare/partial names
-   with the enclosing module stack (a local type [t] inside module [X]
-   of unit [M] is registered as "M.X.t" but referenced as "t"). *)
-let lookup_decl ~stack name =
-  let candidates =
-    let rec prefixes acc = function
-      | [] -> List.rev (name :: acc)
-      | _ :: _ as stack ->
-        let q = String.concat "." (List.rev stack) ^ "." ^ name in
-        prefixes (q :: acc) (List.tl stack)
-    in
-    (* innermost qualification first, bare name last *)
-    prefixes [] stack
-  in
-  let rec first = function
-    | [] -> None
-    | c :: rest -> (
-      match Hashtbl.find_opt decls (canonicalize c) with
-      | Some d -> Some d
-      | None -> first rest)
-  in
-  first candidates
-
-(* ------------------------------------------------------------------ *)
-(* Type classification *)
-
-type imm = Imm | NonImm | Unknown
-
-let predef_imm = [ Predef.path_int; Predef.path_char; Predef.path_bool;
-                   Predef.path_unit ]
-
-let predef_nonimm =
-  [ Predef.path_float; Predef.path_string; Predef.path_bytes;
-    Predef.path_array; Predef.path_list; Predef.path_option;
-    Predef.path_nativeint; Predef.path_int32; Predef.path_int64;
-    Predef.path_lazy_t; Predef.path_floatarray; Predef.path_exn ]
-
-let nonimm_names =
-  [ "Stdlib.ref"; "ref"; "Stdlib.Hashtbl.t"; "Hashtbl.t"; "Stdlib.Buffer.t";
-    "Stdlib.Queue.t"; "Stdlib.Stack.t"; "Stdlib.Atomic.t"; "Stdlib.result";
-    "result"; "Stdlib.Either.t"; "Stdlib.Seq.t" ]
-
-let rec imm_of ~stack ~fuel (ty : Types.type_expr) : imm =
-  if fuel = 0 then Unknown
-  else
-    match Types.get_desc ty with
-    | Tconstr (p, _, _) ->
-      if List.exists (Path.same p) predef_imm then Imm
-      else if List.exists (Path.same p) predef_nonimm then NonImm
-      else
-        let name = Path.name p in
-        if List.mem name nonimm_names then NonImm
-        else (
-          match lookup_decl ~stack name with
-          | Some d -> imm_of_decl ~stack ~fuel:(fuel - 1) d
-          | None -> Unknown)
-    | Ttuple _ | Tarrow _ | Tobject _ | Tfield _ | Tnil | Tpackage _ -> NonImm
-    | Tvariant _ | Tvar _ | Tunivar _ -> Unknown
-    | Tpoly (t, _) -> imm_of ~stack ~fuel:(fuel - 1) t
-    | Tlink t | Tsubst (t, _) -> imm_of ~stack ~fuel:(fuel - 1) t
-
-and imm_of_decl ~stack ~fuel = function
-  | Variant_const | Immediate_attr -> Imm
-  | Variant_boxed | Record _ -> NonImm
-  | Alias ty -> imm_of ~stack ~fuel ty
-  | Opaque -> Unknown
-
-let mutable_container_names =
-  [ "Stdlib.ref"; "ref"; "Stdlib.Hashtbl.t"; "Hashtbl.t"; "Stdlib.Buffer.t";
-    "Stdlib.Queue.t"; "Stdlib.Stack.t"; "Stdlib.Atomic.t"; "Stdlib.Weak.t";
-    "Stdlib.Lazy.t"; "lazy_t" ]
-
-let mutable_predefs =
-  [ Predef.path_array; Predef.path_bytes; Predef.path_floatarray;
-    Predef.path_lazy_t ]
-
-(* Is a value of this type mutable state (so that sharing it across
-   domains is a data race)? [false] on Unknown: R1 is a high-signal rule
-   and opaque types get the benefit of the doubt. *)
-let rec is_mutable ~stack ~fuel (ty : Types.type_expr) : bool =
-  if fuel = 0 then false
-  else
-    match Types.get_desc ty with
-    | Tconstr (p, args, _) ->
-      if List.exists (Path.same p) mutable_predefs then true
-      else if
-        Path.same p Predef.path_list || Path.same p Predef.path_option
-      then List.exists (is_mutable ~stack ~fuel:(fuel - 1)) args
-      else
-        let name = Path.name p in
-        if List.mem name mutable_container_names then true
-        else (
-          match lookup_decl ~stack name with
-          | Some (Record { mut }) -> mut
-          | Some (Alias ty) -> is_mutable ~stack ~fuel:(fuel - 1) ty
-          | Some (Variant_const | Variant_boxed | Opaque | Immediate_attr) ->
-            false
-          | None -> false)
-    | Ttuple tys -> List.exists (is_mutable ~stack ~fuel:(fuel - 1)) tys
-    | Tlink t | Tsubst (t, _) | Tpoly (t, _) ->
-      is_mutable ~stack ~fuel:(fuel - 1) t
-    | _ -> false
-
-let type_to_string ty =
-  (* best-effort pretty type for messages; internal ids are fine *)
-  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>"
-
-(* ------------------------------------------------------------------ *)
-(* Banned / checked identifier sets *)
-
-let d1_idents = [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
-
-let d2_violation name =
-  let prefixed p = String.length name >= String.length p
-                   && String.sub name 0 (String.length p) = p in
-  name = "Stdlib.Random.State.make_self_init"
-  || (prefixed "Stdlib.Random." && not (prefixed "Stdlib.Random.State."))
-
-let d3_idents =
-  [ "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold"; "Stdlib.Hashtbl.to_seq";
-    "Stdlib.Hashtbl.to_seq_keys"; "Stdlib.Hashtbl.to_seq_values" ]
-
-(* U1: unchecked accesses. Matched by full path so a repo module
-   exporting an [unsafe_times]-style accessor (safe, just raw) is not
-   flagged — only the stdlib accessors that actually skip bounds
-   checks. *)
-let u1_modules =
-  [ "Stdlib.Array"; "Stdlib.Bytes"; "Stdlib.String"; "Stdlib.Float.Array";
-    "Stdlib.Bigarray.Array1"; "Stdlib.Bigarray.Array2" ]
-
-let u1_violation name =
-  match String.rindex_opt name '.' with
-  | None -> false
-  | Some i ->
-    let m = String.sub name 0 i in
-    let f = String.sub name (i + 1) (String.length name - i - 1) in
-    String.length f > 7
-    && String.sub f 0 7 = "unsafe_"
-    && List.mem m u1_modules
-
-(* U1 at external declarations: the unchecked compiler builtins are the
-   %caml_* accessors with a trailing 'u' (get64u, set16u, ...) plus
-   anything spelling "unsafe" outright. *)
-let u1_unchecked_primitive prims =
-  let contains_sub s sub =
-    let n = String.length s and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-    m = 0 || go 0
-  in
-  List.exists
-    (fun p ->
-      String.length p > 1
-      && p.[0] = '%'
-      && (contains_sub p "unsafe"
-         || (p.[String.length p - 1] = 'u'
-            &&
-            match p.[String.length p - 2] with '0' .. '9' -> true | _ -> false)))
-    prims
-
-let p2_idents =
-  [ "Stdlib.print_endline"; "Stdlib.print_string"; "Stdlib.print_newline";
-    "Stdlib.print_int"; "Stdlib.print_char"; "Stdlib.print_float";
-    "Stdlib.print_bytes"; "Stdlib.Printf.printf"; "Stdlib.Format.printf";
-    "Stdlib.Format.print_string"; "Stdlib.Format.print_newline";
-    "Stdlib.Format.print_int"; "Stdlib.Format.print_flush";
-    "Stdlib.Format.std_formatter"; "Stdlib.stdout" ]
-
-(* polymorphic comparison family: name -> index of the argument whose
-   instantiated type decides the verdict *)
-let p1_idents =
-  [ ("Stdlib.=", 0); ("Stdlib.<>", 0); ("Stdlib.==", 0); ("Stdlib.!=", 0);
-    ("Stdlib.compare", 0); ("Stdlib.<", 0); ("Stdlib.>", 0);
-    ("Stdlib.<=", 0); ("Stdlib.>=", 0); ("Stdlib.min", 0); ("Stdlib.max", 0);
-    ("Stdlib.List.mem", 0); ("Stdlib.List.assoc", 0);
-    ("Stdlib.List.mem_assoc", 0); ("Stdlib.List.sort_uniq", 1);
-    ("Stdlib.Hashtbl.hash", 0) ]
-
-(* The comparison *operators* (and [compare] itself) are specialized by
-   the compiler to direct primitives when the argument type is statically
-   a base type — [a < b] at [float] compiles to an unboxed float compare,
-   not a call to the generic structural walker — so at those types they
-   are neither a determinism nor a performance hazard. [Stdlib.min]/
-   [max]/[List.mem]/... are ordinary polymorphic functions and get no
-   such specialization, so they stay flagged even at [float]. *)
-let p1_specialized_ops =
-  [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare"; "Stdlib.<"; "Stdlib.>";
-    "Stdlib.<="; "Stdlib.>=" ]
-
-let specializable_base =
-  [ Predef.path_float; Predef.path_string; Predef.path_char;
-    Predef.path_int32; Predef.path_int64; Predef.path_nativeint ]
-
-let compiler_specializes name (ty : Types.type_expr) =
-  List.mem name p1_specialized_ops
-  &&
-  match Types.get_desc ty with
-  | Tconstr (p, _, _) -> List.exists (Path.same p) specializable_base
-  | _ -> false
-
-(* nth arrow argument of an (instantiated) function type *)
-let rec nth_arrow_arg ~fuel n ty =
-  if fuel = 0 then None
-  else
-    match Types.get_desc ty with
-    | Tarrow (_, a, b, _) ->
-      if n = 0 then Some a else nth_arrow_arg ~fuel:(fuel - 1) (n - 1) b
-    | Tlink t | Tsubst (t, _) | Tpoly (t, _) ->
-      nth_arrow_arg ~fuel:(fuel - 1) n t
-    | _ -> None
-
-(* For List.sort_uniq the decisive argument is the comparator's own
-   first argument. *)
-let p1_subject_type name fn_ty =
-  match List.assoc_opt name p1_idents with
-  | None -> None
-  | Some 1 ->
-    Option.bind (nth_arrow_arg ~fuel:8 0 fn_ty) (nth_arrow_arg ~fuel:8 0)
-  | Some n -> nth_arrow_arg ~fuel:8 n fn_ty
-
-(* ------------------------------------------------------------------ *)
-(* The [@lint.allow "..."] opt-out *)
-
-let parse_allow_payload (p : Parsetree.payload) : string list =
-  match p with
-  | PStr
-      [ { pstr_desc =
-            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _
-        }
-      ] ->
-    String.split_on_char ' ' s
-    |> List.concat_map (String.split_on_char ',')
-    |> List.filter (fun s -> s <> "")
-  | _ -> []
-
-let allow_ids (attrs : Typedtree.attributes) : string list =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if a.attr_name.txt = "lint.allow" then parse_allow_payload a.attr_payload
-      else [])
-    attrs
-
-(* ------------------------------------------------------------------ *)
-(* Pass 2 — lint one typed tree *)
-
-type ctx = {
-  active : rule list; (* rules in scope for this source file *)
-  allows : (string, int) Hashtbl.t; (* rule id -> nesting count *)
-  mutable stack : string list; (* enclosing module path, innermost first *)
-  mutable expr_depth : int
-}
-
-let push_allows ctx ids =
-  List.iter
-    (fun id ->
-      let n = Option.value ~default:0 (Hashtbl.find_opt ctx.allows id) in
-      Hashtbl.replace ctx.allows id (n + 1))
-    ids
-
-let pop_allows ctx ids =
-  List.iter
-    (fun id ->
-      match Hashtbl.find_opt ctx.allows id with
-      | Some 1 -> Hashtbl.remove ctx.allows id
-      | Some n -> Hashtbl.replace ctx.allows id (n - 1)
-      | None -> ())
-    ids
-
-let allowed ctx rule =
-  Hashtbl.mem ctx.allows (rule_id rule) || Hashtbl.mem ctx.allows "all"
-
-let report ctx rule (loc : Location.t) fmt =
-  Format.kasprintf
-    (fun msg ->
-      if List.mem rule ctx.active then
-        if allowed ctx rule then incr suppressed
-        else
-          let p = loc.loc_start in
-          diags :=
-            { file = p.pos_fname;
-              line = p.pos_lnum;
-              col = p.pos_cnum - p.pos_bol;
-              rule;
-              msg
-            }
-            :: !diags)
-    fmt
-
-(* catch-all patterns for E1 *)
-let rec pat_is_catch_all : type k. k Typedtree.general_pattern -> bool =
- fun p ->
-  match p.pat_desc with
-  | Tpat_any -> true
-  | Tpat_var _ -> true
-  | Tpat_alias (p, _, _) -> pat_is_catch_all p
-  | Tpat_or (a, b, _) -> pat_is_catch_all a || pat_is_catch_all b
-  | Tpat_value v -> pat_is_catch_all (v :> Typedtree.pattern)
-  | _ -> false
-
-let rec pat_catches_all_exceptions : type k. k Typedtree.general_pattern -> bool
-    =
- fun p ->
-  match p.pat_desc with
-  | Tpat_exception inner -> pat_is_catch_all inner
-  | Tpat_or (a, b, _) ->
-    pat_catches_all_exceptions a || pat_catches_all_exceptions b
-  | Tpat_alias (p, _, _) -> pat_catches_all_exceptions p
-  | Tpat_value v -> pat_catches_all_exceptions (v :> Typedtree.pattern)
-  | _ -> false
-
-let check_ident ctx (path : Path.t) (e : Typedtree.expression) =
-  let name = Path.name path in
-  let loc = e.exp_loc in
-  if List.mem name d1_idents then
-    report ctx D1 loc
-      "wall-clock read `%s` — simulated time must come from the engine clock"
-      name;
-  if d2_violation name then
-    report ctx D2 loc
-      "global Random state `%s` — thread a seeded Random.State/Simnet.Rng \
-       from the runner instead"
-      name;
-  if List.mem name d3_idents then
-    report ctx D3 loc
-      "`%s`: Hashtbl iteration order is nondeterministic — materialize and \
-       sort before the result can reach a protocol decision or trace event"
-      name;
-  if List.mem name p2_idents then
-    report ctx P2 loc
-      "stdout write `%s` — library output goes through Probe/Report" name;
-  if u1_violation name then
-    report ctx U1 loc
-      "unchecked access `%s` — prove the bounds locally, assert them under \
-       the soda-debug profile, and [@lint.allow \"U1\"] with a justification"
-      name;
-  (match p1_subject_type name e.exp_type with
-  | None -> ()
-  | Some subject when compiler_specializes name subject -> ()
-  | Some subject -> (
-    match imm_of ~stack:ctx.stack ~fuel:16 subject with
-    | NonImm ->
-      report ctx P1 loc
-        "polymorphic `%s` at non-immediate type %s — use a dedicated \
-         comparator (Tag.compare, Float.compare, String.equal, ...)"
-        name (type_to_string subject)
-    | Imm | Unknown -> ()))
-
-let check_top_level_binding ctx (vb : Typedtree.value_binding) =
-  let rec vars_of : type k. k Typedtree.general_pattern -> (string * Types.type_expr * Location.t) list =
-   fun p ->
-    match p.pat_desc with
-    | Tpat_var (id, _) -> [ (Ident.name id, p.pat_type, p.pat_loc) ]
-    | Tpat_alias (inner, id, _) ->
-      (Ident.name id, p.pat_type, p.pat_loc) :: vars_of inner
-    | Tpat_tuple ps -> List.concat_map vars_of ps
-    | Tpat_record (fields, _) ->
-      List.concat_map (fun (_, _, p) -> vars_of p) fields
-    | Tpat_construct (_, _, ps, _) -> List.concat_map vars_of ps
-    | Tpat_array ps -> List.concat_map vars_of ps
-    | Tpat_or (a, _, _) -> vars_of a
-    | Tpat_lazy p -> vars_of p
-    | Tpat_value v -> vars_of (v :> Typedtree.pattern)
-    | _ -> []
-  in
-  List.iter
-    (fun (name, ty, loc) ->
-      if is_mutable ~stack:ctx.stack ~fuel:16 ty then
-        report ctx R1 loc
-          "top-level mutable state `%s : %s` — shared across domains this is \
-           a data race; allocate it per run/per domain, or [@lint.allow \
-           \"R1\"] with a justification"
-          name (type_to_string ty))
-    (vars_of vb.vb_pat)
-
-let lint_structure ctx (str : Typedtree.structure) =
-  (* file-wide [@@@lint.allow "..."] floating attributes *)
-  let file_allows =
-    List.concat_map
-      (fun (item : Typedtree.structure_item) ->
-        match item.str_desc with
-        | Tstr_attribute a -> allow_ids [ a ]
-        | _ -> [])
-      str.str_items
-  in
-  push_allows ctx file_allows;
-  let super = Tast_iterator.default_iterator in
-  let expr sub (e : Typedtree.expression) =
-    let ids = allow_ids e.exp_attributes in
-    push_allows ctx ids;
-    ctx.expr_depth <- ctx.expr_depth + 1;
-    (match e.exp_desc with
-    | Texp_ident (path, _, _) -> check_ident ctx path e
-    | Texp_try (_, cases) ->
-      List.iter
-        (fun (c : Typedtree.value Typedtree.case) ->
-          if c.c_guard = None && pat_is_catch_all c.c_lhs then
-            report ctx E1 c.c_lhs.pat_loc
-              "catch-all exception handler — swallows Out_of_memory and \
-               Assert_failure; match the specific exceptions instead")
-        cases
-    | Texp_match (_, cases, _) ->
-      List.iter
-        (fun (c : Typedtree.computation Typedtree.case) ->
-          if c.c_guard = None && pat_catches_all_exceptions c.c_lhs then
-            report ctx E1 c.c_lhs.pat_loc
-              "catch-all `exception _` case — swallows Out_of_memory and \
-               Assert_failure; match the specific exceptions instead")
-        cases
-    | _ -> ());
-    super.expr sub e;
-    ctx.expr_depth <- ctx.expr_depth - 1;
-    pop_allows ctx ids
-  in
-  let value_binding sub (vb : Typedtree.value_binding) =
-    let ids = allow_ids vb.vb_attributes in
-    push_allows ctx ids;
-    super.value_binding sub vb;
-    pop_allows ctx ids
-  in
-  let structure_item sub (item : Typedtree.structure_item) =
-    (match item.str_desc with
-    | Tstr_primitive vd ->
-      let ids = allow_ids vd.val_attributes in
-      push_allows ctx ids;
-      if u1_unchecked_primitive vd.val_prim then
-        report ctx U1 vd.val_loc
-          "unchecked primitive external `%s` (%s) — document the bounds \
-           argument, assert it under the soda-debug profile, and \
-           [@@lint.allow \"U1\"]"
-          vd.val_name.txt
-          (String.concat ", " vd.val_prim);
-      pop_allows ctx ids
-    | Tstr_value (_, vbs) when ctx.expr_depth = 0 ->
-      (* module-initialization-time bindings: R1 *)
-      List.iter
-        (fun (vb : Typedtree.value_binding) ->
-          let ids = allow_ids vb.vb_attributes in
-          push_allows ctx ids;
-          check_top_level_binding ctx vb;
-          pop_allows ctx ids)
-        vbs
-    | _ -> ());
-    super.structure_item sub item
-  in
-  let module_binding sub (mb : Typedtree.module_binding) =
-    let name =
-      match mb.mb_id with Some id -> Ident.name id | None -> "_"
-    in
-    ctx.stack <- name :: ctx.stack;
-    super.module_binding sub mb;
-    ctx.stack <- List.tl ctx.stack
-  in
-  let iter =
-    { super with expr; value_binding; structure_item; module_binding }
-  in
-  iter.structure iter str;
-  pop_allows ctx file_allows
-
-(* ------------------------------------------------------------------ *)
-(* Driver *)
+let usage = "soda_lint [--all-rules] [--json] [--github] <dir-or-cmt> ..."
 
 let rec collect_cmts acc path =
   match (Unix.stat path).Unix.st_kind with
@@ -684,15 +65,74 @@ let read_cmt path =
     prerr_endline ("soda-lint: warning: unreadable cmt " ^ path);
     None
 
+(* ------------------------------------------------------------------ *)
+(* Output *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json (ds : Lint_kb.diag list) ~suppressed ~units =
+  print_string "{\n  \"violations\": [";
+  List.iteri
+    (fun i (d : Lint_kb.diag) ->
+      Printf.printf "%s\n    { \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+                     \"rule\": \"%s\", \"msg\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (json_escape d.file) d.line d.col
+        (Lint_kb.rule_id d.rule) (json_escape d.msg))
+    ds;
+  Printf.printf "%s],\n" (if ds = [] then "" else "\n  ");
+  Printf.printf "  \"suppressed\": %d,\n  \"units\": %d\n}\n" suppressed units
+
+(* GitHub workflow-command data escaping: %, CR, LF *)
+let gh_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_github (ds : Lint_kb.diag list) =
+  List.iter
+    (fun (d : Lint_kb.diag) ->
+      Printf.eprintf "::error file=%s,line=%d,col=%d,title=soda-lint %s::%s\n"
+        (gh_escape d.file) d.line (d.col + 1)
+        (Lint_kb.rule_id d.rule) (gh_escape d.msg))
+    ds
+
+(* ------------------------------------------------------------------ *)
+
 let () =
-  let all = ref false in
+  let all = ref false and json = ref false and github = ref false in
   let roots = ref [] in
   let spec =
-    [ ("--all-rules",
-       Arg.Set all,
-       " apply every rule to every file (fixture/test mode)") ]
+    [ ("--all-rules", Arg.Set all,
+       " apply every rule to every file (fixture/test mode)");
+      ("--json", Arg.Set json, " print a JSON report on stdout");
+      ("--github", Arg.Set github,
+       " print ::error workflow annotations on stderr (auto when \
+        GITHUB_ACTIONS=true)") ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if Sys.getenv_opt "GITHUB_ACTIONS" = Some "true" then github := true;
   if !roots = [] then begin
     prerr_endline usage;
     exit 2
@@ -716,35 +156,60 @@ let () =
         | None -> None)
       cmts
   in
-  (* pass 1: harvest every unit, including dune's generated wrapper
-     modules (their module aliases canonicalize cross-library names) *)
+  let source_of (infos : Cmt_format.cmt_infos) =
+    Option.value ~default:"" infos.cmt_sourcefile
+  in
+  (* pass 1a: knowledge base from every unit, including dune's generated
+     wrapper modules (their aliases canonicalize cross-library names),
+     then the protocol spec tables (which resolve through the kb) *)
   List.iter
     (fun ((infos : Cmt_format.cmt_infos), str) ->
-      harvest_structure ~stack:[ infos.cmt_modname ] str)
+      Lint_kb.harvest_structure ~stack:[ infos.cmt_modname ] str)
     units;
-  (* pass 2: lint real sources only *)
   List.iter
     (fun ((infos : Cmt_format.cmt_infos), str) ->
-      let source = Option.value ~default:"" infos.cmt_sourcefile in
+      Pass_protocol.harvest_decls ~source:(source_of infos)
+        ~stack:[ infos.cmt_modname ] str)
+    units;
+  (* pass 1b: per-unit harvests that need the kb — call graph refs and
+     effect seeds, alias event lists, protocol usage *)
+  List.iter
+    (fun ((infos : Cmt_format.cmt_infos), str) ->
+      let source = source_of infos in
       if Filename.check_suffix source ".ml" then begin
-        let active = rules_for ~all:!all source in
-        if active <> [] then
-          let ctx =
-            { active;
-              allows = Hashtbl.create 8;
-              stack = [ infos.cmt_modname ];
-              expr_depth = 0
-            }
-          in
-          lint_structure ctx str
+        Lint_callgraph.harvest ~all:!all ~source ~modname:infos.cmt_modname
+          str;
+        Pass_alias.harvest ~source ~modname:infos.cmt_modname str;
+        Pass_protocol.harvest_usage ~source ~modname:infos.cmt_modname
+          ~scope:(Lint_kb.scope_of_source ~all:!all source)
+          str
       end)
     units;
-  let ds = List.sort_uniq diag_compare !diags in
+  (* close the whole-program analyses *)
+  Lint_callgraph.solve ();
+  Pass_alias.solve ();
+  (* pass 2: local rules + taint reporting on scoped units *)
   List.iter
-    (fun d ->
-      Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col (rule_id d.rule)
-        d.msg)
-    ds;
+    (fun ((infos : Cmt_format.cmt_infos), str) ->
+      let source = source_of infos in
+      if Filename.check_suffix source ".ml" then begin
+        let active = Lint_kb.scope_of_source ~all:!all source in
+        if active <> [] then
+          Pass_local.lint ~active ~modname:infos.cmt_modname str
+      end)
+    units;
+  Pass_protocol.check ~all:!all ();
+  Pass_alias.check ~all:!all ();
+  let ds = Lint_kb.sorted_diags () in
+  if !github then print_github ds;
+  if !json then print_json ds ~suppressed:!Lint_kb.suppressed
+      ~units:(List.length units)
+  else
+    List.iter
+      (fun (d : Lint_kb.diag) ->
+        Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col
+          (Lint_kb.rule_id d.rule) d.msg)
+      ds;
   Printf.eprintf "soda-lint: %d violation(s), %d suppressed, %d unit(s)\n%!"
-    (List.length ds) !suppressed (List.length units);
+    (List.length ds) !Lint_kb.suppressed (List.length units);
   exit (if ds = [] then 0 else 1)
