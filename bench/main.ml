@@ -34,7 +34,10 @@ let experiments =
     ("sim", Sim_bench.run, "simulator & checker events/sec, JSON (see --smoke)");
     ( "chaos",
       Chaos_bench.run,
-      "chaos matrix: SODA over lossy/partitioned links, JSON (see --smoke)" )
+      "chaos matrix: SODA over lossy/partitioned links, JSON (see --smoke)" );
+    ( "sharded",
+      Sharded_bench.run,
+      "multi-key keyspace vs independent deployments, JSON (see --smoke)" )
   ]
 
 let usage () =
@@ -59,11 +62,13 @@ let () =
       Codec_bench.smoke := true;
       Sim_bench.smoke := true;
       Chaos_bench.smoke := true;
+      Sharded_bench.smoke := true;
       extract_flags acc rest
     | "--out" :: path :: rest ->
       Codec_bench.out := Some path;
       Sim_bench.out := Some path;
       Experiments.overhead_out := Some path;
+      Sharded_bench.out := Some path;
       extract_flags acc rest
     | x :: rest -> extract_flags (x :: acc) rest
     | [] -> List.rev acc

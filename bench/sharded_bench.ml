@@ -1,0 +1,111 @@
+(* Sharded-keyspace throughput and message economics, reported as JSON
+   (one object on stdout). Invoked as
+
+     dune exec bench/main.exe -- sharded            # full: 10_000 keys
+     dune exec bench/main.exe -- sharded --smoke    # CI: 500 keys
+
+   One mixed write/read workload over every key runs three ways on the
+   paper's 4+2 code over 12 servers in 3 failure domains:
+
+     keyspace-batched    shared server plane, coalesced cross-key gossip
+     keyspace-broadcast  shared plane, per-entry broadcast gossip
+     independent         the pre-keyspace composition: one full
+                         deployment (own n servers, own clients) per key
+
+   All three run on the raw transport with the same delay model and
+   seed, so every count is deterministic: msgs_per_op drift beyond the
+   bench_diff threshold is a protocol change, not machine noise. The
+   headline the committed BENCH_sharded.json gates is keyspace-batched
+   beating independent on msgs/op while packing more logical payload
+   units into each frame (units_per_msg > 1). Any case that loses
+   liveness or per-key atomicity makes the experiment exit nonzero. *)
+
+module Workload = Harness.Workload
+module Runner = Harness.Runner
+module Metrics = Harness.Metrics
+
+let smoke = ref false
+let out : string option ref = ref None
+
+type case = {
+  name : string;
+  run : Workload.sharded -> Runner.sharded_result
+}
+
+let cases ~placement ~params =
+  [ { name = "keyspace-batched";
+      run = Runner.run_sharded ~plane:Soda.Config.batched_plane ~placement
+    };
+    { name = "keyspace-broadcast"; run = Runner.run_sharded ~placement };
+    { name = "independent";
+      run = Runner.run_sharded_independent ~params
+    }
+  ]
+
+let emit ~keys ~topology results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"bench\":\"sharded\",\"smoke\":%b,\"keys\":%d,"
+       !smoke keys);
+  Buffer.add_string buf
+    (Printf.sprintf "\"servers\":%d,\"domains\":%d,\"results\":["
+       (Soda.Topology.servers topology)
+       (Soda.Topology.num_domains topology));
+  List.iteri
+    (fun i (name, (r : Runner.sharded_result)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"case\":%S,\"ok\":%b,\"ops\":%d,\"msgs\":%d,\"data\":%d,\"meta\":%d,\"payload_units\":%d,\"msgs_per_op\":%.2f,\"units_per_msg\":%.3f,\"ops_per_sim_ktime\":%.2f,\"events\":%d,\"final_time\":%.1f}"
+           name
+           (r.Runner.s_complete && r.Runner.s_atomic)
+           r.Runner.s_ops r.Runner.s_messages_sent r.Runner.s_messages_data
+           r.Runner.s_messages_meta r.Runner.s_payload_units
+           (Metrics.sharded_msgs_per_op r)
+           (Metrics.sharded_units_per_msg r)
+           (1000.0 *. float_of_int r.Runner.s_ops
+           /. Float.max 1e-9 r.Runner.s_final_time)
+           r.Runner.s_events r.Runner.s_final_time))
+    results;
+  Buffer.add_string buf "]}";
+  let json = Buffer.contents buf in
+  print_endline json;
+  match !out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc
+
+let run () =
+  let keys = if !smoke then 500 else 10_000 in
+  let params = Soda.Placement.preset_params `P4_2 in
+  let topology = Soda.Topology.make ~servers:12 ~domains:3 () in
+  let placement =
+    Soda.Placement.create ~topology ~params
+      ~policy:Soda.Placement.Consistent_hash ()
+  in
+  assert (Soda.Placement.domain_safe placement);
+  let wl =
+    Workload.sharded_mixed ~keys ~value_len:64 ~seed:1 ~num_writers:4
+      ~num_readers:4 ~round_gap:10.0 ()
+  in
+  let results =
+    List.map
+      (fun c -> (c.name, c.run wl))
+      (cases ~placement ~params)
+  in
+  emit ~keys ~topology results;
+  let failures =
+    List.filter
+      (fun (_, (r : Runner.sharded_result)) ->
+        not (r.Runner.s_complete && r.Runner.s_atomic))
+      results
+  in
+  List.iter
+    (fun (name, (r : Runner.sharded_result)) ->
+      Printf.eprintf "sharded: FAIL %s — complete=%b atomic=%b\n" name
+        r.Runner.s_complete r.Runner.s_atomic)
+    failures;
+  if not (List.is_empty failures) then exit 1

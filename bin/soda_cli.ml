@@ -1,13 +1,16 @@
 (* Command-line driver for the SODA reproduction.
 
-     soda_cli run    — execute a workload on an algorithm, print metrics
-     soda_cli check  — run + verify liveness and atomicity (exit code)
-     soda_cli trace  — run a small scenario and dump the message trace
+     soda_cli run     — execute a workload on an algorithm, print metrics
+     soda_cli check   — run + verify liveness and atomicity (exit code)
+     soda_cli sharded — multi-key keyspace over a placed fleet, print
+                        message economics
+     soda_cli trace   — run a small scenario and dump the message trace
 
    Examples:
      dune exec bin/soda_cli.exe -- run --algo soda -n 10 -f 3 --ops 4
      dune exec bin/soda_cli.exe -- run --algo soda-err -n 10 -f 2 -e 1 --seed 7
      dune exec bin/soda_cli.exe -- check --algo casgc --delta 2 --runs 20
+     dune exec bin/soda_cli.exe -- sharded --keys 1000 --servers 12 --domains 3
      dune exec bin/soda_cli.exe -- trace -n 5 -f 1
 *)
 
@@ -185,6 +188,107 @@ let check_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* sharded *)
+
+let keys_arg =
+  Arg.(
+    value & opt int 100 & info [ "keys" ] ~docv:"K" ~doc:"Logical keys.")
+
+let servers_arg =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "servers" ] ~doc:"Physical servers in the shared fleet.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 3 & info [ "domains" ] ~doc:"Failure domains (racks).")
+
+let preset_arg =
+  Arg.(
+    value
+    & opt string "4+2"
+    & info [ "preset" ] ~docv:"GEOMETRY"
+        ~doc:"Per-key code geometry: $(b,4+2) or $(b,10+4).")
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      [ ("consistent-hash", Soda.Placement.Consistent_hash);
+        ("mod-stripe", Soda.Placement.Mod_stripe)
+      ]
+  in
+  Arg.(
+    value
+    & opt policy_conv Soda.Placement.Consistent_hash
+    & info [ "policy" ]
+        ~doc:"Spread policy: $(b,consistent-hash) or $(b,mod-stripe).")
+
+let plane_arg =
+  let plane_conv = Arg.enum [ ("batched", `Batched); ("broadcast", `Broadcast) ] in
+  Arg.(
+    value
+    & opt plane_conv `Batched
+    & info [ "plane" ]
+        ~doc:"Shared message plane: $(b,batched) coalesced gossip or \
+              plain $(b,broadcast).")
+
+let sharded_cmd =
+  let action keys servers domains preset policy plane seed writers readers =
+    match Soda.Placement.preset_of_string preset with
+    | None ->
+      `Error (false, Printf.sprintf "unknown preset %S (try 4+2 or 10+4)" preset)
+    | Some p -> begin
+      match
+        let params = Soda.Placement.preset_params p in
+        let topology = Soda.Topology.make ~servers ~domains () in
+        Soda.Placement.create ~topology ~params ~policy ()
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | placement ->
+        let wl =
+          Workload.sharded_mixed ~keys ~seed ~num_writers:writers
+            ~num_readers:readers ()
+        in
+        let plane =
+          match plane with
+          | `Batched -> Some Soda.Config.batched_plane
+          | `Broadcast -> None
+        in
+        let r = Runner.run_sharded ?plane ~placement wl in
+        Printf.printf "placement   %s over %d servers / %d domains (%s)\n"
+          (Soda.Placement.preset_name p)
+          servers domains
+          (if Soda.Placement.domain_safe placement then "domain-safe"
+           else "NOT domain-safe");
+        Printf.printf "keys        %d\n" r.Runner.s_keys;
+        Printf.printf "ops         %d\n" r.Runner.s_ops;
+        Printf.printf "liveness    %b\n" r.Runner.s_complete;
+        Printf.printf "atomic      %b\n" r.Runner.s_atomic;
+        Printf.printf "messages    %d (%d data, %d meta)\n"
+          r.Runner.s_messages_sent r.Runner.s_messages_data
+          r.Runner.s_messages_meta;
+        Printf.printf "msgs/op     %.2f\n" (Metrics.sharded_msgs_per_op r);
+        Printf.printf "units/msg   %.3f\n" (Metrics.sharded_units_per_msg r);
+        Printf.printf "sim time    %.1f\n" r.Runner.s_final_time;
+        if r.Runner.s_complete && r.Runner.s_atomic then `Ok ()
+        else `Error (false, "liveness or atomicity violated")
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ keys_arg $ servers_arg $ domains_arg $ preset_arg
+       $ policy_arg $ plane_arg $ seed_arg $ writers_arg $ readers_arg))
+  in
+  Cmd.v
+    (Cmd.info "sharded"
+       ~doc:
+         "Run a multi-key workload on one shared-plane keyspace with \
+          failure-domain placement; print message economics.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* trace *)
 
 let trace_cmd =
@@ -220,4 +324,6 @@ let () =
       ~doc:
         "Storage-optimized data-atomic registers (SODA) — simulation driver."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; check_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info [ run_cmd; check_cmd; sharded_cmd; trace_cmd ]))

@@ -228,3 +228,16 @@ let pp_summary ppf s =
     s.write_cost pp_stats s.read_cost s.storage_max pp_stats s.write_latency
     pp_stats s.read_latency s.messages_sent s.messages_data s.messages_meta
     s.acks_sent s.retransmissions
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-run economics *)
+
+let sharded_msgs_per_op (r : Runner.sharded_result) =
+  if r.Runner.s_ops = 0 then 0.
+  else float_of_int r.Runner.s_messages_sent /. float_of_int r.Runner.s_ops
+
+let sharded_units_per_msg (r : Runner.sharded_result) =
+  if r.Runner.s_messages_sent = 0 then 0.
+  else
+    float_of_int r.Runner.s_payload_units
+    /. float_of_int r.Runner.s_messages_sent

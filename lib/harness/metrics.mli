@@ -85,3 +85,14 @@ val heal_mttd : heal_episode list -> float list
 
 val heal_mttr : heal_episode list -> float list
 (** Time-to-repair for every healed episode, in injection order. *)
+
+(** {1 Sharded-run economics} *)
+
+val sharded_msgs_per_op : Runner.sharded_result -> float
+(** Physical sends per scheduled operation — the headline number the
+    shared plane drives down as the key count grows. *)
+
+val sharded_units_per_msg : Runner.sharded_result -> float
+(** Mean {!Soda.Messages.logical_units} per physical send: the frame
+    coalescing factor (1.0 means no sharing, higher means gossip
+    entries and relays from many keys rode the same frame). *)

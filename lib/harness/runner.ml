@@ -177,3 +177,111 @@ let run_sweep ?max_events ?transport ?plane ?domains algorithm workloads =
   Parallel.map ?domains
     (fun w -> run ?max_events ?transport ?plane algorithm w)
     workloads
+
+(* ------------------------------------------------------------------ *)
+(* Sharded runs: one multi-key workload against either a shared-plane
+   keyspace or the one-deployment-per-key composition it replaces. Both
+   run on one engine with the same classify/weigh instrumentation, so
+   their message economics are directly comparable. *)
+
+type sharded_result = {
+  s_algorithm : string;
+  s_keys : int;
+  s_ops : int;
+  s_complete : bool;
+  s_atomic : bool;
+  s_messages_sent : int;
+  s_messages_data : int;
+  s_messages_meta : int;
+  s_payload_units : int;
+  s_events : int;
+  s_final_time : float
+}
+
+let sharded_engine ~transport (s : Workload.sharded) =
+  Engine.create ~seed:s.Workload.sh_seed ~transport ~delay:s.Workload.sh_delay
+    ~classify:(fun m -> Soda.Messages.data_bytes m > 0)
+    ~weigh:Soda.Messages.logical_units ()
+
+let sharded_value (s : Workload.sharded) ~index =
+  Workload.value ~len:s.Workload.sh_value_len ~seed:s.Workload.sh_seed ~index
+
+let run_sharded ?(max_events = 200_000_000) ?(transport = `Raw) ?plane
+    ~placement (s : Workload.sharded) =
+  let engine = sharded_engine ~transport s in
+  let ks =
+    Soda.Keyspace.create ~engine ~placement ?plane
+      ~value_len:s.Workload.sh_value_len
+      ~num_writers:s.Workload.sh_num_writers
+      ~num_readers:s.Workload.sh_num_readers ()
+  in
+  List.iter
+    (function
+      | Workload.KWrite { key; writer; at; index } ->
+        Soda.Keyspace.write ks ~key ~writer ~at (sharded_value s ~index)
+      | Workload.KRead { key; reader; at } ->
+        Soda.Keyspace.read ks ~key ~reader ~at ())
+    s.Workload.sh_kops;
+  Engine.run ~max_events engine;
+  { s_algorithm = "keyspace";
+    s_keys = List.length (Soda.Keyspace.keys ks);
+    s_ops = Workload.sharded_ops s;
+    s_complete = Soda.Keyspace.all_complete ks;
+    s_atomic = Result.is_ok (Soda.Keyspace.check_atomicity ks);
+    s_messages_sent = Engine.messages_sent engine;
+    s_messages_data = Engine.messages_data engine;
+    s_messages_meta = Engine.messages_meta engine;
+    s_payload_units = Engine.payload_units engine;
+    s_events = Engine.events_executed engine;
+    s_final_time = Engine.now engine
+  }
+
+let run_sharded_independent ?(max_events = 200_000_000) ?(transport = `Raw)
+    ?plane ~params (s : Workload.sharded) =
+  let engine = sharded_engine ~transport s in
+  (* the pre-keyspace composition: every key is a full deployment with
+     its own n servers and its own single-lane clients *)
+  let deployments =
+    Array.init s.Workload.sh_keys (fun _ ->
+        Soda.Deployment.deploy ~engine ~params
+          ~value_len:s.Workload.sh_value_len ?plane ~num_writers:1
+          ~num_readers:1 ())
+  in
+  List.iter
+    (function
+      | Workload.KWrite { key; at; index; _ } ->
+        Soda.Deployment.write deployments.(key) ~writer:0 ~at
+          (sharded_value s ~index)
+      | Workload.KRead { key; at; _ } ->
+        Soda.Deployment.read deployments.(key) ~reader:0 ~at ())
+    s.Workload.sh_kops;
+  Engine.run ~max_events engine;
+  let all_complete =
+    Array.for_all
+      (fun d -> History.all_complete (Soda.Deployment.history d))
+      deployments
+  in
+  let atomic =
+    Array.for_all
+      (fun d ->
+        match
+          Protocol.Atomicity.check_tagged
+            ~initial_value:(Soda.Deployment.initial_value d)
+            (History.records (Soda.Deployment.history d))
+        with
+        | Ok () -> true
+        | Error _ -> false)
+      deployments
+  in
+  { s_algorithm = "independent";
+    s_keys = s.Workload.sh_keys;
+    s_ops = Workload.sharded_ops s;
+    s_complete = all_complete;
+    s_atomic = atomic;
+    s_messages_sent = Engine.messages_sent engine;
+    s_messages_data = Engine.messages_data engine;
+    s_messages_meta = Engine.messages_meta engine;
+    s_payload_units = Engine.payload_units engine;
+    s_events = Engine.events_executed engine;
+    s_final_time = Engine.now engine
+  }

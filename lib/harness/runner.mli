@@ -68,6 +68,48 @@ val run :
     @raise Simnet.Engine.Event_limit_exceeded if the protocol fails to
     quiesce within [max_events] (default 20 million). *)
 
+(** {1 Sharded (multi-key) runs} *)
+
+type sharded_result = {
+  s_algorithm : string;  (** ["keyspace"] or ["independent"] *)
+  s_keys : int;
+  s_ops : int;
+  s_complete : bool;  (** liveness: every scheduled operation responded *)
+  s_atomic : bool;  (** per-key Lemma 2.1 over every key's history *)
+  s_messages_sent : int;
+  s_messages_data : int;
+  s_messages_meta : int;
+  s_payload_units : int;
+      (** sum of {!Soda.Messages.logical_units} over every send — what
+          the per-key message count {e would} have been without frame
+          sharing, so [s_payload_units / s_messages_sent] is the
+          coalescing factor *)
+  s_events : int;
+  s_final_time : float
+}
+
+val run_sharded :
+  ?max_events:int ->
+  ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  ?plane:Soda.Config.plane ->
+  placement:Soda.Placement.t ->
+  Workload.sharded -> sharded_result
+(** Execute a sharded workload on one shared-plane {!Soda.Keyspace}
+    over the placement's topology. The engine counts data/meta logical
+    sends and payload units, so keyspace and independent runs of the
+    same workload are directly comparable. *)
+
+val run_sharded_independent :
+  ?max_events:int ->
+  ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->
+  ?plane:Soda.Config.plane ->
+  params:Protocol.Params.t ->
+  Workload.sharded -> sharded_result
+(** The pre-keyspace composition baseline: every key is its own
+    {!Soda.Deployment.deploy} (own [n] server processes, own clients)
+    on one engine. Same workload, same instrumentation — the msgs/op
+    denominator the sharded bench gates against. *)
+
 val run_sweep :
   ?max_events:int ->
   ?transport:[ `Raw | `Reliable of Simnet.Channel.config ] ->

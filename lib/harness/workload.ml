@@ -140,6 +140,65 @@ let read_with_write_storm ~params ?(value_len = 256) ?(seed = 1) ~writers
     error_prone = []
   }
 
+(* ------------------------------------------------------------------ *)
+(* Sharded (multi-key) workloads: operations name a logical key of a
+   keyspace instead of implying the one register. Values are carried as
+   indices into [value] rather than materialized bytes, so a
+   100k-operation schedule stays cheap to build and thread across
+   domains. *)
+
+type kop =
+  | KWrite of { key : int; writer : int; at : float; index : int }
+  | KRead of { key : int; reader : int; at : float }
+
+type sharded = {
+  sh_keys : int;
+  sh_value_len : int;
+  sh_num_writers : int;
+  sh_num_readers : int;
+  sh_kops : kop list;
+  sh_delay : Simnet.Delay.t;
+  sh_seed : int
+}
+
+let sharded_mixed ~keys ?(value_len = 256) ?(seed = 1) ?(delay = default_delay)
+    ?(num_writers = 4) ?(num_readers = 4) ?(read_lag = 15.0)
+    ?(round_gap = 30.0) () =
+  if keys < 1 then invalid_arg "Workload.sharded_mixed: need at least one key";
+  if num_writers < 1 || num_readers < 1 then
+    invalid_arg "Workload.sharded_mixed: need at least one client of each kind";
+  (* Key k is written once by writer [k mod W] and read once by reader
+     [k mod R]. Keys assigned to the same writer are on distinct lanes
+     (well-formedness is per client *and* key), so rounds only need
+     spacing to bound in-flight concurrency, not to serialize: each
+     round starts [round_gap] after the previous, comfortably past the
+     fault-free operation latency. *)
+  let ops = ref [] in
+  for k = keys - 1 downto 0 do
+    let w = k mod num_writers in
+    let r = k mod num_readers in
+    let round = k / num_writers in
+    let wat = (float_of_int round *. round_gap) +. (float_of_int w *. 1.3) in
+    ops :=
+      KWrite { key = k; writer = w; at = wat; index = k }
+      :: KRead { key = k; reader = r; at = wat +. read_lag }
+      :: !ops
+  done;
+  let by_time a b =
+    let at = function KWrite { at; _ } | KRead { at; _ } -> at in
+    Float.compare (at a) (at b)
+  in
+  { sh_keys = keys;
+    sh_value_len = value_len;
+    sh_num_writers = num_writers;
+    sh_num_readers = num_readers;
+    sh_kops = List.stable_sort by_time !ops;
+    sh_delay = delay;
+    sh_seed = seed
+  }
+
+let sharded_ops s = List.length s.sh_kops
+
 let with_crashes t crashes = { t with server_crashes = t.server_crashes @ crashes }
 let with_errors t coords = { t with error_prone = t.error_prone @ coords }
 let total_ops t = List.length t.ops

@@ -52,6 +52,40 @@ val read_with_write_storm :
     harness measures δ{_w} from probes and compares the read's data cost
     against [n/(n-f) * (δ_w + 1)]. *)
 
+(** {1 Sharded (multi-key) workloads}
+
+    Operation schedules over a {!Soda.Keyspace}: each operation names
+    a logical key. Writes carry a value {e index} (resolved through
+    {!value} at execution time) instead of materialized bytes, so huge
+    schedules stay cheap. *)
+
+type kop =
+  | KWrite of { key : int; writer : int; at : float; index : int }
+  | KRead of { key : int; reader : int; at : float }
+
+type sharded = {
+  sh_keys : int;  (** keys are [0 .. sh_keys - 1] *)
+  sh_value_len : int;
+  sh_num_writers : int;
+  sh_num_readers : int;
+  sh_kops : kop list;  (** ascending [at] *)
+  sh_delay : Simnet.Delay.t;
+  sh_seed : int
+}
+
+val sharded_mixed :
+  keys:int -> ?value_len:int -> ?seed:int -> ?delay:Simnet.Delay.t ->
+  ?num_writers:int -> ?num_readers:int -> ?read_lag:float ->
+  ?round_gap:float -> unit -> sharded
+(** One write then one read per key: key [k] is written by writer
+    [k mod num_writers] (default 4 writers) and read [read_lag]
+    (default 15.0) later by reader [k mod num_readers]. Writers sweep
+    their keys in rounds [round_gap] (default 30.0) apart with a small
+    per-writer stagger, so many keys are in flight at once — the
+    mixed workload of the sharded-throughput bench. *)
+
+val sharded_ops : sharded -> int
+
 val with_crashes : t -> (int * float) list -> t
 (** Adds server crash events (coordinate, time). *)
 

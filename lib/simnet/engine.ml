@@ -112,6 +112,10 @@ and 'msg t = {
   (* protocol-supplied data/metadata discriminator; when absent the
      data/meta counters stay at zero *)
   classify : ('msg -> bool) option;
+  (* protocol-supplied logical-units weigher: how many standalone
+     messages one wire frame replaces (batches, envelopes); when absent
+     the payload-units counter stays at zero *)
+  weigh : ('msg -> int) option;
   (* simulated time, in a one-slot float array so per-event clock
      updates store unboxed (a [mutable float] field of this mixed
      record would box on every store) *)
@@ -124,6 +128,7 @@ and 'msg t = {
   mutable executed : int;
   mutable data_sent : int;
   mutable meta_sent : int;
+  mutable payload_units : int;
   mutable acks_sent : int;
   mutable tap : 'msg tap option;
   trace_enabled : bool;
@@ -150,7 +155,7 @@ and event =
 exception Event_limit_exceeded of int
 
 let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0)
-    ?(transport = `Raw) ?classify ~delay () =
+    ?(transport = `Raw) ?classify ?weigh ~delay () =
   if duplication < 0.0 || duplication >= 1.0 then
     invalid_arg "Engine.create: duplication must be in [0, 1)";
   let root_rng = Rng.create seed in
@@ -185,6 +190,7 @@ let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0)
     channel;
     ack_quiet;
     classify;
+    weigh;
     clock = [| 0.0 |];
     sent = 0;
     delivered = 0;
@@ -194,6 +200,7 @@ let create ?(seed = 0) ?(trace = false) ?(duplication = 0.0)
     executed = 0;
     data_sent = 0;
     meta_sent = 0;
+    payload_units = 0;
     acks_sent = 0;
     tap = None;
     trace_enabled = trace;
@@ -443,11 +450,14 @@ let send_reliable t ch ~src ~dst msg =
   end
 
 let classify_send t msg =
-  match t.classify with
+  (match t.classify with
   | None -> ()
   | Some is_data ->
     if is_data msg then t.data_sent <- t.data_sent + 1
-    else t.meta_sent <- t.meta_sent + 1
+    else t.meta_sent <- t.meta_sent + 1);
+  match t.weigh with
+  | None -> ()
+  | Some units -> t.payload_units <- t.payload_units + units msg
 
 let send ctx ~dst msg =
   let t = ctx.engine in
@@ -805,6 +815,7 @@ let messages_duplicated t = t.duplicated
 let events_executed t = t.executed
 let messages_data t = t.data_sent
 let messages_meta t = t.meta_sent
+let payload_units t = t.payload_units
 let acks_sent t = t.acks_sent
 
 let retransmissions t =

@@ -45,6 +45,7 @@ val create :
   ?seed:int -> ?trace:bool -> ?duplication:float ->
   ?transport:[ `Raw | `Reliable of Channel.config ] ->
   ?classify:('msg -> bool) ->
+  ?weigh:('msg -> int) ->
   delay:Delay.t -> unit -> 'msg t
 (** [create ~delay ()] builds an empty simulation. [seed] defaults to 0;
     [trace] (default false) records an event log retrievable with
@@ -60,7 +61,11 @@ val create :
     per-link acks (see {!Channel}). [classify] (optional) is a
     data-vs-metadata discriminator ([true] = data-bearing) applied to
     every protocol-level send and reported through {!messages_data} /
-    {!messages_meta}; without it both counters stay 0.
+    {!messages_meta}; without it both counters stay 0. [weigh]
+    (optional) counts the logical sub-messages one wire frame carries
+    (a batch of [b] relays weighs [b], a plain message weighs 1) and
+    accumulates into {!payload_units}; comparing it against
+    {!messages_sent} measures how hard a batching plane coalesces.
     @raise Invalid_argument on an out-of-range [duplication] or an
     invalid channel config. *)
 
@@ -258,6 +263,12 @@ val messages_data : 'msg t -> int
 val messages_meta : 'msg t -> int
 (** Protocol-level sends judged metadata-only by [classify]; 0 when
     [classify] was not given. *)
+
+val payload_units : 'msg t -> int
+(** Sum of [weigh] over every protocol-level send (counted once per
+    {!send} call, like {!messages_data}); 0 when [weigh] was not given.
+    [payload_units / messages_sent] is the mean coalescing factor of a
+    batching plane. *)
 
 val acks_sent : 'msg t -> int
 (** Ack transmissions on the reliable transport: every per-message ack

@@ -52,6 +52,18 @@ let heal_stats_create () =
     scrub_repairs = 0
   }
 
+(* Pluggable message plane: a keyspace re-routes an instance's sends
+   through the shared plane (key envelopes, cross-key batching) by
+   installing a wire after [derive]. [wire_send] replaces every
+   protocol-level [Engine.send]; [wire_gossip], when present, may claim
+   a deferred READ-DISPERSE entry for cross-key coalescing (returning
+   false falls back to the instance's own per-destination outbox). *)
+type wire = {
+  wire_send : Messages.t Simnet.Engine.context -> dst:int -> Messages.t -> unit;
+  wire_gossip :
+    (Messages.t Simnet.Engine.context -> Messages.gossip_entry -> bool) option
+}
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -79,8 +91,24 @@ type t = {
      cache turns d encodes per write into one. Safe because values are
      never mutated after a write invokes, and fragments are themselves
      treated as immutable (corruption copies — see Fragment.corrupt). *)
-  mutable encode_cache : (bytes * Erasure.Fragment.t array) option
+  mutable encode_cache : (bytes * Erasure.Fragment.t array) option;
+  (* [None] (bare deployment): sends go straight to the engine,
+     bit-identical to pre-keyspace builds. *)
+  mutable wire : wire option
 }
+
+let send t ctx ~dst msg =
+  match t.wire with
+  | None -> Simnet.Engine.send ctx ~dst msg
+  | Some w -> w.wire_send ctx ~dst msg
+
+let gossip_hook t =
+  match t.wire with None -> None | Some w -> w.wire_gossip
+
+let set_wire t wire =
+  match t.wire with
+  | Some _ -> invalid_arg "Config.set_wire: wire already installed"
+  | None -> t.wire <- Some wire
 
 let encode t value =
   match t.encode_cache with
@@ -161,8 +189,30 @@ let make ~params ~servers ?(initial_value = Bytes.empty) ?value_len
     cost = Cost.create ~value_len;
     probe = Probe.create ();
     history = History.create ();
-    encode_cache = None
+    encode_cache = None;
+    wire = None
   }
+
+(* Per-key instance configuration of a keyspace: same protocol
+   parameters, codec and plane as the template (the encode cache rides
+   along, so the shared initial value is encoded once across all keys),
+   but fresh instrumentation ledgers and its own server pids. Healing
+   and auto-repair stay off — the keyspace owns fault handling. *)
+let derive t ~servers =
+  if Array.length servers <> Params.n t.params then
+    invalid_arg "Config.derive: need exactly n server pids";
+  { t with
+    servers;
+    healing = None;
+    heal_stats = heal_stats_create ();
+    auto_repair = None;
+    cost = Cost.create ~value_len:(Cost.value_len t.cost);
+    probe = Probe.create ();
+    history = History.create ();
+    wire = None
+  }
+
+let default_client_retry_interval = 80.0
 
 let coordinate_of t ~pid =
   let found = ref (-1) in

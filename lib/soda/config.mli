@@ -91,6 +91,25 @@ type heal_stats = {
 
 val heal_stats_create : unit -> heal_stats
 
+(** Pluggable message plane. A {!Keyspace} re-routes a key instance's
+    traffic through the shared plane — wrapping messages in key
+    envelopes, draining cross-key gossip outboxes, batching relays per
+    destination — by installing a wire on the instance's configuration
+    (see {!set_wire}). Automata never call [Simnet.Engine.send]
+    directly; they go through {!send}, which falls through to the
+    engine when no wire is installed, keeping bare deployments
+    bit-identical to pre-keyspace builds. *)
+type wire = {
+  wire_send : Messages.t Simnet.Engine.context -> dst:int -> Messages.t -> unit;
+      (** Replacement for every protocol-level send of the instance. *)
+  wire_gossip :
+    (Messages.t Simnet.Engine.context -> Messages.gossip_entry -> bool) option
+      (** Offered each deferred READ-DISPERSE entry under the coalesced
+          plane. Returning [true] claims it for cross-key batching;
+          [false] (or [None]) keeps the instance's own per-destination
+          outbox. *)
+}
+
 type t = {
   params : Params.t;
   code : Mds.t;
@@ -154,10 +173,26 @@ type t = {
   cost : Cost.t;
   probe : Probe.t;
   history : History.t;
-  mutable encode_cache : (bytes * Erasure.Fragment.t array) option
+  mutable encode_cache : (bytes * Erasure.Fragment.t array) option;
       (** One-entry cache for {!encode}, keyed by physical equality.
           Not for direct use. *)
+  mutable wire : wire option
+      (** Message-plane override; [None] sends straight to the engine.
+          Install with {!set_wire}; read through {!send} /
+          {!gossip_hook}. *)
 }
+
+val send : t -> Messages.t Simnet.Engine.context -> dst:int -> Messages.t -> unit
+(** The one send primitive of every automaton: [Engine.send] when no
+    wire is installed, the wire's [wire_send] otherwise. *)
+
+val gossip_hook :
+  t -> (Messages.t Simnet.Engine.context -> Messages.gossip_entry -> bool) option
+(** The installed wire's [wire_gossip], if any. *)
+
+val set_wire : t -> wire -> unit
+(** Install the message-plane override (once, after {!derive}).
+    @raise Invalid_argument if a wire is already installed. *)
 
 val encode : t -> bytes -> Erasure.Fragment.t array
 (** [Mds.encode t.code value] behind a one-entry physical-equality
@@ -194,6 +229,19 @@ val make :
     @raise Invalid_argument if [servers] does not have [n] entries or an
     [error_prone] coordinate is out of range or they number more than
     [e]. *)
+
+val derive : t -> servers:int array -> t
+(** Per-key instance configuration of a keyspace: shares the template's
+    protocol parameters, codec, plane tuning, client-retry policy and
+    encode cache (so a shared initial value is encoded once across all
+    keys), with fresh cost/probe/history ledgers, the given server
+    pids, no healing and no wire.
+    @raise Invalid_argument if [servers] does not have [n] entries. *)
+
+val default_client_retry_interval : float
+(** Client retry cadence (80.0) armed by [Deployment.deploy] and
+    [Keyspace.create] exactly when the engine's transport is reliable;
+    see {!field-client_retry}. *)
 
 val coordinate_of : t -> pid:int -> int
 (** Inverse of [servers].

@@ -11,32 +11,20 @@ type t = {
   writers : Writer.t array;
   writer_pids : int array;
   readers : Reader.t array;
-  reader_pids : int array
+  reader_pids : int array;
+  (* repair traffic is charged to synthetic op ids scoped to this
+     deployment (one deployment = one register = one ledger), so id
+     streams are reproducible regardless of what other deployments the
+     process hosts — keyspaces scope theirs per key the same way *)
+  repair_seq : int ref
 }
 
-(* Clients re-poll a stalled phase at this interval. Fault-free
-   operations finish in well under ten time units, so retries only ever
-   fire for operations genuinely stuck behind a crash window. *)
-let client_retry_interval = 80.0
-
-(* repair traffic is charged to synthetic operation ids far above any
-   client operation's; the counter is atomic so deployments driven from
-   different domains (Harness.Parallel sweeps) never collide *)
 let repair_op_base = 1_000_000
-
-(* R1: process-global by design — repair op ids must be unique across
-   every deployment in the process, and the atomic increment is
-   domain-safe. The ids only label repair rounds (they never order
-   protocol decisions), so cross-domain interleaving cannot perturb a
-   single-engine replay. *)
-let[@lint.allow
-     "R1: process-wide atomic label counter; the ids never order protocol \
-      decisions, so cross-domain interleaving cannot perturb a replay"]
-    repair_counter = Atomic.make 0
 
 let repair_server t ~coordinate ~at =
   let pid = t.config.Config.servers.(coordinate) in
-  let op = repair_op_base + Atomic.fetch_and_add repair_counter 1 in
+  let op = repair_op_base + !(t.repair_seq) in
+  incr t.repair_seq;
   Engine.restore_at t.engine pid at;
   (* the injection is pushed after the restore event at the same
      timestamp, so it runs on the freshly restored process *)
@@ -59,7 +47,8 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
      them off keeps raw runs identical to the paper's retry-free
      clients *)
   let client_retry =
-    if Engine.reliable_transport engine then Some client_retry_interval
+    if Engine.reliable_transport engine then
+      Some Config.default_client_retry_interval
     else None
   in
   let config =
@@ -89,7 +78,10 @@ let deploy ~engine ~params ?initial_value ?value_len ?error_prone
   Array.iteri
     (fun i pid -> Engine.set_handler engine pid (Reader.handler readers.(i)))
     reader_pids;
-  let t = { engine; config; servers; writers; writer_pids; readers; reader_pids } in
+  let t =
+    { engine; config; servers; writers; writer_pids; readers; reader_pids;
+      repair_seq = ref 0 }
+  in
   (match config.Config.healing with
   | None -> ()
   | Some _ ->
@@ -217,3 +209,18 @@ let writer_pid t ~writer = t.writer_pids.(writer)
 let reader_pid t ~reader = t.reader_pids.(reader)
 let server t ~coordinate = t.servers.(coordinate)
 let initial_value t = t.config.Config.initial_value
+
+(* ------------------------------------------------------------------ *)
+(* The keyspace-first front door: a deployment is described by its
+   physical topology plus a placement over it, and yields a sharded
+   multi-object keyspace. [deploy] above remains the single-register
+   shim (equivalently, [Keyspace.create ~mode:`Single]). *)
+
+let create ~engine ~topology ~placement ?mode ?initial_value ?value_len
+    ?error_prone ?disperse_step ?md_mode ?gossip ?plane ?systematic
+    ~num_writers ~num_readers () =
+  if not (Topology.equal topology (Placement.topology placement)) then
+    invalid_arg "Deployment.create: placement was built over a different topology";
+  Keyspace.create ~engine ~placement ?mode ?initial_value ?value_len
+    ?error_prone ?disperse_step ?md_mode ?gossip ?plane ?systematic
+    ~num_writers ~num_readers ()

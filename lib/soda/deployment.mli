@@ -32,8 +32,11 @@ val deploy :
   num_readers:int ->
   unit ->
   t
-(** Register all processes. See {!Config.make} for the optional
-    arguments.
+(** Register all processes — the single-register path, kept as a thin
+    shim over the keyspace machinery (see {!create} for the
+    multi-object front door; a [`Single]-mode keyspace on the same
+    engine produces bit-identical traces). See {!Config.make} for the
+    optional arguments.
 
     [healing] arms the self-healing plane: every server runs
     {!Server.start_healing} (heartbeat failure detector + anti-entropy
@@ -146,3 +149,35 @@ val server : t -> coordinate:int -> Server.t
 (** Direct access to a server automaton's state, for tests. *)
 
 val initial_value : t -> bytes
+
+(** {1 Keyspace-first deployment}
+
+    The multi-object front door: describe the fleet with a
+    {!Topology}, the per-key geometry and spread with a {!Placement},
+    and get a sharded {!Keyspace} — per-key SODA instances behind a
+    shared server plane. {!deploy} above remains the single-register
+    path (it {e is} [Keyspace.create ~mode:`Single] up to the
+    handler-object identities, and its traces are bit-identical). *)
+
+val create :
+  engine:Messages.t Simnet.Engine.t ->
+  topology:Topology.t ->
+  placement:Placement.t ->
+  ?mode:[ `Sharded | `Single ] ->
+  ?initial_value:bytes ->
+  ?value_len:int ->
+  ?error_prone:int list ->
+  ?disperse_step:float ->
+  ?md_mode:[ `Chained | `Direct ] ->
+  ?gossip:bool ->
+  ?plane:Config.plane ->
+  ?systematic:bool ->
+  num_writers:int ->
+  num_readers:int ->
+  unit ->
+  Keyspace.t
+(** See {!Keyspace.create} for the argument semantics. [placement]
+    must have been built over [topology] (checked with
+    {!Topology.equal}); passing both keeps call sites honest about
+    which fleet shape the placement assumes.
+    @raise Invalid_argument if they disagree. *)

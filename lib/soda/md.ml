@@ -26,7 +26,9 @@ let stepped_send_to_d ctx (config : Config.t) msg =
     | Messages.Write_get_reply _ | Messages.Write_ack _ | Messages.Read_get _
     | Messages.Read_get_reply _ | Messages.Relay _ | Messages.Repair_get _
     | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _
-    | Messages.Relay_batch _ | Messages.Heartbeat _ | Messages.Suspect_vote _ ->
+    | Messages.Relay_batch _ | Messages.Heartbeat _ | Messages.Suspect_vote _
+    | Messages.Keyed _ | Messages.Keyed_gossip _ | Messages.Keyed_envelope _
+    | Messages.Keyed_batch _ ->
       (0, 0)
   in
   let i = ref 0 in
@@ -34,7 +36,7 @@ let stepped_send_to_d ctx (config : Config.t) msg =
     let j = !i in
     if j < d then begin
       if bytes > 0 then Cost.comm config.cost ~op ~bytes;
-      Engine.send ctx ~dst:config.servers.(j) msg;
+      Config.send config ctx ~dst:config.servers.(j) msg;
       i := j + 1;
       if j + 1 < d then Engine.schedule_local ctx ~delay:step go
     end
@@ -52,7 +54,7 @@ let direct_value_send ctx (config : Config.t) ~mid ~op ~tag ~value =
     if i < n then begin
       let msg = Messages.Md_coded { mid; op; tag; fragment = fragments.(i) } in
       Cost.comm config.cost ~op ~bytes:(Messages.data_bytes msg);
-      Engine.send ctx ~dst:config.servers.(i) msg;
+      Config.send config ctx ~dst:config.servers.(i) msg;
       if i + 1 < n then Engine.schedule_local ctx ~delay:step (fun () -> go (i + 1))
     end
   in

@@ -27,6 +27,11 @@ type meta =
    per-destination outbox instead of being broadcast standalone. *)
 type gossip_entry = { tag : Tag.t; server_index : int; rid : int }
 
+(* A gossip entry qualified by the key instance it belongs to — the
+   cross-key analogue of [gossip_entry], accumulated in a shared-plane
+   server's per-destination outbox across all keys it hosts. *)
+type keyed_entry = { ke_key : int; ke_entry : gossip_entry }
+
 (* The SODA wire alphabet with its declared routes ("sender ->
    handler", comma-separated for multi-route constructors). The M-pass
    cross-checks these against observed emissions (Texp_construct in a
@@ -62,6 +67,14 @@ type t =
   | Heartbeat of { coordinate : int } [@lint.msg "server -> server"]
   | Suspect_vote of { target : int; voter : int }
       [@lint.msg "server -> server"]
+  | Keyed of { key : int; msg : t }
+      [@lint.msg "keyspace -> keyspace"] [@lint.envelope]
+  | Keyed_gossip of { kentries : keyed_entry list }
+      [@lint.msg "keyspace -> keyspace"]
+  | Keyed_envelope of { kentries : keyed_entry list; key : int; msg : t }
+      [@lint.msg "keyspace -> keyspace"] [@lint.envelope]
+  | Keyed_batch of { kitems : (int * t) list }
+      [@lint.msg "keyspace -> keyspace"]
 [@@lint.protocol]
 
 let rec data_bytes = function
@@ -76,6 +89,29 @@ let rec data_bytes = function
   | Envelope { msg; _ } -> data_bytes msg
   | Relay_batch { items; _ } ->
     List.fold_left (fun acc (_, fr) -> acc + Fragment.size fr) 0 items
+  | Keyed { msg; _ } | Keyed_envelope { msg; _ } -> data_bytes msg
+  | Keyed_gossip _ -> 0
+  | Keyed_batch { kitems } ->
+    List.fold_left (fun acc (_, m) -> acc + data_bytes m) 0 kitems
+
+(* How many standalone messages one wire frame replaces: each
+   piggybacked gossip entry and each batched item counts for the
+   message it would have been on the unbatched plane. Feeds the
+   engine's [payload_units] counter ([Engine.create ?weigh]). *)
+let rec logical_units = function
+  | Write_get _ | Write_get_reply _ | Write_ack _ | Read_get _
+  | Read_get_reply _ | Relay _ | Md_full _ | Md_coded _ | Md_meta _
+  | Repair_get _ | Repair_reply _ | Heartbeat _ | Suspect_vote _ ->
+    1
+  | Gossip { entries } -> List.length entries
+  | Envelope { entries; msg } -> List.length entries + logical_units msg
+  | Relay_batch { items; _ } -> List.length items
+  | Keyed { msg; _ } -> logical_units msg
+  | Keyed_gossip { kentries } -> List.length kentries
+  | Keyed_envelope { kentries; msg; _ } ->
+    List.length kentries + logical_units msg
+  | Keyed_batch { kitems } ->
+    List.fold_left (fun acc (_, m) -> acc + logical_units m) 0 kitems
 
 let pp_meta ppf = function
   | Read_value { rid; reader; tr } ->
@@ -109,6 +145,16 @@ let pp_entries ppf entries =
     else
       Format.fprintf ppf "#%d t=%a..%a rid=%d..%d" servers Tag.pp lo_t Tag.pp
         hi_t lo_r hi_r
+
+(* Cross-key envelopes: entry count and distinct-key count — per-key
+   detail is recoverable from the per-key histories, not the trace. *)
+let pp_kentries ppf = function
+  | [] -> Format.fprintf ppf "#0"
+  | kentries ->
+    let keys =
+      List.sort_uniq Int.compare (List.map (fun ke -> ke.ke_key) kentries)
+    in
+    Format.fprintf ppf "#%d keys=%d" (List.length kentries) (List.length keys)
 
 let rec pp ppf = function
   | Write_get { op } -> Format.fprintf ppf "WRITE-GET(op=%d)" op
@@ -144,3 +190,12 @@ let rec pp ppf = function
   | Heartbeat { coordinate } -> Format.fprintf ppf "HEARTBEAT(c=%d)" coordinate
   | Suspect_vote { target; voter } ->
     Format.fprintf ppf "SUSPECT-VOTE(target=%d by=%d)" target voter
+  | Keyed { key; msg } -> Format.fprintf ppf "KEYED(k=%d %a)" key pp msg
+  | Keyed_gossip { kentries } ->
+    Format.fprintf ppf "KEYED-GOSSIP(%a)" pp_kentries kentries
+  | Keyed_envelope { kentries; key; msg } ->
+    Format.fprintf ppf "KEYED-ENVELOPE(%a | k=%d %a)" pp_kentries kentries key
+      pp msg
+  | Keyed_batch { kitems } ->
+    Format.fprintf ppf "KEYED-BATCH(#%d %dB)" (List.length kitems)
+      (List.fold_left (fun acc (_, m) -> acc + data_bytes m) 0 kitems)

@@ -45,6 +45,13 @@ type gossip_entry = { tag : Tag.t; server_index : int; rid : int }
     monotone [h]-set insertion as a standalone READ-DISPERSE, so
     duplicates (retransmissions included) are harmless. *)
 
+type keyed_entry = { ke_key : int; ke_entry : gossip_entry }
+(** A gossip entry qualified by the logical key it belongs to. The
+    shared server plane of a {!Keyspace} accumulates these across every
+    key instance a physical server hosts, so one [Keyed_gossip] (or one
+    [Keyed_envelope] piggyback) flushes the deferred READ-DISPERSE
+    traffic of many keys to a peer at once. *)
+
 type t =
   | Write_get of { op : int }
   | Write_get_reply of { op : int; tag : Tag.t }
@@ -75,9 +82,32 @@ type t =
           past the suspicion timeout. A server that collects [f + 1]
           distinct voters (itself included) for [target] triggers the
           deployment's auto-repair hook. Pure metadata. *)
+  | Keyed of { key : int; msg : t }
+      (** [msg] of logical key [key]'s SODA instance, travelling the
+          shared plane of a {!Keyspace}. The plane handler unwraps it
+          and dispatches to that key's per-server automaton (or to the
+          client's per-key lane). Never nested. *)
+  | Keyed_gossip of { kentries : keyed_entry list }
+      (** Standalone cross-key flush of a shared-plane server's gossip
+          outbox (bounded-staleness timer), covering every key it hosts. *)
+  | Keyed_envelope of { kentries : keyed_entry list; key : int; msg : t }
+      (** [Keyed { key; msg }] with the destination server's pending
+          cross-key gossip piggybacked on it. [msg] is the inner
+          (un-keyed) protocol message; never nested. *)
+  | Keyed_batch of { kitems : (int * t) list }
+      (** Relays to one client process across {e different} keys, framed
+          as a single message — the cross-key analogue of
+          [Relay_batch], produced by the shared plane's per-destination
+          relay window. *)
 
 val data_bytes : t -> int
 (** Bytes of {e data} (value or coded element) the message carries; zero
     for pure metadata. This is what {!Cost} charges. *)
+
+val logical_units : t -> int
+(** How many standalone messages the frame replaces: 1 for a plain
+    message, the entry count for gossip, entries + inner for envelopes,
+    the item sum for batches. Pass as [Engine.create ~weigh] to measure
+    a plane's coalescing factor via [Engine.payload_units]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -50,7 +50,7 @@ let rec schedule_retry t ctx ~rid =
         | Get g when g.rid = rid ->
           Array.iter
             (fun server ->
-              Engine.send ctx ~dst:server (Messages.Read_get { rid }))
+              Config.send t.config ctx ~dst:server (Messages.Read_get { rid }))
             t.config.Config.servers;
           schedule_retry t ctx ~rid
         | Collect c when c.rid = rid ->
@@ -73,7 +73,7 @@ let invoke t ctx ?on_done () =
   t.on_done <- on_done;
   t.phase <- Get { rid; replies = Int_tbl.Set.create 8; best = Tag.initial };
   Array.iter
-    (fun server -> Engine.send ctx ~dst:server (Messages.Read_get { rid }))
+    (fun server -> Config.send t.config ctx ~dst:server (Messages.Read_get { rid }))
     t.config.Config.servers;
   schedule_retry t ctx ~rid;
   rid
@@ -150,7 +150,8 @@ let handler t ctx ~src msg =
       | Messages.Read_get _ | Messages.Md_full _ | Messages.Md_coded _
       | Messages.Md_meta _ | Messages.Repair_get _ | Messages.Repair_reply _
       | Messages.Gossip _ | Messages.Envelope _ | Messages.Heartbeat _
-      | Messages.Suspect_vote _ ),
+      | Messages.Suspect_vote _ | Messages.Keyed _ | Messages.Keyed_gossip _
+      | Messages.Keyed_envelope _ | Messages.Keyed_batch _ ),
       (Idle | Get _ | Collect _) ) ->
     (* stale relays for finished reads, or foreign traffic *)
     ()

@@ -220,7 +220,7 @@ let flush_gossip t ctx j =
   match take_outbox t j with
   | [] -> ()
   | entries ->
-    Engine.send ctx ~dst:t.config.Config.servers.(j)
+    Config.send t.config ctx ~dst:t.config.Config.servers.(j)
       (Messages.Gossip { entries })
 
 let gossip_enqueue t ctx (entry : Messages.gossip_entry) =
@@ -250,17 +250,17 @@ let send_to_coordinate t ctx ~coordinate:j msg =
       | [] -> msg
       | entries -> Messages.Envelope { entries; msg })
   in
-  Engine.send ctx ~dst:t.config.Config.servers.(j) msg
+  Config.send t.config ctx ~dst:t.config.Config.servers.(j) msg
 
 (* Same, for destinations addressed by pid (repair replies): a pid that
    is not a server coordinate gets a plain send. *)
 let send_to_pid t ctx ~dst msg =
   match t.config.Config.plane.Config.gossip_mode with
-  | `Broadcast | `Off -> Engine.send ctx ~dst msg
+  | `Broadcast | `Off -> Config.send t.config ctx ~dst msg
   | `Coalesced -> (
     match Config.coordinate_of t.config ~pid:dst with
     | j -> send_to_coordinate t ctx ~coordinate:j msg
-    | exception Not_found -> Engine.send ctx ~dst msg)
+    | exception Not_found -> Config.send t.config ctx ~dst msg)
 
 (* Close the [relay_batch] window for [rid]: everything buffered since
    it opened leaves as one framed message. Registration state is not
@@ -275,9 +275,9 @@ let flush_relays t ctx rid =
     match buf.items with
     | [] -> ()
     | [ (tag, fragment) ] ->
-      Engine.send ctx ~dst:buf.reader (Messages.Relay { rid; tag; fragment })
+      Config.send t.config ctx ~dst:buf.reader (Messages.Relay { rid; tag; fragment })
     | items ->
-      Engine.send ctx ~dst:buf.reader
+      Config.send t.config ctx ~dst:buf.reader
         (Messages.Relay_batch { rid; items = List.rev items }))
 
 (* ------------------------------------------------------------------ *)
@@ -291,7 +291,7 @@ let flush_relays t ctx rid =
 let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
   (match t.config.Config.plane.Config.relay_batch with
   | None ->
-    Engine.send ctx ~dst:reg.reader (Messages.Relay { rid; tag; fragment })
+    Config.send t.config ctx ~dst:reg.reader (Messages.Relay { rid; tag; fragment })
   | Some window -> (
     match Hashtbl.find_opt t.relay_buf rid with
     | Some buf -> buf.items <- (tag, fragment) :: buf.items
@@ -309,9 +309,13 @@ let relay_to_reader t ctx ~rid ~(reg : registration) ~tag ~fragment =
   | `Broadcast ->
     Md.meta_send ctx t.config ~seq:t.seq
       (Messages.Read_disperse { tag; server_index = t.coordinate; rid })
-  | `Coalesced ->
-    gossip_enqueue t ctx
-      { Messages.tag; server_index = t.coordinate; rid }
+  | `Coalesced -> (
+    let entry = { Messages.tag; server_index = t.coordinate; rid } in
+    (* a keyspace wire may claim the entry for cross-key coalescing;
+       otherwise it queues in this instance's own outbox *)
+    match Config.gossip_hook t.config with
+    | Some hook when hook ctx entry -> ()
+    | Some _ | None -> gossip_enqueue t ctx entry)
   | `Off -> ()
 
 (* Fresh detection of bit-rot: the checksum just failed for the first
@@ -629,10 +633,10 @@ let start_healing t ctx =
 
 let answer_query t ctx ~src = function
   | Messages.Write_get { op } ->
-    Engine.send ctx ~dst:src
+    Config.send t.config ctx ~dst:src
       (Messages.Write_get_reply { op; tag = Disk.tag t.disk })
   | Messages.Read_get { rid } ->
-    Engine.send ctx ~dst:src
+    Config.send t.config ctx ~dst:src
       (Messages.Read_get_reply { rid; tag = Disk.tag t.disk })
   | Messages.Repair_get { op } -> (
     match local_disk_read t ctx ~rid:op with
@@ -827,7 +831,7 @@ let md_value_deliver t ctx ~op ~tag:tw ~fragment =
   (* The writer's id is part of the tag, so the acknowledgement needs no
      extra routing state. *)
   if tw.Tag.w >= 0 then
-    Engine.send ctx ~dst:tw.Tag.w (Messages.Write_ack { op; tag = tw })
+    Config.send t.config ctx ~dst:tw.Tag.w (Messages.Write_ack { op; tag = tw })
 
 (* Fig. 5, "On md-meta-deliver(READ-VALUE, (r, tr))". *)
 let on_read_value t ctx ~rid ~reader ~tr =
@@ -993,3 +997,17 @@ let rec handler t ctx ~src msg =
   | Messages.Read_get_reply _ | Messages.Relay _ | Messages.Relay_batch _ ->
     (* client-bound messages; a server never receives these *)
     ()
+  | Messages.Keyed _ | Messages.Keyed_gossip _ | Messages.Keyed_envelope _
+  | Messages.Keyed_batch _ ->
+    (* keyspace frames are unwrapped by the shared plane before the
+       per-key automaton sees them; a bare deployment never gets any *)
+    ()
+
+(* Shared-plane entry points: the keyspace applies cross-key gossip
+   entries directly (same monotone H insertion as a standalone
+   READ-DISPERSE) and filters queued entries by this instance's
+   completion state when draining a cross-key outbox. *)
+let apply_gossip_entry t ctx ({ Messages.tag; server_index; rid } : Messages.gossip_entry) =
+  on_read_disperse t ctx ~tag ~server_index ~rid
+
+let gossip_live = entry_live

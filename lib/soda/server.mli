@@ -22,6 +22,19 @@ val create : Config.t -> coordinate:int -> t
 val handler : t -> Messages.t Simnet.Engine.context -> src:int -> Messages.t -> unit
 (** Message handler to install with {!Simnet.Engine.set_handler}. *)
 
+(** {1 Shared-plane hooks (see {!Keyspace})} *)
+
+val apply_gossip_entry :
+  t -> Messages.t Simnet.Engine.context -> Messages.gossip_entry -> unit
+(** Apply one READ-DISPERSE announcement delivered over a keyspace's
+    cross-key gossip channel — the same monotone [H] insertion as a
+    standalone READ-DISPERSE, so duplicates are harmless. *)
+
+val gossip_live : t -> Messages.gossip_entry -> bool
+(** [false] once the entry's read has completed at this server, letting
+    a cross-key outbox drop it instead of burning wire on it — the
+    cross-key analogue of the per-instance outbox filter. *)
+
 (** {1 Inspection (tests and reports)} *)
 
 val stored_tag : t -> Protocol.Tag.t

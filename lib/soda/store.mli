@@ -18,7 +18,16 @@
 
     Atomicity of the composition follows from atomicity per object:
     operations on distinct registers commute. {!check_atomicity} checks
-    every object's history. *)
+    every object's history.
+
+    Since the keyspace redesign, the store is a thin naming layer over
+    {!Keyspace}: object number [i] (creation order) is logical key [i]
+    of a sharded keyspace on an [n]-server single-domain topology, so
+    objects share the fleet's message plane and their gossip and relays
+    coalesce across objects. The exception is [?healing]: the
+    self-healing plane is per-register state that keyspace instances do
+    not carry, so healed stores keep the original
+    one-deployment-per-object composition. *)
 
 module Params = Protocol.Params
 module History = Protocol.History

@@ -1,0 +1,76 @@
+(* The physical shape of a server fleet: how many server processes
+   exist and which failure domain (rack, zone) each belongs to. Purely
+   descriptive — fault correlation comes from the chaos harness
+   partitioning/crashing a whole domain, and placement quality from
+   [Placement] spreading each key's fragments across domains. *)
+
+type t = {
+  (* server index -> failure-domain id, dense in [0, num_domains) *)
+  assignment : int array;
+  num_domains : int
+}
+
+let make ~servers ~domains () =
+  if servers <= 0 then invalid_arg "Topology.make: need at least one server";
+  if domains <= 0 || domains > servers then
+    invalid_arg "Topology.make: need 1 <= domains <= servers";
+  { assignment = Array.init servers (fun i -> i mod domains);
+    num_domains = domains
+  }
+
+let custom assignment =
+  let m = Array.length assignment in
+  if m = 0 then invalid_arg "Topology.custom: need at least one server";
+  let top = Array.fold_left max (-1) assignment in
+  Array.iter
+    (fun d ->
+      if d < 0 || d > top then
+        invalid_arg "Topology.custom: negative domain id")
+    assignment;
+  let seen = Array.make (top + 1) false in
+  Array.iter (fun d -> seen.(d) <- true) assignment;
+  Array.iteri
+    (fun d present ->
+      if not present then
+        invalid_arg
+          (Printf.sprintf "Topology.custom: domain ids not dense (%d unused)" d))
+    seen;
+  { assignment = Array.copy assignment; num_domains = top + 1 }
+
+let servers t = Array.length t.assignment
+let num_domains t = t.num_domains
+
+let domain_of t server =
+  if server < 0 || server >= Array.length t.assignment then
+    invalid_arg "Topology.domain_of: server index out of range";
+  t.assignment.(server)
+
+(* Members of one domain, ascending. *)
+let domain_members t domain =
+  if domain < 0 || domain >= t.num_domains then
+    invalid_arg "Topology.domain_members: domain id out of range";
+  let out = ref [] in
+  for i = Array.length t.assignment - 1 downto 0 do
+    if t.assignment.(i) = domain then out := i :: !out
+  done;
+  !out
+
+let min_domain_size t =
+  let counts = Array.make t.num_domains 0 in
+  Array.iter (fun d -> counts.(d) <- counts.(d) + 1) t.assignment;
+  Array.fold_left min max_int counts
+
+let equal a b =
+  a.num_domains = b.num_domains
+  && Array.length a.assignment = Array.length b.assignment
+  && begin
+       let same = ref true in
+       Array.iteri
+         (fun i d -> if b.assignment.(i) <> d then same := false)
+         a.assignment;
+       !same
+     end
+
+let pp ppf t =
+  Format.fprintf ppf "%d servers / %d domains" (Array.length t.assignment)
+    t.num_domains

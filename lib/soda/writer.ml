@@ -41,7 +41,7 @@ let rec schedule_retry t ctx ~op =
         | Get g when g.op = op ->
           Array.iter
             (fun server ->
-              Engine.send ctx ~dst:server (Messages.Write_get { op }))
+              Config.send t.config ctx ~dst:server (Messages.Write_get { op }))
             t.config.Config.servers;
           schedule_retry t ctx ~op
         | Idle | Get _ | Put _ -> ())
@@ -61,7 +61,7 @@ let invoke t ctx ~value ?on_done () =
   t.phase <-
     Get { op; value; replies = Int_tbl.Set.create 8; best = Tag.initial };
   Array.iter
-    (fun server -> Engine.send ctx ~dst:server (Messages.Write_get { op }))
+    (fun server -> Config.send t.config ctx ~dst:server (Messages.Write_get { op }))
     t.config.Config.servers;
   schedule_retry t ctx ~op;
   op
@@ -94,7 +94,9 @@ let handler t ctx ~src msg =
       | Messages.Relay _ | Messages.Relay_batch _ | Messages.Md_full _
       | Messages.Md_coded _ | Messages.Md_meta _ | Messages.Repair_get _
       | Messages.Repair_reply _ | Messages.Gossip _ | Messages.Envelope _
-      | Messages.Heartbeat _ | Messages.Suspect_vote _ ),
+      | Messages.Heartbeat _ | Messages.Suspect_vote _ | Messages.Keyed _
+      | Messages.Keyed_gossip _ | Messages.Keyed_envelope _
+      | Messages.Keyed_batch _ ),
       (Idle | Get _ | Put _) ) ->
     (* stale replies from earlier phases or foreign traffic *)
     ()

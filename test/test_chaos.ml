@@ -275,6 +275,33 @@ let matrix_tests =
           Chaos.ok o || QCheck2.Test.fail_report (outcome_fail_msg o)))
     Chaos.matrix
 
+(* ------------------------------------------------------------------ *)
+(* failure-domain cells: a sharded keyspace over 12 servers in 3
+   domains (4+2 preset, consistent hashing, domain-safe) while the
+   nemesis takes out a whole domain — by partition or by crash — under
+   5% message loss. Every key must stay live and atomic because no key
+   places more than f coordinates in any one domain. *)
+
+let domain_fail_msg (o : Chaos.domain_outcome) =
+  Format.asprintf "%a" Chaos.pp_domain_outcome o
+
+let domain_tests =
+  List.map
+    (fun name ->
+      let fault =
+        match name with
+        | "domain-part" -> `Partition
+        | "domain-crash" -> `Crash
+        | _ -> Alcotest.failf "unknown domain cell %s" name
+      in
+      qtest ~count:6
+        (Printf.sprintf "domain cell %s is live and atomic per key" name)
+        QCheck2.Gen.(int_range 0 10_000)
+        (fun seed ->
+          let o = Chaos.run_domain ~fault ~seed () in
+          Chaos.domain_ok o || QCheck2.Test.fail_report (domain_fail_msg o)))
+    Chaos.domain_matrix
+
 let determinism_tests =
   [ qtest ~count:5 "identical seeds give bit-identical chaotic executions"
       QCheck2.Gen.(int_range 0 100_000)
@@ -324,5 +351,6 @@ let () =
       ("chaos-runs", chaos_tests);
       ("store-chaos", store_chaos_tests);
       ("chaos-matrix", matrix_tests);
+      ("domain-matrix", domain_tests);
       ("determinism", determinism_tests)
     ]

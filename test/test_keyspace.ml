@@ -1,0 +1,320 @@
+(* Tests for the sharded keyspace layer: placement invariants
+   (QCheck), bit-identity of the single-key shim against the classic
+   deployment, per-key atomicity of multi-key runs, and the message
+   economics of the shared plane vs independent deployments. *)
+
+module Engine = Simnet.Engine
+module Delay = Simnet.Delay
+module Params = Protocol.Params
+module Topology = Soda.Topology
+module Placement = Soda.Placement
+module Keyspace = Soda.Keyspace
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Placement invariants *)
+
+(* feasible random (topology, params, policy, key) instances *)
+let placement_gen =
+  QCheck2.Gen.(
+    let* servers = int_range 5 40 in
+    let* domains = int_range 1 servers in
+    let* preset = oneofl [ `P4_2; `P10_4 ] in
+    let params = Placement.preset_params preset in
+    let* policy = oneofl [ Placement.Mod_stripe; Placement.Consistent_hash ] in
+    let* key = int_range 0 100_000 in
+    return (servers, domains, params, policy, key))
+
+let feasible ~servers ~domains params =
+  let n = Params.n params in
+  let dused = min domains n in
+  let cap = (n + dused - 1) / dused in
+  n <= servers
+  && (domains > n
+      || Topology.min_domain_size (Topology.make ~servers ~domains ()) >= cap)
+
+let placement_tests =
+  [ qtest "placed servers are distinct, spread and balanced" placement_gen
+      (fun (servers, domains, params, policy, key) ->
+        let topology = Topology.make ~servers ~domains () in
+        if not (feasible ~servers ~domains params) then
+          (* infeasible geometry must be rejected at construction *)
+          match Placement.create ~topology ~params ~policy () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        else begin
+          let p = Placement.create ~topology ~params ~policy () in
+          let coords = Placement.servers_of p ~key in
+          let n = Params.n params in
+          let dused = min domains n in
+          let cap = (n + dused - 1) / dused in
+          Array.length coords = n
+          && List.length
+               (List.sort_uniq Int.compare (Array.to_list coords))
+             = n
+          && Placement.domains_spanned p ~key = dused
+          && Placement.max_per_domain p ~key <= cap
+        end);
+    qtest "placement is a pure function of the key" placement_gen
+      (fun (servers, domains, params, policy, key) ->
+        QCheck2.assume (feasible ~servers ~domains params);
+        let topology = Topology.make ~servers ~domains () in
+        let p1 = Placement.create ~topology ~params ~policy () in
+        let p2 = Placement.create ~topology ~params ~policy () in
+        Placement.servers_of p1 ~key = Placement.servers_of p2 ~key);
+    qtest "consecutive coordinates span domains (the D-set property)"
+      placement_gen
+      (fun (servers, domains, params, policy, key) ->
+        QCheck2.assume (feasible ~servers ~domains params);
+        let topology = Topology.make ~servers ~domains () in
+        let p = Placement.create ~topology ~params ~policy () in
+        let coords = Placement.servers_of p ~key in
+        (* the first min(f+1, domains) coordinates — the MD primitives'
+           distinguished set D — must lie in distinct domains *)
+        let d_span = min (Params.f params + 1) domains in
+        let seen = Hashtbl.create 8 in
+        let ok = ref true in
+        for i = 0 to d_span - 1 do
+          let d = Topology.domain_of topology coords.(i) in
+          if Hashtbl.mem seen d then ok := false;
+          Hashtbl.replace seen d ()
+        done;
+        !ok);
+    Alcotest.test_case "domain_safe iff per-domain share <= f" `Quick
+      (fun () ->
+        let params = Placement.preset_params `P4_2 in
+        (* 12 servers / 3 domains: cap = 2 = f -> safe *)
+        let safe =
+          Placement.create
+            ~topology:(Topology.make ~servers:12 ~domains:3 ())
+            ~params ()
+        in
+        Alcotest.(check bool) "3 domains safe" true (Placement.domain_safe safe);
+        (* 12 servers / 2 domains: cap = 3 > f -> unsafe *)
+        let unsafe =
+          Placement.create
+            ~topology:(Topology.make ~servers:12 ~domains:2 ())
+            ~params ()
+        in
+        Alcotest.(check bool) "2 domains unsafe" false
+          (Placement.domain_safe unsafe));
+    Alcotest.test_case "presets and topology validation" `Quick (fun () ->
+        Alcotest.(check bool) "4+2" true
+          (match Placement.preset_of_string "4+2" with
+          | Some `P4_2 -> true
+          | _ -> false);
+        Alcotest.(check bool) "10+4" true
+          (match Placement.preset_of_string "10+4" with
+          | Some `P10_4 -> true
+          | _ -> false);
+        Alcotest.(check bool) "junk" true
+          (Placement.preset_of_string "9+9" = None);
+        Alcotest.(check bool) "domains > servers rejected" true
+          (match Topology.make ~servers:3 ~domains:4 () with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        Alcotest.(check bool) "sparse custom ids rejected" true
+          (match Topology.custom [| 0; 2; 2 |] with
+          | exception Invalid_argument _ -> true
+          | _ -> false))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The single-key shim is bit-identical to Deployment.deploy *)
+
+let run_deploy ~seed ~rounds =
+  let params = Params.make ~n:6 ~f:2 () in
+  let engine =
+    Engine.create ~seed ~trace:true ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+  in
+  let d =
+    Soda.Deployment.deploy ~engine ~params ~num_writers:1 ~num_readers:1 ()
+  in
+  for i = 0 to rounds - 1 do
+    let at = float_of_int i *. 100.0 in
+    Soda.Deployment.write d ~writer:0 ~at
+      (Harness.Workload.value ~len:128 ~seed ~index:i);
+    Soda.Deployment.read d ~reader:0 ~at:(at +. 50.0) ()
+  done;
+  Engine.run engine;
+  engine
+
+let run_shim ~seed ~rounds =
+  let params = Params.make ~n:6 ~f:2 () in
+  let engine =
+    Engine.create ~seed ~trace:true ~delay:(Delay.uniform ~lo:0.2 ~hi:2.0) ()
+  in
+  let topology = Topology.make ~servers:6 ~domains:1 () in
+  let placement = Placement.create ~topology ~params () in
+  let ks =
+    Keyspace.create ~engine ~placement ~mode:`Single ~num_writers:1
+      ~num_readers:1 ()
+  in
+  for i = 0 to rounds - 1 do
+    let at = float_of_int i *. 100.0 in
+    Keyspace.write ks ~key:0 ~writer:0 ~at
+      (Harness.Workload.value ~len:128 ~seed ~index:i);
+    Keyspace.read ks ~key:0 ~reader:0 ~at:(at +. 50.0) ()
+  done;
+  Engine.run engine;
+  engine
+
+let shim_tests =
+  [ qtest ~count:25 "single-key shim traces are bit-identical to deploy"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let e1 = run_deploy ~seed ~rounds:3 in
+        let e2 = run_shim ~seed ~rounds:3 in
+        Engine.trace_events e1 = Engine.trace_events e2
+        && Engine.messages_sent e1 = Engine.messages_sent e2
+        && Engine.messages_data e1 = Engine.messages_data e2
+        && Engine.messages_meta e1 = Engine.messages_meta e2
+        && Engine.events_executed e1 = Engine.events_executed e2
+        && Engine.now e1 = Engine.now e2);
+    Alcotest.test_case "shim serves only key 0" `Quick (fun () ->
+        let params = Params.make ~n:5 ~f:1 () in
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let topology = Topology.make ~servers:5 ~domains:1 () in
+        let placement = Placement.create ~topology ~params () in
+        let ks =
+          Keyspace.create ~engine ~placement ~mode:`Single ~num_writers:1
+            ~num_readers:1 ()
+        in
+        Alcotest.(check bool) "key 1 rejected" true
+          (match Keyspace.write ks ~key:1 ~writer:0 ~at:0.0 Bytes.empty with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "create validates topology against n" `Quick (fun () ->
+        let params = Params.make ~n:5 ~f:1 () in
+        let engine = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let topology = Topology.make ~servers:8 ~domains:2 () in
+        let placement = Placement.create ~topology ~params () in
+        Alcotest.(check bool) "`Single over 8 servers rejected" true
+          (match
+             Keyspace.create ~engine ~placement ~mode:`Single ~num_writers:1
+               ~num_readers:1 ()
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        let engine2 = Engine.create ~seed:1 ~delay:(Delay.constant 1.0) () in
+        let topology2 = Topology.make ~servers:8 ~domains:2 () in
+        Alcotest.(check bool) "mismatched placement rejected" true
+          (match
+             Soda.Deployment.create ~engine:engine2
+               ~topology:(Topology.make ~servers:8 ~domains:4 ())
+               ~placement:
+                 (Placement.create ~topology:topology2 ~params ())
+               ~num_writers:1 ~num_readers:1 ()
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-key runs *)
+
+let sharded_tests =
+  [ qtest ~count:20 "sharded runs are live and atomic per key"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let topology = Topology.make ~servers:12 ~domains:3 () in
+        let placement =
+          Placement.create ~topology
+            ~params:(Placement.preset_params `P4_2)
+            ~policy:Placement.Consistent_hash ()
+        in
+        let wl =
+          Harness.Workload.sharded_mixed ~keys:24 ~value_len:64 ~seed
+            ~num_writers:3 ~num_readers:3 ()
+        in
+        let r = Harness.Runner.run_sharded ~placement wl in
+        r.Harness.Runner.s_complete && r.Harness.Runner.s_atomic
+        && r.Harness.Runner.s_keys = 24);
+    Alcotest.test_case "reads see the key's own write, not a neighbour's"
+      `Quick (fun () ->
+        let topology = Topology.make ~servers:9 ~domains:3 () in
+        let placement =
+          Placement.create ~topology
+            ~params:(Placement.preset_params `P4_2)
+            ()
+        in
+        let engine = Engine.create ~seed:5 ~delay:(Delay.constant 1.0) () in
+        let ks =
+          Keyspace.create ~engine ~placement ~num_writers:1 ~num_readers:1 ()
+        in
+        let results = Hashtbl.create 8 in
+        for key = 0 to 7 do
+          Keyspace.write ks ~key ~writer:0 ~at:0.0
+            (Bytes.of_string (Printf.sprintf "value-%d" key));
+          Keyspace.read ks ~key ~reader:0 ~at:40.0
+            ~on_done:(fun v -> Hashtbl.replace results key v)
+            ()
+        done;
+        Engine.run engine;
+        for key = 0 to 7 do
+          match Hashtbl.find_opt results key with
+          | Some v ->
+            Alcotest.(check string)
+              (Printf.sprintf "key %d" key)
+              (Printf.sprintf "value-%d" key)
+              (Bytes.to_string v)
+          | None -> Alcotest.fail (Printf.sprintf "key %d: read incomplete" key)
+        done);
+    Alcotest.test_case
+      "shared plane beats independent deployments on msgs/op" `Quick
+      (fun () ->
+        let params = Placement.preset_params `P4_2 in
+        let topology = Topology.make ~servers:12 ~domains:3 () in
+        let placement =
+          Placement.create ~topology ~params
+            ~policy:Placement.Consistent_hash ()
+        in
+        let wl =
+          Harness.Workload.sharded_mixed ~keys:60 ~value_len:64 ~seed:11
+            ~num_writers:4 ~num_readers:4 ~round_gap:10.0 ()
+        in
+        let shared =
+          Harness.Runner.run_sharded ~plane:Soda.Config.batched_plane
+            ~placement wl
+        in
+        (* the pre-keyspace composition this PR replaces: one default-
+           plane deployment per key (broadcast read gossip) *)
+        let independent =
+          Harness.Runner.run_sharded_independent ~params wl
+        in
+        (* same composition with every per-key plane already batched —
+           the strongest per-key baseline *)
+        let independent_batched =
+          Harness.Runner.run_sharded_independent
+            ~plane:Soda.Config.batched_plane ~params wl
+        in
+        Alcotest.(check bool) "shared complete" true
+          shared.Harness.Runner.s_complete;
+        Alcotest.(check bool) "independent complete" true
+          independent.Harness.Runner.s_complete;
+        let m_shared = Harness.Metrics.sharded_msgs_per_op shared in
+        let m_indep = Harness.Metrics.sharded_msgs_per_op independent in
+        let m_indep_b = Harness.Metrics.sharded_msgs_per_op independent_batched in
+        Alcotest.(check bool)
+          (Printf.sprintf "msgs/op %.2f < %.2f (vs default planes)" m_shared
+             m_indep)
+          true (m_shared < m_indep);
+        Alcotest.(check bool)
+          (Printf.sprintf "msgs/op %.2f <= %.2f (vs batched planes)" m_shared
+             m_indep_b)
+          true (m_shared <= m_indep_b);
+        (* coalescing factor: the shared plane packs more logical units
+           into an average frame than per-key planes can *)
+        Alcotest.(check bool) "frames actually coalesce" true
+          (Harness.Metrics.sharded_units_per_msg shared
+          > Harness.Metrics.sharded_units_per_msg independent_batched))
+  ]
+
+let () =
+  Alcotest.run "keyspace"
+    [ ("placement", placement_tests);
+      ("shim", shim_tests);
+      ("sharded", sharded_tests)
+    ]

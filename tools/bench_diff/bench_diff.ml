@@ -172,11 +172,13 @@ let point_of_fields kind fields =
       num (get fields "mb_per_s") )
   | "sim" -> (str (get fields "probe"), num (get fields "events_per_s"))
   | "msgs" -> (str (get fields "algo"), num (get fields "msgs_per_op"))
+  | "sharded" -> (str (get fields "case"), num (get fields "msgs_per_op"))
   | k -> fail "unknown bench kind %S" k
 
-(* codec/sim measure throughput (higher is better); msgs measures
-   messages per operation (deterministic counts, lower is better) *)
-let lower_is_better = function "msgs" -> true | _ -> false
+(* codec/sim measure throughput (higher is better); msgs/sharded
+   measure messages per operation (deterministic counts, lower is
+   better) *)
+let lower_is_better = function "msgs" | "sharded" -> true | _ -> false
 
 let parse_bench path =
   let sc = { s = read_file path; pos = 0 } in
